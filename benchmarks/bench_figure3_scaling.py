@@ -1,0 +1,65 @@
+"""Figure 3: the scaling table (f -> document size).
+
+Paper: f in {0.1, 1, 10, 100} -> {10 MB, 100 MB, 1 GB, 10 GB}.  We generate
+at proportionally reduced factors and assert the calibrated linear
+relationship size ~ 100 MB * f, which extrapolates to the paper's rows.
+"""
+
+import pytest
+
+from repro.xmlgen.generator import XMarkGenerator, generate_string
+from repro.xmlgen.config import GeneratorConfig
+
+SCALES = (0.0005, 0.001, 0.005, 0.01)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def bench_generate_at_scale(benchmark, scale):
+    text = benchmark.pedantic(generate_string, args=(scale,), rounds=2, iterations=1)
+    target = 100e6 * scale
+    benchmark.extra_info["bytes"] = len(text)
+    benchmark.extra_info["target_bytes"] = int(target)
+    benchmark.extra_info["ratio"] = round(len(text) / target, 3)
+    assert abs(len(text) / target - 1.0) < 0.15
+
+
+def bench_generation_is_linear_in_scale(benchmark):
+    """Elapsed time must scale ~linearly (paper: 33.4 s / 335.5 s for 10x)."""
+    import time
+
+    def measure():
+        t0 = time.perf_counter()
+        small = len(generate_string(0.001))
+        t1 = time.perf_counter()
+        large = len(generate_string(0.004))
+        t2 = time.perf_counter()
+        return (t1 - t0, t2 - t1, small, large)
+
+    small_t, large_t, small_b, large_b = benchmark.pedantic(measure, rounds=1, iterations=1)
+    time_ratio = large_t / small_t
+    size_ratio = large_b / small_b
+    benchmark.extra_info["time_ratio_4x_data"] = round(time_ratio, 2)
+    benchmark.extra_info["size_ratio"] = round(size_ratio, 2)
+    # Time grows roughly with output volume (allow generous slack for noise).
+    assert time_ratio < size_ratio * 2.5
+
+
+def bench_determinism(benchmark):
+    """Same (seed, scale) -> byte-identical output (Section 4.5 req. 4)."""
+    def both():
+        return generate_string(0.001), generate_string(0.001)
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert a == b
+
+
+def bench_seed_isolation(benchmark):
+    """Different seeds give different documents of the same shape."""
+    def both():
+        default = generate_string(0.001)
+        other = XMarkGenerator(GeneratorConfig(scale=0.001, seed=777)).generate_string()
+        return default, other
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert a != b
+    assert abs(len(a) - len(b)) < len(a) * 0.2

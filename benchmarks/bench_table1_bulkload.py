@@ -1,0 +1,60 @@
+"""Table 1: database sizes and bulkload times for Systems A-F.
+
+Paper rows (f = 1.0): sizes A 241 MB, B 280, C 238, D 142, E 302, F 345;
+bulkload A 414 s, B 781, C 548, D 50, E 96, F 215; expat scan 4.9 s.
+
+Shape asserted here: the scan baseline is faster than every load; D loads
+fastest of the mass-storage systems and B slowest; D's database is smaller
+than E's and F's.
+"""
+
+import pytest
+
+from repro.benchmark.systems import MASS_STORAGE_SYSTEMS, make_store
+from repro.storage.bulkload import bulkload, scan_baseline
+
+
+def bench_scan_baseline(benchmark, bench_text):
+    """The expat row: tokenization without semantic actions."""
+    report = benchmark.pedantic(scan_baseline, args=(bench_text,), rounds=3, iterations=1)
+    benchmark.extra_info["events"] = report.events
+
+
+@pytest.mark.parametrize("system", MASS_STORAGE_SYSTEMS)
+def bench_bulkload(benchmark, bench_text, system):
+    def load():
+        return bulkload(make_store(system), bench_text, system)
+
+    report = benchmark.pedantic(load, rounds=2, iterations=1)
+    benchmark.extra_info["database_bytes"] = report.database_bytes
+    benchmark.extra_info["size_ratio"] = round(report.size_ratio, 2)
+
+
+def bench_table1_shape(benchmark, bench_text):
+    """One-shot shape check over all six mass-storage systems."""
+    def run():
+        scan = scan_baseline(bench_text)
+        times = {}
+        sizes = {}
+        for system in MASS_STORAGE_SYSTEMS:
+            reports = [bulkload(make_store(system), bench_text, system)
+                       for _ in range(2)]
+            times[system] = min(report.seconds for report in reports)
+            sizes[system] = reports[-1].database_bytes
+        return scan, times, sizes
+
+    scan, times, sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    for system in MASS_STORAGE_SYSTEMS:
+        benchmark.extra_info[f"load_{system}_ms"] = round(times[system] * 1000, 1)
+        benchmark.extra_info[f"size_{system}_bytes"] = sizes[system]
+    # Paper shape assertions (deviations documented in EXPERIMENTS.md: our C
+    # shreds about as fast as D at this scale, and our E is F plus an index
+    # so E > F in size — both vendor-specific orderings in the paper):
+    assert all(scan.seconds < t for t in times.values()), "scan must be the floor"
+    assert times["D"] < times["A"], "D loads faster than the edge mapping"
+    assert times["D"] < times["B"], "D loads faster than the fragmenting mapping"
+    assert times["B"] == max(times.values()), "B loads slowest (paper: 781 s)"
+    # D's compact mapping gives the smallest main-memory database (paper:
+    # 142 vs 302/345 MB).  Our E is F plus a tag index, so E>F — the paper's
+    # E<F ordering was a vendor difference, see EXPERIMENTS.md.
+    assert sizes["D"] < min(sizes["E"], sizes["F"]), "D smallest in main memory"

@@ -1,0 +1,74 @@
+"""Table 3: query latencies for Systems A-F on the paper's thirteen queries.
+
+Paper rows (ms at f = 1.0, 550 MHz PIII):
+
+    Q1   A 689    B 784    C 257    D 120    E 1597   F 2814
+    Q6   A 293    B 331    C 509    D 10     E 336    F 508
+    Q10  A 3.4e6  B 86886  C 1568   D 22000  E 54721  F 69422
+    Q11  A 2.0e5  B 2.5e6  C 2.5e6  D 8700   E 6.0e5  F 7.4e5
+    ...
+
+Each (system, query) cell is one benchmark; the shape bench at the end
+asserts the orderings the paper highlights.
+"""
+
+import pytest
+
+from repro.benchmark.queries import TABLE3_QUERIES
+
+SYSTEMS = ("A", "B", "C", "D", "E", "F")
+
+
+@pytest.mark.parametrize("query", TABLE3_QUERIES)
+@pytest.mark.parametrize("system", SYSTEMS)
+def bench_query(benchmark, runner, system, query):
+    def run():
+        return runner.run(system, query)[0]
+
+    timing = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["total_ms"] = round(timing.total_ms, 2)
+    benchmark.extra_info["result_size"] = timing.result_size
+
+
+def bench_table3_shape(benchmark, runner):
+    """The paper's headline orderings, asserted from one full matrix run."""
+    def run():
+        grid = {}
+        for system in SYSTEMS:
+            for query in TABLE3_QUERIES:
+                best = None
+                for _ in range(2):
+                    timing = runner.run(system, query)[0]
+                    if best is None or timing.total_seconds < best:
+                        best = timing.total_seconds
+                grid[(system, query)] = best * 1000
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def row(query):
+        return {system: grid[(system, query)] for system in SYSTEMS}
+
+    # Q1: D at the front (ID lookup); sub-millisecond cells carry noise, so
+    # pin "within 1.5x of the best" rather than a strict win.
+    q1 = row(1)
+    assert q1["D"] <= 1.5 * min(q1.values()), f"Q1: D must lead, got {q1}"
+    # Q6/Q7 (regular paths): D at or near the front thanks to the summary —
+    # within 2x of the best system (paper: 10 ms vs 293+ for others).
+    for query in (6, 7):
+        values = row(query)
+        assert values["D"] <= 2.0 * min(values.values()), f"Q{query}: {values}"
+    # Q11/Q12 (value joins): D's hand-optimized sorted plan is at least 10x
+    # faster than every nested-loop system (paper: 8.7 s vs 205-2500 s).
+    for query in (11, 12):
+        values = row(query)
+        others = [v for s, v in values.items() if s != "D"]
+        assert values["D"] * 10 <= min(others), f"Q{query}: {values}"
+    # Q12 cheaper than Q11 on every system (selective outer filter).
+    for system in SYSTEMS:
+        assert grid[(system, 12)] <= grid[(system, 11)] * 1.5
+    # Q5 (casting) is uniform: no system an order of magnitude off.
+    q5 = row(5)
+    assert max(q5.values()) < 10 * min(q5.values()), f"Q5 spread: {q5}"
+    for (system, query), value in sorted(grid.items()):
+        benchmark.extra_info[f"{system}_Q{query}_ms"] = round(value, 2)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Compare the seven storage architectures on the same workload.
+
+Reproduces the paper's central experiment in miniature: the same queries on
+Systems A-G (edge heap, path fragmentation, DTD schema, structural summary,
+tag index, pure traversal, embedded DOM), with bulkload statistics and
+cross-system result-equivalence checking.
+
+Run with:  python examples/compare_systems.py [scale]
+"""
+
+import sys
+
+from repro import BenchmarkRunner, check_equivalence, generate_string
+from repro.benchmark.report import format_table
+from repro.benchmark.systems import SYSTEMS
+
+QUERIES_TO_RUN = (1, 2, 6, 8, 11, 17, 20)
+
+
+def main(scale: float = 0.004) -> None:
+    document = generate_string(scale)
+    print(f"document: {len(document):,} bytes (scale {scale})\n")
+
+    runner = BenchmarkRunner(document)
+
+    print("== Bulkload (the paper's Table 1 view) ==")
+    rows = []
+    for system in sorted(runner.load_reports):
+        report = runner.load_reports[system]
+        rows.append([
+            system,
+            SYSTEMS[system].description.split(",")[0],
+            f"{report.seconds * 1000:.0f} ms",
+            f"{report.database_bytes:,} B",
+        ])
+    print(format_table(["System", "Architecture", "Load", "DB size"], rows))
+
+    print("\n== Query latencies (ms) and result equivalence ==")
+    headers = ["Query"] + sorted(runner.stores) + ["equivalent?"]
+    rows = []
+    for query in QUERIES_TO_RUN:
+        results = {}
+        cells = [f"Q{query}"]
+        for system in sorted(runner.stores):
+            timing, result = runner.run(system, query)
+            results[system] = result
+            cells.append(f"{timing.total_ms:.1f}")
+        report = check_equivalence(query, results)
+        cells.append("yes" if report.ok else f"NO: {sorted(report.disagreeing)}")
+        rows.append(cells)
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.004)

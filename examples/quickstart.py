@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a document, load a store, run a query.
+
+Covers the full pipeline in ~30 lines: xmlgen -> bulkload -> XQuery.
+Run with:  python examples/quickstart.py
+"""
+
+from repro import BenchmarkRunner, generate_string
+from repro.benchmark.queries import QUERIES
+
+SCALE = 0.002  # ~200 kB document; scale 1.0 is the paper's 100 MB standard
+
+
+def main() -> None:
+    print(f"Generating the auction document at scaling factor {SCALE}...")
+    document = generate_string(SCALE)
+    print(f"  {len(document):,} bytes\n")
+
+    print("Bulkloading into System D (main memory + structural summary)...")
+    runner = BenchmarkRunner(document, systems=("D",))
+    report = runner.load_reports["D"]
+    print(f"  loaded in {report.seconds:.2f}s, database {report.database_bytes:,} bytes\n")
+
+    for number in (1, 8, 20):
+        spec = QUERIES[number]
+        print(f"Q{number} ({spec.group}): {spec.description}")
+        timing, result = runner.run("D", number)
+        preview = result.serialize()
+        if len(preview) > 400:
+            preview = preview[:400] + " ..."
+        print(preview)
+        print(f"  -> {len(result)} item(s) in {timing.total_ms:.1f} ms\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""XMark: A Benchmark for XML Data Management — full reproduction.
+
+Reproduces Schmidt, Waas, Kersten, Carey, Manolescu, Busse (VLDB 2002):
+the ``xmlgen`` document generator, the twenty XQuery benchmark queries, the
+seven system architectures the paper evaluates (A-G), and the harness that
+regenerates every table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import generate_string, BenchmarkRunner
+
+    document = generate_string(scale=0.001)          # ~100 kB auction site
+    runner = BenchmarkRunner(document, systems=("D", "G"))
+    timing, result = runner.run("D", 8)              # Q8 on System D
+    print(result.serialize())
+"""
+
+from repro.benchmark.equivalence import check_equivalence
+from repro.benchmark.queries import QUERIES, query_text
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.systems import SYSTEMS, make_store
+from repro.schema.auction import auction_dtd
+from repro.schema.validator import validate
+from repro.storage.bulkload import bulkload, scan_baseline
+from repro.xmlgen.config import GeneratorConfig
+from repro.xmlgen.generator import XMarkGenerator, generate_document, generate_string
+from repro.xmlio.canonical import canonicalize
+from repro.xmlio.parser import parse
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import compile_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneratorConfig", "XMarkGenerator", "generate_string", "generate_document",
+    "parse", "canonicalize",
+    "auction_dtd", "validate",
+    "bulkload", "scan_baseline", "make_store", "SYSTEMS",
+    "compile_query", "evaluate",
+    "QUERIES", "query_text", "BenchmarkRunner", "check_equivalence",
+    "__version__",
+]

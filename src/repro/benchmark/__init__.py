@@ -1,0 +1,19 @@
+"""The XMark benchmark kit: queries, systems, runner, reports.
+
+This package is the reproduction of the paper's deliverable — "a workload
+specification, a scalable benchmark document and a comprehensive set of
+queries" (Section 1) — plus the measurement harness that regenerates the
+evaluation artifacts (Tables 1–3, Figure 4).
+"""
+
+from repro.benchmark.queries import QUERIES, QuerySpec, query_text
+from repro.benchmark.systems import SYSTEMS, SystemSpec, make_store
+from repro.benchmark.runner import BenchmarkRunner, QueryTiming
+from repro.benchmark.equivalence import check_equivalence, EquivalenceReport
+
+__all__ = [
+    "QUERIES", "QuerySpec", "query_text",
+    "SYSTEMS", "SystemSpec", "make_store",
+    "BenchmarkRunner", "QueryTiming",
+    "check_equivalence", "EquivalenceReport",
+]

@@ -1,0 +1,71 @@
+"""Cross-system result equivalence.
+
+The paper (Section 1) singles out output equivalence as an open problem:
+different stores may serialize the same logical result differently.  The
+benchmark harness settles it pragmatically: results are converted to
+canonical XML (sorted attributes, coalesced text, optional sibling
+ordering) and compared pairwise, with one reference system designated the
+oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xquery.evaluator import QueryResult
+
+
+@dataclass(slots=True)
+class EquivalenceReport:
+    """Pairwise agreement of several systems on one query."""
+
+    query: int
+    reference: str
+    agreeing: list[str] = field(default_factory=list)
+    disagreeing: dict[str, str] = field(default_factory=dict)  # system -> diff hint
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreeing
+
+
+def check_equivalence(
+    query: int,
+    results: dict[str, QueryResult],
+    reference: str | None = None,
+    ordered: bool = True,
+) -> EquivalenceReport:
+    """Compare every system's result against a reference system's.
+
+    ``ordered=False`` ignores result order (for queries whose order the
+    language leaves unspecified).
+    """
+    if not results:
+        raise ValueError("no results to compare")
+    reference = reference or sorted(results)[0]
+    report = EquivalenceReport(query, reference)
+    expected = results[reference].canonical(ordered=ordered)
+    for system in sorted(results):
+        if system == reference:
+            continue
+        actual = results[system].canonical(ordered=ordered)
+        if actual == expected:
+            report.agreeing.append(system)
+        else:
+            report.disagreeing[system] = _diff_hint(expected, actual)
+    return report
+
+
+def _diff_hint(expected: str, actual: str) -> str:
+    """A short human-readable description of the first divergence."""
+    if len(expected) != len(actual):
+        hint = f"length {len(actual)} vs {len(expected)}"
+    else:
+        hint = "same length"
+    limit = min(len(expected), len(actual))
+    for index in range(limit):
+        if expected[index] != actual[index]:
+            lo = max(0, index - 20)
+            return (f"{hint}; first diff at {index}: "
+                    f"...{actual[lo:index + 20]!r} vs ...{expected[lo:index + 20]!r}")
+    return f"{hint}; one is a prefix of the other"

@@ -1,0 +1,99 @@
+"""Report formatters that print the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from repro.benchmark.queries import QUERIES, TABLE3_QUERIES
+from repro.benchmark.runner import QueryTiming
+from repro.storage.bulkload import BulkloadReport, ScanReport
+
+
+def _rule(widths: list[int]) -> str:
+    return "-+-".join("-" * w for w in widths)
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table with aligned columns."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        _rule(widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def table1_report(loads: dict[str, BulkloadReport], scan: ScanReport) -> str:
+    """Table 1: database sizes and bulkload times (+ the scan baseline)."""
+    rows = []
+    for system in sorted(loads):
+        report = loads[system]
+        rows.append([
+            system,
+            f"{report.database_bytes / 1e6:.1f} MB",
+            f"{report.seconds:.2f} s",
+            f"{report.size_ratio:.2f}x",
+        ])
+    headers = ["System", "Size", "Bulkload time", "Size/document"]
+    baseline = (f"\n(parser scan baseline: {scan.seconds:.2f} s for "
+                f"{scan.document_bytes / 1e6:.1f} MB, {scan.events} events)")
+    return format_table(headers, rows) + baseline
+
+
+def table2_report(timings: dict[tuple[str, int], QueryTiming]) -> str:
+    """Table 2: compilation vs execution splits for Q1/Q2 on A, B, C."""
+    headers = ["Query", "System", "Compile", "Execute", "Compile share",
+               "Metadata accesses", "Plans considered"]
+    rows = []
+    for query in (1, 2):
+        for system in ("A", "B", "C"):
+            timing = timings.get((system, query))
+            if timing is None:
+                continue
+            rows.append([
+                f"Q{query}", system,
+                f"{timing.compile_seconds * 1000:.2f} ms",
+                f"{timing.execute_seconds * 1000:.2f} ms",
+                f"{timing.compile_share * 100:.0f}%",
+                str(timing.metadata_accesses),
+                str(timing.plans_considered),
+            ])
+    return format_table(headers, rows)
+
+
+def table3_report(timings: dict[tuple[str, int], QueryTiming],
+                  systems: tuple[str, ...] = ("A", "B", "C", "D", "E", "F"),
+                  queries: tuple[int, ...] = TABLE3_QUERIES) -> str:
+    """Table 3: per-query latency (ms) for the mass-storage systems."""
+    headers = ["Query"] + [f"System {s}" for s in systems]
+    rows = []
+    for query in queries:
+        row = [f"Q{query}"]
+        for system in systems:
+            timing = timings.get((system, query))
+            row.append(f"{timing.total_ms:.1f}" if timing else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def figure4_report(series: dict[float, dict[int, QueryTiming]]) -> str:
+    """Figure 4: the embedded System G over all twenty queries per scale."""
+    scales = sorted(series)
+    headers = ["Query"] + [f"f={scale:g}" for scale in scales]
+    rows = []
+    for query in sorted(QUERIES):
+        row = [f"Q{query}"]
+        for scale in scales:
+            timing = series[scale].get(query)
+            row.append(f"{timing.total_ms:.1f} ms" if timing else "failed")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def query_group_legend() -> str:
+    """The challenge group of every query (paper Section 6 headings)."""
+    rows = [[spec.name, spec.group, spec.description] for spec in QUERIES.values()]
+    return format_table(["Query", "Group", "Challenge"], rows)

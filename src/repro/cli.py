@@ -1,0 +1,117 @@
+"""Top-level command line: generate, load, query, benchmark.
+
+    xmark generate -f 0.01 -o auction.xml
+    xmark dtd
+    xmark query -f 0.005 -q 8 -s D
+    xmark bench  -f 0.005 --table 3
+    xmark validate auction.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchmark.queries import QUERIES, TABLE3_QUERIES
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.report import (
+    figure4_report, query_group_legend, table1_report, table2_report, table3_report,
+)
+from repro.schema.auction import REFERENCE_TARGETS, auction_dtd
+from repro.schema.validator import validate
+from repro.storage.bulkload import scan_baseline
+from repro.xmlgen.cli import main as xmlgen_main
+from repro.xmlgen.generator import generate_string
+from repro.xmlio.parser import parse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="xmark", description="XMark benchmark kit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate the benchmark document")
+    generate.add_argument("rest", nargs=argparse.REMAINDER)
+
+    commands.add_parser("dtd", help="print the auction DTD")
+    commands.add_parser("queries", help="list the twenty queries")
+
+    query = commands.add_parser("query", help="run one query on one system")
+    query.add_argument("-f", "--factor", type=float, default=0.005)
+    query.add_argument("-q", "--query", type=int, required=True, choices=sorted(QUERIES))
+    query.add_argument("-s", "--system", default="D", choices=list("ABCDEFG"))
+
+    bench = commands.add_parser("bench", help="regenerate a paper table/figure")
+    bench.add_argument("-f", "--factor", type=float, default=0.005)
+    bench.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
+    bench.add_argument("--figure4", action="store_true")
+
+    validate_cmd = commands.add_parser("validate", help="validate a document against the DTD")
+    validate_cmd.add_argument("path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "generate":
+        # Pass everything through to the xmlgen CLI (argparse REMAINDER
+        # cannot capture leading dashes reliably).
+        return xmlgen_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    if args.command == "dtd":
+        sys.stdout.write(auction_dtd().serialize())
+        return 0
+    if args.command == "queries":
+        print(query_group_legend())
+        return 0
+    if args.command == "validate":
+        with open(args.path, "r", encoding="ascii") as handle:
+            document = parse(handle.read())
+        report = validate(document, auction_dtd(), REFERENCE_TARGETS)
+        print(f"elements={report.elements_checked} ids={report.ids_seen} "
+              f"refs={report.refs_checked}")
+        if report.ok:
+            print("VALID")
+            return 0
+        for violation in report.violations[:20]:
+            print(f"violation: {violation}")
+        return 1
+
+    if args.command == "query":
+        text = generate_string(args.factor)
+        runner = BenchmarkRunner(text, systems=(args.system,))
+        timing, result = runner.run(args.system, args.query)
+        print(result.serialize())
+        print(f"\n-- {len(result)} item(s); compile {timing.compile_seconds*1000:.1f} ms, "
+              f"execute {timing.execute_seconds*1000:.1f} ms on System {args.system}",
+              file=sys.stderr)
+        return 0
+
+    if args.command == "bench":
+        text = generate_string(args.factor)
+        if args.figure4:
+            series = {}
+            for scale in (args.factor / 10, args.factor):
+                doc = generate_string(scale)
+                runner = BenchmarkRunner(doc, systems=("G",))
+                series[scale] = {
+                    q: runner.run("G", q)[0] for q in sorted(QUERIES)
+                }
+            print(figure4_report(series))
+            return 0
+        systems = tuple("ABCDEF")
+        runner = BenchmarkRunner(text, systems=systems)
+        if args.table == 1:
+            print(table1_report(runner.load_reports, scan_baseline(text)))
+        elif args.table == 2:
+            grid = runner.run_matrix(("A", "B", "C"), (1, 2), repeats=3)
+            print(table2_report(grid))
+        else:
+            grid = runner.run_matrix(systems, TABLE3_QUERIES, repeats=2)
+            print(table3_report(grid))
+        return 0
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the XMark reproduction.
+
+Every error raised by the library derives from :class:`XMarkError` so that
+applications can catch library failures with a single ``except`` clause while
+still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+
+class XMarkError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GenerationError(XMarkError):
+    """Raised when the document generator is misconfigured or fails."""
+
+
+class XMLSyntaxError(XMarkError):
+    """Raised by the XML tokenizer/parser on malformed input.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(XMarkError):
+    """Raised when a document violates the DTD it is validated against."""
+
+
+class StorageError(XMarkError):
+    """Raised by storage engines on invalid handles or failed bulkloads."""
+
+
+class QueryError(XMarkError):
+    """Base class for query-processing errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised by the XQuery lexer/parser on malformed query text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TypeCoercionError(QueryError):
+    """Raised when a runtime cast (string -> number, ...) is impossible."""
+
+
+class PlanningError(QueryError):
+    """Raised when no executable plan exists for a query on a given system."""
+
+
+class RelationalError(XMarkError):
+    """Raised by the relational substrate (schema violations, bad columns)."""
+
+
+class BenchmarkError(XMarkError):
+    """Raised by the benchmark harness (unknown system, missing query)."""

@@ -1,0 +1,171 @@
+"""Relational operators with instrumented tuple counters.
+
+All operators work on iterables of tuples plus positional key functions, and
+report how many tuples they touched into an :class:`OperatorCounters`
+instance.  The counters let tests assert *why* a plan is slow (e.g. the
+Q11/Q12 theta join really does produce the paper's "more than 12 million
+tuples" scaled down), not just that it is.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class OperatorCounters:
+    """Work counters accumulated across the operators of one execution."""
+
+    tuples_scanned: int = 0
+    tuples_joined: int = 0
+    join_pairs_considered: int = 0
+    tuples_sorted: int = 0
+    groups_built: int = 0
+
+    def reset(self) -> None:
+        self.tuples_scanned = 0
+        self.tuples_joined = 0
+        self.join_pairs_considered = 0
+        self.tuples_sorted = 0
+        self.groups_built = 0
+
+
+#: Shared default counter sink (callers may pass their own).
+GLOBAL_COUNTERS = OperatorCounters()
+
+
+def select(
+    rows: Iterable[tuple],
+    predicate: Callable[[tuple], bool],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Filter: keep rows satisfying ``predicate``."""
+    kept = []
+    for row in rows:
+        counters.tuples_scanned += 1
+        if predicate(row):
+            kept.append(row)
+    return kept
+
+
+def project(
+    rows: Iterable[tuple],
+    positions: list[int],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Projection onto the given tuple positions."""
+    out = []
+    for row in rows:
+        counters.tuples_scanned += 1
+        out.append(tuple(row[i] for i in positions))
+    return out
+
+
+def hash_join(
+    left: Iterable[tuple],
+    right: Iterable[tuple],
+    left_key: Callable[[tuple], object],
+    right_key: Callable[[tuple], object],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Equi-join: build on left, probe with right; output left + right concat.
+
+    ``None`` keys never join (SQL NULL semantics).
+    """
+    build: dict = {}
+    for row in left:
+        counters.tuples_scanned += 1
+        key = left_key(row)
+        if key is None:
+            continue
+        build.setdefault(key, []).append(row)
+    output: list[tuple] = []
+    for row in right:
+        counters.tuples_scanned += 1
+        key = right_key(row)
+        if key is None:
+            continue
+        for match in build.get(key, ()):
+            counters.tuples_joined += 1
+            output.append(match + row)
+    return output
+
+
+def nested_loop_join(
+    left: Iterable[tuple],
+    right: Iterable[tuple],
+    condition: Callable[[tuple, tuple], bool],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Theta join by exhaustive pairing — the plan naive optimizers pick for
+    the Q11/Q12 inequality join, and the reason those queries explode."""
+    right_rows = list(right)
+    output: list[tuple] = []
+    for left_row in left:
+        counters.tuples_scanned += 1
+        for right_row in right_rows:
+            counters.join_pairs_considered += 1
+            if condition(left_row, right_row):
+                counters.tuples_joined += 1
+                output.append(left_row + right_row)
+    return output
+
+
+def sort_rows(
+    rows: Iterable[tuple],
+    key: Callable[[tuple], object],
+    reverse: bool = False,
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Stable sort (the SORTBY of Q19)."""
+    materialized = list(rows)
+    counters.tuples_sorted += len(materialized)
+    materialized.sort(key=key, reverse=reverse)
+    return materialized
+
+
+def group_aggregate(
+    rows: Iterable[tuple],
+    key: Callable[[tuple], object],
+    aggregate: Callable[[list[tuple]], object],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> dict:
+    """Hash aggregation: group key -> aggregate over the group's rows."""
+    groups: dict = {}
+    for row in rows:
+        counters.tuples_scanned += 1
+        groups.setdefault(key(row), []).append(row)
+    counters.groups_built += len(groups)
+    return {group_key: aggregate(members) for group_key, members in groups.items()}
+
+
+def semi_join(
+    left: Iterable[tuple],
+    right_keys: set,
+    left_key: Callable[[tuple], object],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Keep left rows whose key appears in ``right_keys`` (EXISTS)."""
+    output = []
+    for row in left:
+        counters.tuples_scanned += 1
+        if left_key(row) in right_keys:
+            output.append(row)
+    return output
+
+
+def anti_join(
+    left: Iterable[tuple],
+    right_keys: set,
+    left_key: Callable[[tuple], object],
+    counters: OperatorCounters = GLOBAL_COUNTERS,
+) -> list[tuple]:
+    """Keep left rows whose key does NOT appear (NOT EXISTS — Q17's shape:
+    "the query execution plan computes the intersection of two sets")."""
+    output = []
+    for row in left:
+        counters.tuples_scanned += 1
+        if left_key(row) not in right_keys:
+            output.append(row)
+    return output

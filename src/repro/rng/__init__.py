@@ -1,0 +1,23 @@
+"""Deterministic random number generation for the XMark generator.
+
+The paper (Section 4.5) requires the generator to be *deterministic* and
+*platform independent*: "we incorporated a random number generator rather than
+relying on the operating system's built-in random number generators".  This
+package provides:
+
+* :class:`~repro.rng.lcg.Lcg48` — a portable 48-bit linear congruential
+  generator (the same family as POSIX ``drand48``) whose output depends only
+  on the seed, never on the platform or the Python hash seed.
+* :mod:`~repro.rng.distributions` — uniform, exponential, normal and Zipf
+  variates built on top of the core generator with textbook algorithms.
+* :mod:`~repro.rng.streams` — named, independently seeded, *replayable*
+  streams.  Replaying is the paper's trick for reference partitioning:
+  "we solved this problem by modifying the random number generation to
+  produce several identical streams of random numbers".
+"""
+
+from repro.rng.distributions import Distribution, RandomSource
+from repro.rng.lcg import Lcg48
+from repro.rng.streams import StreamFamily
+
+__all__ = ["Lcg48", "RandomSource", "Distribution", "StreamFamily"]

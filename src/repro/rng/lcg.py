@@ -1,0 +1,83 @@
+"""Portable 48-bit linear congruential generator.
+
+This is the deterministic core required by the paper: output depends only on
+the seed, so any user can regenerate the exact same benchmark document on any
+platform.  The multiplier/increment pair is the classic ``drand48`` one
+(Knuth, TAOCP vol. 2), which has well-studied spectral properties and a
+period of 2**48.
+"""
+
+from __future__ import annotations
+
+_MULTIPLIER = 0x5DEECE66D
+_INCREMENT = 0xB
+_MASK = (1 << 48) - 1
+_DOUBLE_SCALE = 1.0 / (1 << 48)
+
+
+class Lcg48:
+    """48-bit LCG with ``drand48`` constants.
+
+    The generator is tiny and fully self-contained on purpose: the benchmark
+    document must not depend on Python's ``random`` module internals, which
+    are allowed to change between versions.
+    """
+
+    __slots__ = ("_state", "_seed")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed & _MASK
+        # Scramble the raw seed exactly like java.util.Random/drand48 do so
+        # that small consecutive seeds give uncorrelated streams.
+        self._state = (self._seed ^ _MULTIPLIER) & _MASK
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was created with."""
+        return self._seed
+
+    def next_raw(self) -> int:
+        """Advance the state and return the full 48-bit word."""
+        self._state = (self._state * _MULTIPLIER + _INCREMENT) & _MASK
+        return self._state
+
+    def next_double(self) -> float:
+        """Uniform float in ``[0, 1)`` with 48 bits of precision."""
+        return self.next_raw() * _DOUBLE_SCALE
+
+    def next_uint(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``.
+
+        Uses rejection sampling on the top bits to avoid the modulo bias a
+        plain ``next_raw() % bound`` would introduce.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        # Number of 48-bit words that map evenly onto `bound` buckets.
+        limit = (1 << 48) - ((1 << 48) % bound)
+        word = self.next_raw()
+        while word >= limit:
+            word = self.next_raw()
+        return word % bound
+
+    def getstate(self) -> int:
+        """Return the opaque internal state (for save/restore)."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a state previously obtained from :meth:`getstate`."""
+        self._state = state & _MASK
+
+    def clone(self) -> "Lcg48":
+        """Return an independent copy positioned at the same state.
+
+        Two clones produce *identical* future sequences — this is the
+        replayable-stream primitive the generator's reference partitioning
+        is built on.
+        """
+        twin = Lcg48(self._seed)
+        twin.setstate(self._state)
+        return twin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Lcg48(seed={self._seed}, state={self._state})"

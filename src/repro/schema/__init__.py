@@ -1,0 +1,28 @@
+"""DTD modelling and validation.
+
+The paper ships a DTD with the benchmark document ("A DTD and schema
+information are provided to allow for more efficient mappings", Section 4.4)
+and System C derives its whole physical schema from it.  This package holds:
+
+* :mod:`repro.schema.model` — content-model expressions compiled to NFAs;
+* :mod:`repro.schema.dtd` — element/attribute declarations and DTD text
+  serialization/parsing;
+* :mod:`repro.schema.auction` — the XMark auction-site DTD itself;
+* :mod:`repro.schema.validator` — document validation (structure, required
+  attributes, ID uniqueness, IDREF integrity).
+"""
+
+from repro.schema.auction import auction_dtd
+from repro.schema.dtd import AttributeDecl, AttributeKind, Dtd, ElementDecl
+from repro.schema.model import (
+    Choice, ContentModel, Empty, Mixed, Name, Repeat, Sequence, parse_content_model,
+)
+from repro.schema.validator import ValidationReport, validate
+
+__all__ = [
+    "auction_dtd",
+    "Dtd", "ElementDecl", "AttributeDecl", "AttributeKind",
+    "ContentModel", "Sequence", "Choice", "Repeat", "Name", "Mixed", "Empty",
+    "parse_content_model",
+    "validate", "ValidationReport",
+]

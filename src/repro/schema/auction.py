@@ -1,0 +1,170 @@
+"""The XMark auction-site DTD (paper Section 4, Figures 1 and 2).
+
+The element hierarchy and reference graph follow the published ``auction.dtd``
+of the XMark project: six world regions holding items, people, open and
+closed auctions, categories and a category graph, with document-centric
+``description``/``annotation`` subtrees (text, parlist, listitem, bold,
+keyword, emph mixed content).
+
+All references are *typed* (paper Section 4.2: "all instances of an XML
+element point to the same type of XML element"); :data:`REFERENCE_TARGETS`
+records the target element of every IDREF attribute so the generator and the
+validator can enforce it even though DTD IDREFs are untyped.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.schema.dtd import AttributeDecl, AttributeKind, Dtd, ElementDecl, cdata, id_attr, idref
+
+#: (element, attribute) -> tag of the element the reference must point at.
+REFERENCE_TARGETS: dict[tuple[str, str], str] = {
+    ("edge", "from"): "category",
+    ("edge", "to"): "category",
+    ("incategory", "category"): "category",
+    ("interest", "category"): "category",
+    ("itemref", "item"): "item",
+    ("personref", "person"): "person",
+    ("seller", "person"): "person",
+    ("buyer", "person"): "person",
+    ("author", "person"): "person",
+    ("watch", "open_auction"): "open_auction",
+}
+
+#: The six region elements, in document order.
+REGIONS: tuple[str, ...] = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_MIXED_PROSE = "(#PCDATA | bold | keyword | emph)*"
+
+
+@lru_cache(maxsize=1)
+def auction_dtd() -> Dtd:
+    """Build the auction DTD (cached: the object is immutable by convention)."""
+    dtd = Dtd(root="site")
+
+    dtd.declare("site", "(regions, categories, catgraph, people, open_auctions, closed_auctions)")
+
+    # -- categories ---------------------------------------------------------
+    dtd.declare("categories", "(category+)")
+    dtd.declare("category", "(name, description)", (id_attr(),))
+    dtd.declare("name", "(#PCDATA)")
+    dtd.declare("description", "(text | parlist)")
+    dtd.declare("text", _MIXED_PROSE)
+    dtd.declare("bold", _MIXED_PROSE)
+    dtd.declare("keyword", _MIXED_PROSE)
+    dtd.declare("emph", _MIXED_PROSE)
+    dtd.declare("parlist", "(listitem)*")
+    dtd.declare("listitem", "(text | parlist)*")
+    dtd.declare("catgraph", "(edge*)")
+    dtd.declare("edge", "EMPTY", (idref("from"), idref("to")))
+
+    # -- regions and items --------------------------------------------------
+    dtd.declare("regions", "(africa, asia, australia, europe, namerica, samerica)")
+    for region in REGIONS:
+        dtd.declare(region, "(item*)")
+    dtd.declare(
+        "item",
+        "(location, quantity, name, payment, description, shipping, incategory+, mailbox)",
+        (id_attr(), cdata("featured")),
+    )
+    dtd.declare("location", "(#PCDATA)")
+    dtd.declare("quantity", "(#PCDATA)")
+    dtd.declare("payment", "(#PCDATA)")
+    dtd.declare("shipping", "(#PCDATA)")
+    dtd.declare("reserve", "(#PCDATA)")
+    dtd.declare("incategory", "EMPTY", (idref("category"),))
+    dtd.declare("mailbox", "(mail*)")
+    dtd.declare("mail", "(from, to, date, text)")
+    dtd.declare("from", "(#PCDATA)")
+    dtd.declare("to", "(#PCDATA)")
+    dtd.declare("date", "(#PCDATA)")
+    dtd.declare("itemref", "EMPTY", (idref("item"),))
+    dtd.declare("personref", "EMPTY", (idref("person"),))
+
+    # -- people -------------------------------------------------------------
+    dtd.declare("people", "(person*)")
+    dtd.declare(
+        "person",
+        "(name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)",
+        (id_attr(),),
+    )
+    dtd.declare("emailaddress", "(#PCDATA)")
+    dtd.declare("phone", "(#PCDATA)")
+    dtd.declare("address", "(street, city, country, province?, zipcode)")
+    dtd.declare("street", "(#PCDATA)")
+    dtd.declare("city", "(#PCDATA)")
+    dtd.declare("country", "(#PCDATA)")
+    dtd.declare("province", "(#PCDATA)")
+    dtd.declare("zipcode", "(#PCDATA)")
+    dtd.declare("homepage", "(#PCDATA)")
+    dtd.declare("creditcard", "(#PCDATA)")
+    dtd.declare(
+        "profile",
+        "(interest*, education?, gender?, business, age?)",
+        (cdata("income"),),
+    )
+    dtd.declare("interest", "EMPTY", (idref("category"),))
+    dtd.declare("education", "(#PCDATA)")
+    dtd.declare("gender", "(#PCDATA)")
+    dtd.declare("business", "(#PCDATA)")
+    dtd.declare("age", "(#PCDATA)")
+    dtd.declare("watches", "(watch*)")
+    dtd.declare("watch", "EMPTY", (idref("open_auction"),))
+
+    # -- auctions -----------------------------------------------------------
+    dtd.declare("open_auctions", "(open_auction*)")
+    dtd.declare(
+        "open_auction",
+        "(initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)",
+        (id_attr(),),
+    )
+    dtd.declare("initial", "(#PCDATA)")
+    dtd.declare("current", "(#PCDATA)")
+    dtd.declare("privacy", "(#PCDATA)")
+    dtd.declare("bidder", "(date, time, personref, increase)")
+    dtd.declare("increase", "(#PCDATA)")
+    dtd.declare("seller", "EMPTY", (idref("person"),))
+    dtd.declare("interval", "(start, end)")
+    dtd.declare("start", "(#PCDATA)")
+    dtd.declare("end", "(#PCDATA)")
+    dtd.declare("time", "(#PCDATA)")
+    dtd.declare("status", "(#PCDATA)")
+    dtd.declare("amount", "(#PCDATA)")
+    dtd.declare("closed_auctions", "(closed_auction*)")
+    dtd.declare(
+        "closed_auction",
+        "(seller, buyer, itemref, price, date, quantity, type, annotation?)",
+        (),
+    )
+    dtd.declare("buyer", "EMPTY", (idref("person"),))
+    dtd.declare("price", "(#PCDATA)")
+    dtd.declare("annotation", "(author, description?, happiness)")
+    dtd.declare("author", "EMPTY", (idref("person"),))
+    dtd.declare("happiness", "(#PCDATA)")
+    dtd.declare("type", "(#PCDATA)")
+
+    return dtd
+
+
+@lru_cache(maxsize=1)
+def auction_split_dtd() -> Dtd:
+    """The split-mode DTD variant (paper Section 5).
+
+    When the document is emitted as n-entities-per-file, "parser-controlled
+    references, i.e., ID and IDREF declared attributes, should be converted
+    to REQUIRED attributes" — a validating parser must not check uniqueness
+    or existence across file boundaries.  This variant downgrades every
+    ID/IDREF attribute to required CDATA.
+    """
+    single = auction_dtd()
+    split = Dtd(root=single.root)
+    for name, decl in single.elements.items():
+        attributes = tuple(
+            AttributeDecl(attr.name, AttributeKind.CDATA, required=True)
+            if attr.kind in (AttributeKind.ID, AttributeKind.IDREF)
+            else attr
+            for attr in decl.attributes
+        )
+        split.elements[name] = ElementDecl(name, decl.content, attributes)
+    return split

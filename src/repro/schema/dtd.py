@@ -1,0 +1,121 @@
+"""Element and attribute declarations; DTD container and serialization."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.schema.model import ContentModel, parse_content_model
+
+
+class AttributeKind(enum.Enum):
+    """The attribute types the benchmark DTD uses."""
+
+    CDATA = "CDATA"
+    ID = "ID"
+    IDREF = "IDREF"
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeDecl:
+    """One ``<!ATTLIST>`` entry."""
+
+    name: str
+    kind: AttributeKind = AttributeKind.CDATA
+    required: bool = False
+
+    def declaration(self) -> str:
+        default = "#REQUIRED" if self.required else "#IMPLIED"
+        return f"{self.name} {self.kind.value} {default}"
+
+
+@dataclass(frozen=True, slots=True)
+class ElementDecl:
+    """One ``<!ELEMENT>`` entry plus its attribute list."""
+
+    name: str
+    content: ContentModel
+    attributes: tuple[AttributeDecl, ...] = ()
+
+    def attribute(self, name: str) -> AttributeDecl | None:
+        for decl in self.attributes:
+            if decl.name == name:
+                return decl
+        return None
+
+
+@dataclass(slots=True)
+class Dtd:
+    """A document type definition: named element declarations and a root."""
+
+    root: str
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+
+    def declare(
+        self,
+        name: str,
+        content: ContentModel | str,
+        attributes: tuple[AttributeDecl, ...] = (),
+    ) -> ElementDecl:
+        """Add (or replace) an element declaration.
+
+        ``content`` may be a content-model object or DTD source text such as
+        ``"(name, description)"``.
+        """
+        model = parse_content_model(content) if isinstance(content, str) else content
+        decl = ElementDecl(name, model, attributes)
+        self.elements[name] = decl
+        return decl
+
+    def element(self, name: str) -> ElementDecl:
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise ValidationError(f"element {name!r} is not declared") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.elements
+
+    def id_attributes(self) -> dict[str, str]:
+        """Map element name -> its ID attribute name (for ID indexing)."""
+        result: dict[str, str] = {}
+        for decl in self.elements.values():
+            for attr in decl.attributes:
+                if attr.kind is AttributeKind.ID:
+                    result[decl.name] = attr.name
+        return result
+
+    def idref_attributes(self) -> dict[str, list[str]]:
+        """Map element name -> its IDREF attribute names."""
+        result: dict[str, list[str]] = {}
+        for decl in self.elements.values():
+            refs = [a.name for a in decl.attributes if a.kind is AttributeKind.IDREF]
+            if refs:
+                result[decl.name] = refs
+        return result
+
+    def serialize(self) -> str:
+        """Render as DTD source text (elements in declaration order)."""
+        lines: list[str] = []
+        for decl in self.elements.values():
+            content = str(decl.content)
+            if not content.startswith("(") and content != "EMPTY":
+                content = f"({content})"  # DTD syntax requires a parenthesized group
+            lines.append(f"<!ELEMENT {decl.name} {content}>")
+            if decl.attributes:
+                entries = "\n          ".join(a.declaration() for a in decl.attributes)
+                lines.append(f"<!ATTLIST {decl.name} {entries}>")
+        return "\n".join(lines) + "\n"
+
+
+def cdata(name: str, required: bool = False) -> AttributeDecl:
+    return AttributeDecl(name, AttributeKind.CDATA, required)
+
+
+def id_attr(name: str = "id") -> AttributeDecl:
+    return AttributeDecl(name, AttributeKind.ID, required=True)
+
+
+def idref(name: str) -> AttributeDecl:
+    return AttributeDecl(name, AttributeKind.IDREF, required=True)

@@ -1,0 +1,364 @@
+"""Content-model expressions and their compilation to NFAs.
+
+A DTD content model is a regular expression over child-element tags.  We
+model it as a small AST (:class:`Sequence`, :class:`Choice`, :class:`Repeat`,
+:class:`Name`, :class:`Mixed`, :class:`Empty`) compiled via Thompson's
+construction to an epsilon-NFA, simulated with state sets.  XMark's models
+are tiny, so simulation cost is irrelevant; correctness and error reporting
+are what matter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence as SequenceABC
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+class ContentModel:
+    """Base class for content-model expressions."""
+
+    __slots__ = ()
+
+    def matcher(self) -> "ContentMatcher":
+        return ContentMatcher(self)
+
+    def matches(self, tags: SequenceABC[str]) -> bool:
+        return self.matcher().matches(tags)
+
+    def allows_text(self) -> bool:
+        """Whether character data may appear among the children."""
+        return False
+
+    def allowed_tags(self) -> frozenset[str]:
+        """All tags that may appear anywhere in the model (for diagnostics)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(ContentModel):
+    """``EMPTY`` — no children, no text."""
+
+    def allowed_tags(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True, slots=True)
+class Name(ContentModel):
+    """A single required child element."""
+
+    tag: str
+
+    def allowed_tags(self) -> frozenset[str]:
+        return frozenset((self.tag,))
+
+    def __str__(self) -> str:
+        return self.tag
+
+
+@dataclass(frozen=True, slots=True)
+class Sequence(ContentModel):
+    """``(a, b, c)`` — children in order."""
+
+    parts: tuple[ContentModel, ...]
+
+    def allowed_tags(self) -> frozenset[str]:
+        return frozenset().union(*(part.allowed_tags() for part in self.parts))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(part) for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Choice(ContentModel):
+    """``(a | b | c)`` — exactly one alternative."""
+
+    options: tuple[ContentModel, ...]
+
+    def allowed_tags(self) -> frozenset[str]:
+        return frozenset().union(*(option.allowed_tags() for option in self.options))
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(option) for option in self.options) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(ContentModel):
+    """``x*``, ``x+`` or ``x?`` depending on ``occurs``."""
+
+    inner: ContentModel
+    occurs: str  # one of "*", "+", "?"
+
+    def __post_init__(self) -> None:
+        if self.occurs not in ("*", "+", "?"):
+            raise ValueError(f"bad occurrence indicator: {self.occurs!r}")
+
+    def allowed_tags(self) -> frozenset[str]:
+        return self.inner.allowed_tags()
+
+    def __str__(self) -> str:
+        inner = str(self.inner)
+        if not inner.startswith("("):
+            inner = f"({inner})" if isinstance(self.inner, (Sequence, Choice)) else inner
+        return f"{inner}{self.occurs}"
+
+
+@dataclass(frozen=True, slots=True)
+class Mixed(ContentModel):
+    """``(#PCDATA | a | b)*`` — text freely interleaved with listed tags."""
+
+    tags: frozenset[str]
+
+    def allows_text(self) -> bool:
+        return True
+
+    def allowed_tags(self) -> frozenset[str]:
+        return self.tags
+
+    def matches(self, tags: SequenceABC[str]) -> bool:
+        return all(tag in self.tags for tag in tags)
+
+    def __str__(self) -> str:
+        if not self.tags:
+            return "(#PCDATA)"
+        listed = " | ".join(sorted(self.tags))
+        return f"(#PCDATA | {listed})*"
+
+
+def seq(*parts: ContentModel | str) -> Sequence:
+    return Sequence(tuple(Name(p) if isinstance(p, str) else p for p in parts))
+
+
+def choice(*options: ContentModel | str) -> Choice:
+    return Choice(tuple(Name(o) if isinstance(o, str) else o for o in options))
+
+
+def optional(part: ContentModel | str) -> Repeat:
+    return Repeat(Name(part) if isinstance(part, str) else part, "?")
+
+
+def star(part: ContentModel | str) -> Repeat:
+    return Repeat(Name(part) if isinstance(part, str) else part, "*")
+
+
+def plus(part: ContentModel | str) -> Repeat:
+    return Repeat(Name(part) if isinstance(part, str) else part, "+")
+
+
+# -- NFA compilation -----------------------------------------------------------
+
+
+class _Nfa:
+    """Epsilon-NFA: transitions on tags plus epsilon edges."""
+
+    __slots__ = ("transitions", "epsilons", "start", "accept")
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[str, int]] = []
+        self.epsilons: list[list[int]] = []
+        self.start = self.new_state()
+        self.accept = self.new_state()
+
+    def new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilons.append([])
+        return len(self.transitions) - 1
+
+    def link(self, source: int, target: int) -> None:
+        self.epsilons[source].append(target)
+
+    def consume(self, source: int, tag: str, target: int) -> None:
+        self.transitions[source][tag] = target
+
+
+def _build(model: ContentModel, nfa: _Nfa, entry: int, exit_: int) -> None:
+    if isinstance(model, Empty):
+        nfa.link(entry, exit_)
+    elif isinstance(model, Name):
+        nfa.consume(entry, model.tag, exit_)
+    elif isinstance(model, Sequence):
+        current = entry
+        for part in model.parts[:-1]:
+            nxt = nfa.new_state()
+            _build(part, nfa, current, nxt)
+            current = nxt
+        if model.parts:
+            _build(model.parts[-1], nfa, current, exit_)
+        else:
+            nfa.link(entry, exit_)
+    elif isinstance(model, Choice):
+        for option in model.options:
+            _build(option, nfa, entry, exit_)
+    elif isinstance(model, Repeat):
+        inner_entry = nfa.new_state()
+        inner_exit = nfa.new_state()
+        _build(model.inner, nfa, inner_entry, inner_exit)
+        nfa.link(entry, inner_entry)
+        nfa.link(inner_exit, exit_)
+        if model.occurs in ("*", "?"):
+            nfa.link(entry, exit_)
+        if model.occurs in ("*", "+"):
+            nfa.link(inner_exit, inner_entry)
+    elif isinstance(model, Mixed):
+        # Handled in Mixed.matches; represent as (tag1|tag2|...)* here anyway
+        # so a matcher built on a Mixed model still behaves.
+        nfa.link(entry, exit_)
+        for tag in model.tags:
+            loop = nfa.new_state()
+            nfa.consume(entry, tag, loop)
+            nfa.link(loop, entry)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown content model node: {model!r}")
+
+
+class ContentMatcher:
+    """Compiled matcher for one content model."""
+
+    __slots__ = ("_nfa", "_model")
+
+    def __init__(self, model: ContentModel) -> None:
+        self._model = model
+        self._nfa = _Nfa()
+        _build(model, self._nfa, self._nfa.start, self._nfa.accept)
+
+    def _closure(self, states: set[int]) -> set[int]:
+        stack = list(states)
+        closed = set(states)
+        while stack:
+            state = stack.pop()
+            for target in self._nfa.epsilons[state]:
+                if target not in closed:
+                    closed.add(target)
+                    stack.append(target)
+        return closed
+
+    def matches(self, tags: Iterable[str]) -> bool:
+        states = self._closure({self._nfa.start})
+        for tag in tags:
+            moved = {
+                self._nfa.transitions[state][tag]
+                for state in states
+                if tag in self._nfa.transitions[state]
+            }
+            if not moved:
+                return False
+            states = self._closure(moved)
+        return self._nfa.accept in states
+
+
+# -- content-model text parsing --------------------------------------------------
+
+
+def parse_content_model(text: str) -> ContentModel:
+    """Parse DTD content-model syntax, e.g. ``(a, (b | c)*, d?)``.
+
+    Supports ``EMPTY``, ``ANY`` (treated as an error: the auction DTD never
+    uses it and stores cannot map it), ``(#PCDATA | ...)*`` mixed models, and
+    the usual sequence/choice/occurrence operators.
+    """
+    parser = _ModelParser(text)
+    model = parser.parse()
+    return model
+
+
+class _ModelParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+
+    def error(self, message: str) -> ValidationError:
+        return ValidationError(f"{message} in content model {self.text!r} at offset {self.position}")
+
+    def skip_ws(self) -> None:
+        while self.position < len(self.text) and self.text[self.position].isspace():
+            self.position += 1
+
+    def peek(self) -> str:
+        return self.text[self.position] if self.position < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        self.skip_ws()
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.position += 1
+
+    def parse(self) -> ContentModel:
+        self.skip_ws()
+        if self.text[self.position:].strip() == "EMPTY":
+            return Empty()
+        if self.text[self.position:].strip() == "ANY":
+            raise self.error("ANY content is outside the supported subset")
+        model = self.parse_particle()
+        self.skip_ws()
+        if self.position != len(self.text):
+            raise self.error("trailing characters")
+        return model
+
+    def parse_particle(self) -> ContentModel:
+        self.skip_ws()
+        if self.peek() == "(":
+            self.position += 1
+            self.skip_ws()
+            if self.text.startswith("#PCDATA", self.position):
+                return self.parse_mixed()
+            model = self.parse_group()
+        else:
+            name = self.parse_name()
+            model = Name(name)
+        return self.parse_occurrence(model)
+
+    def parse_occurrence(self, model: ContentModel) -> ContentModel:
+        if self.peek() in ("*", "+", "?"):
+            occurs = self.peek()
+            self.position += 1
+            return Repeat(model, occurs)
+        return model
+
+    def parse_group(self) -> ContentModel:
+        items = [self.parse_particle()]
+        self.skip_ws()
+        separator = self.peek()
+        if separator not in (",", "|", ")"):
+            raise self.error("expected ',', '|' or ')'")
+        while self.peek() == separator and separator in (",", "|"):
+            self.position += 1
+            items.append(self.parse_particle())
+            self.skip_ws()
+        self.expect(")")
+        if separator == "|":
+            return Choice(tuple(items))
+        if len(items) == 1:
+            return items[0]
+        return Sequence(tuple(items))
+
+    def parse_mixed(self) -> ContentModel:
+        self.position += len("#PCDATA")
+        tags: list[str] = []
+        self.skip_ws()
+        while self.peek() == "|":
+            self.position += 1
+            tags.append(self.parse_name())
+            self.skip_ws()
+        self.expect(")")
+        if tags:
+            if self.peek() != "*":
+                raise self.error("mixed content with elements must end in ')*'")
+            self.position += 1
+        elif self.peek() == "*":
+            self.position += 1
+        return Mixed(frozenset(tags))
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        start = self.position
+        while self.position < len(self.text) and (
+            self.text[self.position].isalnum() or self.text[self.position] in "_-.:"
+        ):
+            self.position += 1
+        if start == self.position:
+            raise self.error("expected a name")
+        return self.text[start : self.position]

@@ -1,0 +1,129 @@
+"""Document validation against a DTD.
+
+Checks, in one pass over the tree:
+
+* every element is declared and its child-tag sequence matches the declared
+  content model;
+* character data only appears under mixed/PCDATA models;
+* attributes are declared, required attributes present;
+* ID values are unique; every IDREF resolves; typed references (the paper's
+  Section 4.2 guarantee) point at the expected element kind when a target
+  map is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.schema.dtd import AttributeKind, Dtd
+from repro.schema.model import ContentMatcher
+from repro.xmlio.dom import Document, Element, Text
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of a validation run."""
+
+    violations: list[str] = field(default_factory=list)
+    elements_checked: int = 0
+    ids_seen: int = 0
+    refs_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            shown = "; ".join(self.violations[:5])
+            extra = f" (+{len(self.violations) - 5} more)" if len(self.violations) > 5 else ""
+            raise ValidationError(f"{len(self.violations)} violation(s): {shown}{extra}")
+
+
+def validate(
+    document: Document,
+    dtd: Dtd,
+    reference_targets: dict[tuple[str, str], str] | None = None,
+    max_violations: int = 100,
+) -> ValidationReport:
+    """Validate ``document`` against ``dtd``; collect up to ``max_violations``."""
+    report = ValidationReport()
+    root = document.root
+    if root is None:
+        report.add("document has no root element")
+        return report
+    if root.tag != dtd.root:
+        report.add(f"root element is <{root.tag}>, DTD requires <{dtd.root}>")
+
+    matchers: dict[str, ContentMatcher] = {}
+    ids: dict[str, str] = {}  # id value -> element tag
+    pending_refs: list[tuple[str, str, str]] = []  # (element, attr, target id)
+
+    stack: list[Element] = [root]
+    while stack and len(report.violations) < max_violations:
+        element = stack.pop()
+        report.elements_checked += 1
+        if element.tag not in dtd:
+            report.add(f"undeclared element <{element.tag}>")
+            continue
+        decl = dtd.element(element.tag)
+
+        # Content model.
+        matcher = matchers.get(element.tag)
+        if matcher is None:
+            matcher = decl.content.matcher()
+            matchers[element.tag] = matcher
+        child_tags = [c.tag for c in element.children if isinstance(c, Element)]
+        if not decl.content.matches(child_tags) and not matcher.matches(child_tags):
+            report.add(
+                f"<{element.tag}> children {child_tags} do not match {decl.content}"
+            )
+        if not decl.content.allows_text():
+            stray = any(
+                isinstance(c, Text) and c.value.strip() for c in element.children
+            )
+            if stray:
+                report.add(f"<{element.tag}> contains character data but is not mixed")
+
+        # Attributes.
+        for name, value in element.attributes.items():
+            attr = decl.attribute(name)
+            if attr is None:
+                report.add(f"undeclared attribute {name!r} on <{element.tag}>")
+                continue
+            if attr.kind is AttributeKind.ID:
+                report.ids_seen += 1
+                if value in ids:
+                    report.add(f"duplicate ID {value!r} on <{element.tag}>")
+                else:
+                    ids[value] = element.tag
+            elif attr.kind is AttributeKind.IDREF:
+                pending_refs.append((element.tag, name, value))
+        for attr in decl.attributes:
+            if attr.required and attr.name not in element.attributes:
+                report.add(f"<{element.tag}> missing required attribute {attr.name!r}")
+
+        for child in element.children:
+            if isinstance(child, Element):
+                stack.append(child)
+
+    # Referential integrity (after all IDs are known).
+    for element_tag, attr_name, target in pending_refs:
+        if len(report.violations) >= max_violations:
+            break
+        report.refs_checked += 1
+        found = ids.get(target)
+        if found is None:
+            report.add(f"<{element_tag} {attr_name}={target!r}> points at no ID")
+        elif reference_targets is not None:
+            expected = reference_targets.get((element_tag, attr_name))
+            if expected is not None and found != expected:
+                report.add(
+                    f"<{element_tag} {attr_name}={target!r}> points at <{found}>, "
+                    f"expected <{expected}>"
+                )
+    return report

@@ -1,0 +1,44 @@
+"""XML storage engines — the paper's Systems A through G.
+
+Each store implements the same :class:`~repro.storage.interface.Store` API
+with a different physical mapping, reproducing the architecture spectrum the
+paper evaluates (Section 7):
+
+======  ==============================  ==========================================
+System  Class                           Physical mapping
+======  ==============================  ==========================================
+A       :class:`HeapStore`              relational, "one big heap": a single
+                                        generic node/edge relation
+B       :class:`FragmentStore`          relational, "highly fragmenting": one
+                                        table per distinct root-to-node path
+C       :class:`SchemaStore`            relational, DTD-derived inlined schema
+                                        (needs the DTD, like the paper's C)
+D       :class:`SummaryStore`           main memory + structural summary
+                                        (DataGuide with path-indexed extents)
+E       :class:`IndexedTreeStore`       main memory, inverted tag index with
+                                        pre/post containment filtering
+F       :class:`TreeStore`              main memory, pure tree traversal
+G       :class:`DomStore`               embedded naive DOM interpreter
+======  ==============================  ==========================================
+
+All stores are loaded through :func:`repro.storage.bulkload.bulkload`, which
+times parse + conversion as one completed transaction, exactly like Table 1.
+"""
+
+from repro.storage.interface import Store, StoreStats
+from repro.storage.dom_store import DomStore
+from repro.storage.tree_store import IndexedTreeStore, TreeStore
+from repro.storage.summary_store import SummaryStore
+from repro.storage.heap_store import HeapStore
+from repro.storage.fragment_store import FragmentStore
+from repro.storage.schema_store import SchemaStore
+from repro.storage.bulkload import BulkloadReport, bulkload
+from repro.storage.structural_summary import StructuralSummary
+
+__all__ = [
+    "Store", "StoreStats",
+    "DomStore", "TreeStore", "IndexedTreeStore", "SummaryStore",
+    "HeapStore", "FragmentStore", "SchemaStore",
+    "bulkload", "BulkloadReport",
+    "StructuralSummary",
+]

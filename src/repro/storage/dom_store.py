@@ -1,0 +1,129 @@
+"""System G analogue: an embedded, naive DOM query target.
+
+The paper's System G is an in-process query processor "intended to serve as
+embedded query processors in programming languages and aim at small to
+medium sized documents"; it failed at scaling factor 1.0 and showed a flat
+interpretive overhead at 100 kB / 1 MB (Figure 4).  This store wraps the
+parse-time DOM directly: no indexes of any kind, every operation is a fresh
+recursive walk, and an optional document-size guard mimics G's inability to
+process large inputs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import StorageError
+from repro.storage.interface import Store
+from repro.xmlio.dom import Document, Element, Text
+from repro.xmlio.parser import parse
+
+#: Default refusal threshold: G "failed to do so" at scale 1.0; we refuse
+#: anything over ~1/4 of the standard document so the failure is reproducible.
+DEFAULT_DOCUMENT_LIMIT = 25_000_000
+
+
+class DomStore(Store):
+    """Naive embedded DOM store (System G)."""
+
+    architecture = "embedded in-process DOM, no indexes (System G)"
+
+    def __init__(self, document_limit: int = DEFAULT_DOCUMENT_LIMIT) -> None:
+        super().__init__()
+        self._document: Document | None = None
+        self._positions: dict[int, int] = {}
+        self._source_bytes = 0
+        self._document_limit = document_limit
+
+    def load(self, text: str) -> None:
+        if len(text) > self._document_limit:
+            raise StorageError(
+                f"document of {len(text)} bytes exceeds the embedded processor's "
+                f"capacity ({self._document_limit} bytes) — the paper's System G "
+                "equally failed at scaling factor 1.0"
+            )
+        self._document = parse(text)
+        self._source_bytes = len(text)
+        # Document-order numbering for the << comparisons (Q4); the id() of a
+        # DOM node is stable for the life of the tree we hold.
+        self._positions.clear()
+        order = 0
+        if self._document.root is not None:
+            stack: list[Element] = [self._document.root]
+            while stack:
+                node = stack.pop()
+                self._positions[id(node)] = order
+                order += 1
+                stack.extend(reversed(list(node.child_elements())))
+        self._loaded = True
+
+    def size_bytes(self) -> int:
+        self.require_loaded()
+        total = 0
+        root = self._document.root
+        stack: list[Element | Text] = [root] if root is not None else []
+        while stack:
+            node = stack.pop()
+            total += sys.getsizeof(node)
+            if isinstance(node, Element):
+                total += sys.getsizeof(node.attributes)
+                total += sum(sys.getsizeof(k) + sys.getsizeof(v)
+                             for k, v in node.attributes.items())
+                stack.extend(node.children)
+            else:
+                total += sys.getsizeof(node.value)
+        return total
+
+    # -- navigation -----------------------------------------------------------
+
+    def root(self) -> Element:
+        self.require_loaded()
+        return self._document.root
+
+    def tag(self, node: Element) -> str:
+        return node.tag
+
+    def children(self, node: Element) -> list[Element]:
+        self.stats.nodes_visited += 1
+        return list(node.child_elements())
+
+    def children_by_tag(self, node: Element, tag: str) -> list[Element]:
+        self.stats.nodes_visited += 1
+        return node.find_all(tag)
+
+    def descendants_by_tag(self, node: Element, tag: str) -> list[Element]:
+        found = []
+        for descendant in node.descendants(tag):
+            self.stats.nodes_visited += 1
+            found.append(descendant)
+        return found
+
+    def parent(self, node: Element) -> Element | None:
+        return node.parent
+
+    def attribute(self, node: Element, name: str) -> str | None:
+        return node.attributes.get(name)
+
+    def attributes(self, node: Element) -> dict[str, str]:
+        return dict(node.attributes)
+
+    def child_texts(self, node: Element) -> list[str]:
+        self.stats.nodes_visited += 1
+        return [child.value for child in node.children if isinstance(child, Text)]
+
+    def string_value(self, node: Element) -> str:
+        self.stats.nodes_visited += 1
+        return node.text_content()
+
+    def content(self, node: Element) -> list[Element | str]:
+        self.stats.nodes_visited += 1
+        return [
+            child.value if isinstance(child, Text) else child
+            for child in node.children
+        ]
+
+    def doc_position(self, node: Element) -> int:
+        return self._positions[id(node)]
+
+    def build_dom(self, node: Element) -> Element:
+        return node.copy()

@@ -1,0 +1,365 @@
+"""System B analogue: the "highly fragmenting" per-path relational mapping.
+
+The paper on System B: "System B on the other hand uses a highly fragmenting
+mapping. Consequently, System A has to access fewer metadata to compile a
+query than System B, thus spending only half as much time on query
+compilation ... [but B's] actual cost of accessing the real data is
+[lower]".
+
+Every distinct root-to-element path gets its own relation (the Monet/binary
+association style of [20]):
+
+* ``site/people/person``            -> (pre, post, parent, pos)
+* ``site/people/person/@id``        -> (parent, value)
+* ``site/people/person/name/#text`` -> (pre, parent, pos, value)
+
+Navigation inside a known path is a small-table index probe (fast), but
+*every* step resolution goes through the catalog by table name, and
+descendant steps must inspect the whole catalog — the metadata weight that
+dominates B's compile times in Table 2.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.relational.catalog import Catalog
+from repro.relational.table import Column, ColumnType
+from repro.storage.interface import Store
+from repro.xmlio.events import Characters, EndElement, StartElement
+from repro.xmlio.parser import iterparse
+
+_INT = ColumnType.INT
+_STR = ColumnType.STR
+
+Path = tuple[str, ...]
+Handle = tuple[Path, int]
+
+
+def _table_name(path: Path) -> str:
+    return "/".join(path)
+
+
+def _text_table_name(path: Path) -> str:
+    return _table_name(path) + "/#text"
+
+
+def _attr_table_name(path: Path, attr: str) -> str:
+    return _table_name(path) + "/@" + attr
+
+
+class FragmentStore(Store):
+    """One relation per distinct path (System B)."""
+
+    architecture = "relational, one table per distinct path (System B)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.catalog = Catalog()
+        self._children_map: dict[Path, list[str]] = {}
+        self._text_paths: set[Path] = set()
+        self._attr_map: dict[Path, list[str]] = {}
+        self._paths_by_tag: dict[str, list[Path]] = {}
+        self._id_index: dict[str, Handle] = {}
+        self._root_path: Path = ()
+        self._text_tables_below: dict[Path, list[str]] = {}
+
+    # -- bulkload -----------------------------------------------------------------
+
+    def load(self, text: str) -> None:
+        self.catalog = Catalog()
+        self._children_map = {}
+        self._text_paths = set()
+        self._attr_map = {}
+        self._paths_by_tag = {}
+        self._id_index = {}
+        self._text_tables_below = {}
+
+        elem_columns = [
+            Column("pre", _INT, nullable=False),
+            Column("post", _INT, nullable=False),
+            Column("parent", _INT),
+            Column("pos", _INT, nullable=False),
+        ]
+        text_columns = [
+            Column("pre", _INT, nullable=False),
+            Column("parent", _INT, nullable=False),
+            Column("pos", _INT, nullable=False),
+            Column("value", _STR, nullable=False),
+        ]
+        attr_columns = [
+            Column("parent", _INT, nullable=False),
+            Column("value", _STR, nullable=False),
+        ]
+
+        sequence = 0
+        stack: list[tuple[Path, int, int]] = []  # (path, pre, next slot)
+        patches: list[tuple[Path, int, int]] = []  # (path, row, post)
+
+        for event in iterparse(text):
+            if isinstance(event, StartElement):
+                parent_path = stack[-1][0] if stack else ()
+                path = parent_path + (event.tag,)
+                pre = sequence
+                sequence += 1
+                parent_pre = stack[-1][1] if stack else None
+                slot = 0
+                if stack:
+                    slot = stack[-1][2]
+                    stack[-1] = (stack[-1][0], stack[-1][1], slot + 1)
+                if path not in self._children_map:
+                    self._register_path(path, parent_path)
+                table = self.catalog.ensure_table(_table_name(path), elem_columns)
+                row = table.append(pre=pre, post=pre, parent=parent_pre, pos=slot)
+                patches_entry = (path, row, 0)
+                for name, value in event.attributes:
+                    attr_table = self.catalog.ensure_table(
+                        _attr_table_name(path, name), attr_columns)
+                    if name not in self._attr_map.setdefault(path, []):
+                        self._attr_map[path].append(name)
+                    attr_table.append(parent=pre, value=value)
+                    if name == "id":
+                        self._id_index[value] = (path, pre)
+                stack.append((path, pre, 0))
+            elif isinstance(event, EndElement):
+                path, pre, _ = stack.pop()
+                table = self.catalog.ensure_table(_table_name(path), elem_columns)
+                # Patch post: the row for `pre` is the one whose pre == pre.
+                pres = table.column("pre")
+                # Rows are appended in pre order; find via bisect.
+                row = bisect_left(pres, pre)
+                table.column("post")[row] = sequence - 1
+            else:
+                path, parent_pre, slot = stack[-1]
+                stack[-1] = (path, parent_pre, slot + 1)
+                text_table = self.catalog.ensure_table(
+                    _text_table_name(path), text_columns)
+                self._text_paths.add(path)
+                text_table.append(pre=sequence, parent=parent_pre, pos=slot,
+                                  value=event.text)
+                sequence += 1
+
+        # Build parent indexes on every element and text table.
+        for path in self._children_map:
+            name = _table_name(path)
+            self.catalog.create_hash_index(name, "parent")
+            self.catalog.create_hash_index(name, "pre")
+        for path in self._text_paths:
+            self.catalog.create_hash_index(_text_table_name(path), "parent")
+        for path, attr_names in self._attr_map.items():
+            for attr in attr_names:
+                self.catalog.create_hash_index(_attr_table_name(path, attr), "parent")
+        self.catalog.analyze()
+        self._loaded = True
+
+    def _register_path(self, path: Path, parent_path: Path) -> None:
+        self._children_map[path] = []
+        if parent_path in self._children_map and path[-1] not in self._children_map[parent_path]:
+            self._children_map[parent_path].append(path[-1])
+        self._paths_by_tag.setdefault(path[-1], []).append(path)
+        if len(path) == 1:
+            self._root_path = path
+
+    def size_bytes(self) -> int:
+        self.require_loaded()
+        return self.catalog.estimated_bytes()
+
+    @property
+    def table_count(self) -> int:
+        return self.catalog.table_count()
+
+    # -- path metadata (counted catalog traffic) -------------------------------------
+
+    def paths_extending(self, prefix: Path, tag: str) -> list[Path]:
+        """All registered element paths that extend ``prefix`` and end in
+        ``tag`` — a full catalog inspection, the B compile-time workload."""
+        prefix_name = _table_name(prefix)
+        matches = self.catalog.match_table_names(
+            lambda name: name.startswith(prefix_name + "/")
+            and name.endswith("/" + tag)
+            and "#" not in name and "@" not in name
+        )
+        return [tuple(name.split("/")) for name in matches]
+
+    def child_path_exists(self, prefix: Path, tag: str) -> bool:
+        return self.catalog.has_table(_table_name(prefix + (tag,)))
+
+    # -- navigation -----------------------------------------------------------------
+
+    def root(self) -> Handle:
+        self.require_loaded()
+        return (self._root_path, 0)
+
+    def tag(self, node: Handle) -> str:
+        return node[0][-1]
+
+    def _rows_for_parent(self, child_path: Path, parent_pre: int) -> list[int]:
+        index = self.catalog.hash_index(_table_name(child_path), "parent")
+        self.stats.index_lookups += 1
+        return index.lookup(parent_pre) if index else []
+
+    def children(self, node: Handle) -> list[Handle]:
+        path, pre = node
+        merged: list[tuple[int, Handle]] = []
+        for tag in self._children_map.get(path, ()):
+            child_path = path + (tag,)
+            table = self.catalog.table(_table_name(child_path))
+            rows = self._rows_for_parent(child_path, pre)
+            self.stats.table_lookups += len(rows)
+            pres = table.column("pre")
+            poss = table.column("pos")
+            merged.extend((poss[row], (child_path, pres[row])) for row in rows)
+        merged.sort(key=lambda pair: pair[0])
+        return [handle for _, handle in merged]
+
+    def children_by_tag(self, node: Handle, tag: str) -> list[Handle]:
+        path, pre = node
+        child_path = path + (tag,)
+        if not self.catalog.has_table(_table_name(child_path)):
+            return []
+        table = self.catalog.table(_table_name(child_path))
+        rows = self._rows_for_parent(child_path, pre)
+        self.stats.table_lookups += len(rows)
+        pres = table.column("pre")
+        return [(child_path, pres[row]) for row in sorted(rows)]
+
+    def descendants_by_tag(self, node: Handle, tag: str) -> list[Handle]:
+        path, pre = node
+        post = self._post_of(node)
+        found: list[Handle] = []
+        for descendant_path in self.paths_extending(path, tag):
+            table = self.catalog.table(_table_name(descendant_path))
+            pres = table.column("pre")
+            start = bisect_right(pres, pre)
+            stop = bisect_right(pres, post)
+            self.stats.table_lookups += stop - start
+            found.extend((descendant_path, pres[row]) for row in range(start, stop))
+        found.sort(key=lambda handle: handle[1])
+        return found
+
+    def _row_of(self, node: Handle) -> int:
+        path, pre = node
+        index = self.catalog.hash_index(_table_name(path), "pre")
+        self.stats.index_lookups += 1
+        row = index.unique(pre)
+        if row is None:
+            raise KeyError(f"no row for handle {node!r}")
+        return row
+
+    def _post_of(self, node: Handle) -> int:
+        table = self.catalog.table(_table_name(node[0]))
+        return table.get(self._row_of(node), "post")
+
+    def parent(self, node: Handle) -> Handle | None:
+        path, _ = node
+        if len(path) <= 1:
+            return None
+        table = self.catalog.table(_table_name(path))
+        parent_pre = table.get(self._row_of(node), "parent")
+        self.stats.table_lookups += 1
+        return (path[:-1], parent_pre)
+
+    def attribute(self, node: Handle, name: str) -> str | None:
+        path, pre = node
+        if name not in self._attr_map.get(path, ()):
+            return None
+        table_name = _attr_table_name(path, name)
+        index = self.catalog.hash_index(table_name, "parent")
+        self.stats.index_lookups += 1
+        rows = index.lookup(pre) if index else []
+        if not rows:
+            return None
+        self.stats.table_lookups += 1
+        return self.catalog.table(table_name).get(rows[0], "value")
+
+    def attributes(self, node: Handle) -> dict[str, str]:
+        path, _ = node
+        result: dict[str, str] = {}
+        for name in self._attr_map.get(path, ()):
+            value = self.attribute(node, name)
+            if value is not None:
+                result[name] = value
+        return result
+
+    def child_texts(self, node: Handle) -> list[str]:
+        path, pre = node
+        if path not in self._text_paths:
+            return []
+        table_name = _text_table_name(path)
+        index = self.catalog.hash_index(table_name, "parent")
+        self.stats.index_lookups += 1
+        rows = sorted(index.lookup(pre)) if index else []
+        self.stats.table_lookups += len(rows)
+        values = self.catalog.table(table_name).column("value")
+        return [values[row] for row in rows]
+
+    def string_value(self, node: Handle) -> str:
+        path, pre = node
+        post = self._post_of(node)
+        collected: list[tuple[int, str]] = []
+        # The text tables below a path never change after load; resolve the
+        # catalog scan once per distinct path (a real system would have this
+        # in its compiled plan).
+        text_tables = self._text_tables_below.get(path)
+        if text_tables is None:
+            prefix_name = _table_name(path)
+            text_tables = self.catalog.match_table_names(
+                lambda name: name.endswith("/#text")
+                and (name.startswith(prefix_name + "/") or name == prefix_name + "/#text")
+            )
+            self._text_tables_below[path] = text_tables
+        for name in text_tables:
+            table = self.catalog.table(name)
+            pres = table.column("pre")
+            values = table.column("value")
+            start = bisect_left(pres, pre)
+            stop = bisect_right(pres, post)
+            self.stats.table_lookups += stop - start
+            collected.extend((pres[row], values[row]) for row in range(start, stop))
+        collected.sort(key=lambda pair: pair[0])
+        return "".join(value for _, value in collected)
+
+    def content(self, node: Handle) -> list:
+        path, pre = node
+        merged: list[tuple[int, object]] = [
+            (self._pos_of(child), child) for child in self.children(node)
+        ]
+        if path in self._text_paths:
+            table_name = _text_table_name(path)
+            index = self.catalog.hash_index(table_name, "parent")
+            self.stats.index_lookups += 1
+            rows = index.lookup(pre) if index else []
+            table = self.catalog.table(table_name)
+            poss = table.column("pos")
+            values = table.column("value")
+            merged.extend((poss[row], values[row]) for row in rows)
+        merged.sort(key=lambda pair: pair[0])
+        return [part for _, part in merged]
+
+    def _pos_of(self, node: Handle) -> int:
+        table = self.catalog.table(_table_name(node[0]))
+        return table.get(self._row_of(node), "pos")
+
+    def doc_position(self, node: Handle) -> int:
+        return node[1]
+
+    # -- capabilities ------------------------------------------------------------------
+
+    def lookup_id(self, value: str) -> Handle | None:
+        self.stats.index_lookups += 1
+        return self._id_index.get(value)
+
+    def has_id_index(self) -> bool:
+        return True
+
+    def nodes_at_path(self, path: Path) -> list[Handle] | None:
+        """A path extent is exactly one table scan in this mapping."""
+        if not self.catalog.has_table(_table_name(path)):
+            return []
+        table = self.catalog.table(_table_name(path))
+        pres = table.column("pre")
+        self.stats.table_lookups += len(pres)
+        return [(path, pre) for pre in pres]
+
+    def known_tags(self) -> frozenset[str]:
+        return frozenset(self._paths_by_tag)

@@ -1,0 +1,241 @@
+"""System A analogue: the "one big heap" generic relational mapping.
+
+The paper on System A: "System A basically stores all XML data on one big
+heap, i.e., only a single relation. ... System A has to access fewer
+metadata to compile a query than System B ... However, this comes at a cost.
+Because the data mapping deployed in System A has less explicit semantics,
+the actual cost of accessing the real data is higher."
+
+The mapping is the classic edge/node relation (Florescu–Kossmann style):
+
+* ``nodes(pre, post, parent, tag, pos)`` — one row per element, ``pre`` in
+  document order, ``post`` the last sequence number in the subtree;
+* ``texts(pre, parent, pos, value)`` — one row per text run;
+* ``attrs(parent, name, value)`` — one row per attribute.
+
+Every navigation step is an index probe plus row fetches against these three
+relations, so path-heavy and reconstruction-heavy queries (Q10!) pay the
+per-step relational toll the paper reports.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.relational.catalog import Catalog
+from repro.relational.table import Column, ColumnType
+from repro.storage.interface import Store
+from repro.xmlio.events import Characters, EndElement, StartElement
+from repro.xmlio.parser import iterparse
+
+_INT = ColumnType.INT
+_STR = ColumnType.STR
+
+
+class HeapStore(Store):
+    """Single-relation generic edge mapping (System A)."""
+
+    architecture = "relational single heap: one generic node relation (System A)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.catalog = Catalog()
+        self._nodes = None
+        self._texts = None
+        self._attrs = None
+        self._children_index = None
+        self._texts_index = None
+        self._attrs_index = None
+        self._tag_index = None
+        self._id_index: dict[str, int] = {}
+        self._row_by_pre: dict[int, int] = {}
+
+    # -- bulkload -----------------------------------------------------------------
+
+    def load(self, text: str) -> None:
+        self.catalog = Catalog()
+        nodes = self.catalog.create_table("nodes", [
+            Column("pre", _INT, nullable=False),
+            Column("post", _INT, nullable=False),
+            Column("parent", _INT),
+            Column("tag", _STR, nullable=False),
+            Column("pos", _INT, nullable=False),
+        ])
+        texts = self.catalog.create_table("texts", [
+            Column("pre", _INT, nullable=False),
+            Column("parent", _INT, nullable=False),
+            Column("pos", _INT, nullable=False),
+            Column("value", _STR, nullable=False),
+        ])
+        attrs = self.catalog.create_table("attrs", [
+            Column("parent", _INT, nullable=False),
+            Column("name", _STR, nullable=False),
+            Column("value", _STR, nullable=False),
+        ])
+
+        sequence = 0
+        stack: list[tuple[int, int]] = []  # (pre, next child slot)
+        pre_row: dict[int, int] = {}
+        post_patch: list[tuple[int, int]] = []
+
+        for event in iterparse(text):
+            if isinstance(event, StartElement):
+                pre = sequence
+                sequence += 1
+                parent_pre, slot = (stack[-1] if stack else (None, 0))
+                if stack:
+                    stack[-1] = (stack[-1][0], stack[-1][1] + 1)
+                row = nodes.append(pre=pre, post=pre, parent=parent_pre,
+                                   tag=event.tag, pos=slot)
+                pre_row[pre] = row
+                for name, value in event.attributes:
+                    attrs.append(parent=pre, name=name, value=value)
+                stack.append((pre, 0))
+            elif isinstance(event, EndElement):
+                pre, _ = stack.pop()
+                post_patch.append((pre_row[pre], sequence - 1))
+            else:
+                parent_pre, slot = stack[-1]
+                stack[-1] = (parent_pre, slot + 1)
+                texts.append(pre=sequence, parent=parent_pre, pos=slot,
+                             value=event.text)
+                sequence += 1
+
+        post_column = nodes.column("post")
+        for row, post in post_patch:
+            post_column[row] = post
+
+        self._nodes, self._texts, self._attrs = nodes, texts, attrs
+        self._row_by_pre = pre_row
+        self._children_index = self.catalog.create_hash_index("nodes", "parent")
+        self._texts_index = self.catalog.create_hash_index("texts", "parent")
+        self._attrs_index = self.catalog.create_hash_index("attrs", "parent")
+        self._tag_index = self.catalog.create_hash_index("nodes", "tag")
+        self._id_index = {}
+        values = attrs.column("value")
+        names = attrs.column("name")
+        parents = attrs.column("parent")
+        for row in range(len(attrs)):
+            if names[row] == "id":
+                self._id_index[values[row]] = parents[row]
+        self.catalog.analyze()
+        self._loaded = True
+
+    def size_bytes(self) -> int:
+        self.require_loaded()
+        return self.catalog.estimated_bytes()
+
+    # -- navigation -----------------------------------------------------------------
+
+    def root(self) -> int:
+        self.require_loaded()
+        return 0
+
+    def tag(self, node: int) -> str:
+        self.stats.table_lookups += 1
+        return self._nodes.get(self._row_by_pre[node], "tag")
+
+    def children(self, node: int) -> list[int]:
+        self.stats.index_lookups += 1
+        rows = self._children_index.lookup(node)
+        self.stats.table_lookups += len(rows)
+        pres = self._nodes.column("pre")
+        return [pres[row] for row in rows]
+
+    def children_by_tag(self, node: int, tag: str) -> list[int]:
+        self.stats.index_lookups += 1
+        rows = self._children_index.lookup(node)
+        self.stats.table_lookups += len(rows)
+        pres = self._nodes.column("pre")
+        tags = self._nodes.column("tag")
+        return [pres[row] for row in rows if tags[row] == tag]
+
+    def descendants_by_tag(self, node: int, tag: str) -> list[int]:
+        # B-tree on (tag, pre): probe the tag extent, bisect the pre interval.
+        self.stats.index_lookups += 1
+        rows = self._tag_index.lookup(tag)
+        pres = self._nodes.column("pre")
+        extent = [pres[row] for row in rows]  # ascending: heap is in doc order
+        self.stats.table_lookups += len(extent)
+        post = self._nodes.get(self._row_by_pre[node], "post")
+        start = bisect_right(extent, node)
+        stop = bisect_right(extent, post)
+        return extent[start:stop]
+
+    def parent(self, node: int) -> int | None:
+        self.stats.table_lookups += 1
+        return self._nodes.get(self._row_by_pre[node], "parent")
+
+    def attribute(self, node: int, name: str) -> str | None:
+        self.stats.index_lookups += 1
+        rows = self._attrs_index.lookup(node)
+        self.stats.table_lookups += len(rows)
+        names = self._attrs.column("name")
+        values = self._attrs.column("value")
+        for row in rows:
+            if names[row] == name:
+                return values[row]
+        return None
+
+    def attributes(self, node: int) -> dict[str, str]:
+        self.stats.index_lookups += 1
+        rows = self._attrs_index.lookup(node)
+        self.stats.table_lookups += len(rows)
+        names = self._attrs.column("name")
+        values = self._attrs.column("value")
+        return {names[row]: values[row] for row in rows}
+
+    def child_texts(self, node: int) -> list[str]:
+        self.stats.index_lookups += 1
+        rows = self._texts_index.lookup(node)
+        self.stats.table_lookups += len(rows)
+        values = self._texts.column("value")
+        return [values[row] for row in rows]
+
+    def string_value(self, node: int) -> str:
+        # Texts are stored in document order: bisect the subtree interval.
+        self.stats.index_lookups += 1
+        text_pres = self._texts.column("pre")
+        post = self._nodes.get(self._row_by_pre[node], "post")
+        start = bisect_left(text_pres, node)
+        stop = bisect_right(text_pres, post)
+        values = self._texts.column("value")
+        self.stats.table_lookups += stop - start
+        return "".join(values[row] for row in range(start, stop))
+
+    def content(self, node: int) -> list:
+        self.stats.index_lookups += 2
+        child_rows = self._children_index.lookup(node)
+        text_rows = self._texts_index.lookup(node)
+        self.stats.table_lookups += len(child_rows) + len(text_rows)
+        pres = self._nodes.column("pre")
+        node_pos = self._nodes.column("pos")
+        text_pos = self._texts.column("pos")
+        values = self._texts.column("value")
+        merged: list[tuple[int, object]] = [
+            (node_pos[row], pres[row]) for row in child_rows
+        ]
+        merged.extend((text_pos[row], values[row]) for row in text_rows)
+        merged.sort(key=lambda pair: pair[0])
+        return [part for _, part in merged]
+
+    def doc_position(self, node: int) -> int:
+        return node
+
+    # -- capabilities ------------------------------------------------------------------
+
+    def lookup_id(self, value: str) -> int | None:
+        self.stats.index_lookups += 1
+        return self._id_index.get(value)
+
+    def has_id_index(self) -> bool:
+        return True
+
+    def all_with_tag(self, tag: str) -> list[int]:
+        """Whole extent of one tag (ascending pre) — the relational access
+        path for unrooted element scans."""
+        self.stats.index_lookups += 1
+        rows = self._tag_index.lookup(tag)
+        pres = self._nodes.column("pre")
+        self.stats.table_lookups += len(rows)
+        return [pres[row] for row in rows]

@@ -1,0 +1,164 @@
+"""The abstract store interface shared by all seven systems.
+
+The query evaluator navigates documents exclusively through this API, so the
+*same* plan executed on two stores differs only in what the store's physical
+mapping makes cheap or expensive — which is precisely the comparison the
+benchmark is designed to expose.
+
+Handles are opaque: each store chooses its own node-handle representation
+(DOM objects, dense ints, composite tuples).  The only contract is that
+handles are hashable and that :meth:`Store.doc_position` returns keys that
+sort in document order *within one store*.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import StorageError
+from repro.xmlio.dom import Element
+
+Handle = Any
+
+
+@dataclass(slots=True)
+class StoreStats:
+    """Work counters; read by tests and the benchmark report."""
+
+    nodes_visited: int = 0
+    index_lookups: int = 0
+    table_lookups: int = 0
+    fragments_parsed: int = 0
+
+    def reset(self) -> None:
+        self.nodes_visited = 0
+        self.index_lookups = 0
+        self.table_lookups = 0
+        self.fragments_parsed = 0
+
+
+class Store(ABC):
+    """Abstract XML store."""
+
+    #: Human-readable architecture description (shown in reports).
+    architecture: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+        self._loaded = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @abstractmethod
+    def load(self, text: str) -> None:
+        """Bulkload a document (parse + convert, one completed transaction)."""
+
+    def require_loaded(self) -> None:
+        if not self._loaded:
+            raise StorageError(f"{type(self).__name__} has no document loaded")
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Estimated resident size of the database after load (Table 1)."""
+
+    # -- navigation ---------------------------------------------------------------
+
+    @abstractmethod
+    def root(self) -> Handle:
+        """The document's root element."""
+
+    @abstractmethod
+    def tag(self, node: Handle) -> str:
+        """The element name of ``node``."""
+
+    @abstractmethod
+    def children(self, node: Handle) -> list[Handle]:
+        """Child *elements* in document order."""
+
+    def children_by_tag(self, node: Handle, tag: str) -> list[Handle]:
+        """Child elements with the given tag (default: filter children)."""
+        return [child for child in self.children(node) if self.tag(child) == tag]
+
+    @abstractmethod
+    def descendants_by_tag(self, node: Handle, tag: str) -> list[Handle]:
+        """Descendant elements with the given tag, in document order."""
+
+    def descendants(self, node: Handle) -> Iterator[Handle]:
+        """All descendant elements in document order (generic walk)."""
+        stack = list(reversed(self.children(node)))
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(reversed(self.children(current)))
+
+    @abstractmethod
+    def parent(self, node: Handle) -> Handle | None:
+        """Parent element, or None at the root."""
+
+    @abstractmethod
+    def attribute(self, node: Handle, name: str) -> str | None:
+        """Attribute value or None."""
+
+    @abstractmethod
+    def attributes(self, node: Handle) -> dict[str, str]:
+        """All attributes."""
+
+    @abstractmethod
+    def child_texts(self, node: Handle) -> list[str]:
+        """Values of the direct text-node children (contiguous runs merged)."""
+
+    @abstractmethod
+    def string_value(self, node: Handle) -> str:
+        """Concatenated text of the whole subtree (XPath string value)."""
+
+    @abstractmethod
+    def content(self, node: Handle) -> list[Handle | str]:
+        """Interleaved child elements and text runs (for reconstruction)."""
+
+    @abstractmethod
+    def doc_position(self, node: Handle):
+        """A sortable document-order key (valid within this store only)."""
+
+    # -- optional capabilities ------------------------------------------------------
+
+    def lookup_id(self, value: str) -> Handle | None:
+        """ID-indexed lookup, or None when the store has no ID index."""
+        return None
+
+    def has_id_index(self) -> bool:
+        return False
+
+    def count_path(self, path: tuple[str, ...]) -> int | None:
+        """Cardinality of an absolute child path via a structural summary."""
+        return None
+
+    def nodes_at_path(self, path: tuple[str, ...]) -> list[Handle] | None:
+        """All nodes at an absolute child path via a path index."""
+        return None
+
+    def known_tags(self) -> frozenset[str] | None:
+        """The set of element names in the database (for path validation —
+        the paper's Section 7 wish: warn on path expressions containing
+        non-existing tags)."""
+        return None
+
+    # -- reconstruction ----------------------------------------------------------------
+
+    def build_dom(self, node: Handle) -> Element:
+        """Copy the subtree rooted at ``node`` into a result DOM.
+
+        The default implementation reassembles the subtree through the
+        navigation API, so its cost reflects the store's own navigation
+        cost — reconstruction-heavy queries (Q10, Q13) are expensive exactly
+        where the paper says they are.
+        """
+        element = Element(self.tag(node), dict(self.attributes(node)))
+        for part in self.content(node):
+            if isinstance(part, str):
+                element.append_text(part)
+            else:
+                element.append(self.build_dom(part))
+        return element

@@ -1,0 +1,268 @@
+"""The DTD-derived relational mapping used by the schema store (System C).
+
+System C "reads in a DTD and lets the user generate an optimized database
+schema" — the inlining strategy of Shanmugasundaram et al. [23]: set-valued
+elements get their own relations, single-valued scalar children are inlined
+as columns (optional ones nullable), EMPTY reference elements become
+foreign-key-like string columns, and document-centric subtrees
+(``description``, mail ``text``) are stored as CLOB fragments with an
+extracted text column for full-text predicates.
+
+This module is pure mapping *description*; the store interprets it for both
+shredding and navigation.  The spec below is exactly what the inlining
+algorithm produces for the auction DTD, written out so the mapping is
+reviewable at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf:
+    """Single-valued PCDATA child inlined as a nullable column."""
+
+    tag: str
+    column: str
+
+
+@dataclass(frozen=True, slots=True)
+class RefLeaf:
+    """Single-valued EMPTY child whose attributes become columns."""
+
+    tag: str
+    attr_columns: tuple[tuple[str, str], ...]  # (attribute, column)
+
+    @property
+    def presence_column(self) -> str:
+        return self.attr_columns[0][1]
+
+
+@dataclass(frozen=True, slots=True)
+class FragLeaf:
+    """Document-centric child stored as a CLOB fragment reference."""
+
+    tag: str
+    column: str
+
+
+@dataclass(frozen=True, slots=True)
+class Struct:
+    """Single-valued structured child inlined with prefixed columns."""
+
+    tag: str
+    presence_column: str
+    attr_columns: tuple[tuple[str, str], ...]
+    children: tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Nested:
+    """Set-valued child mapped to its own relation (FK on owner ord)."""
+
+    tag: str
+    table: str
+
+
+@dataclass(frozen=True, slots=True)
+class Wrapper:
+    """A pure container child (mailbox, watches) holding one nested set."""
+
+    tag: str
+    nested: Nested
+    presence_column: str | None = None
+
+
+ChildSpec = Leaf | RefLeaf | FragLeaf | Struct | Nested | Wrapper
+
+
+@dataclass(frozen=True, slots=True)
+class EntitySpec:
+    """One relation: the element it maps and its child layout in DTD order."""
+
+    tag: str
+    table: str
+    attr_columns: tuple[tuple[str, str], ...] = ()
+    children: tuple = ()
+    extra_columns: tuple[str, ...] = ()  # e.g. item.region
+
+    def iter_columns(self):
+        """All data columns this spec contributes, in a stable order."""
+        for _, column in self.attr_columns:
+            yield column
+        yield from self.extra_columns
+        yield from _spec_columns(self.children)
+
+
+def _spec_columns(children: tuple):
+    for child in children:
+        if isinstance(child, Leaf):
+            yield child.column
+        elif isinstance(child, RefLeaf):
+            for _, column in child.attr_columns:
+                yield column
+        elif isinstance(child, FragLeaf):
+            yield child.column
+        elif isinstance(child, Struct):
+            yield child.presence_column
+            for _, column in child.attr_columns:
+                yield column
+            yield from _spec_columns(child.children)
+        elif isinstance(child, Wrapper):
+            if child.presence_column:
+                yield child.presence_column
+        # Nested contributes no columns to the owner.
+
+
+_ANNOTATION = Struct(
+    "annotation", "annotation_present", (),
+    (
+        RefLeaf("author", (("person", "annotation_author"),)),
+        FragLeaf("description", "annotation_description"),
+        Leaf("happiness", "annotation_happiness"),
+    ),
+)
+
+ITEM = EntitySpec(
+    "item", "item",
+    (("id", "id"), ("featured", "featured")),
+    (
+        Leaf("location", "location"),
+        Leaf("quantity", "quantity"),
+        Leaf("name", "name"),
+        Leaf("payment", "payment"),
+        FragLeaf("description", "description"),
+        Leaf("shipping", "shipping"),
+        Nested("incategory", "incategory"),
+        Wrapper("mailbox", Nested("mail", "mail")),
+    ),
+    extra_columns=("region",),
+)
+
+INCATEGORY = EntitySpec("incategory", "incategory", (("category", "category"),))
+
+MAIL = EntitySpec(
+    "mail", "mail", (),
+    (
+        Leaf("from", "from"),
+        Leaf("to", "to"),
+        Leaf("date", "date"),
+        FragLeaf("text", "text"),
+    ),
+)
+
+CATEGORY = EntitySpec(
+    "category", "category", (("id", "id"),),
+    (Leaf("name", "name"), FragLeaf("description", "description")),
+)
+
+EDGE = EntitySpec("edge", "edge", (("from", "from"), ("to", "to")))
+
+PERSON = EntitySpec(
+    "person", "person", (("id", "id"),),
+    (
+        Leaf("name", "name"),
+        Leaf("emailaddress", "emailaddress"),
+        Leaf("phone", "phone"),
+        Struct(
+            "address", "address_present", (),
+            (
+                Leaf("street", "address_street"),
+                Leaf("city", "address_city"),
+                Leaf("country", "address_country"),
+                Leaf("province", "address_province"),
+                Leaf("zipcode", "address_zipcode"),
+            ),
+        ),
+        Leaf("homepage", "homepage"),
+        Leaf("creditcard", "creditcard"),
+        Struct(
+            "profile", "profile_present", (("income", "profile_income"),),
+            (
+                Nested("interest", "interest"),
+                Leaf("education", "profile_education"),
+                Leaf("gender", "profile_gender"),
+                Leaf("business", "profile_business"),
+                Leaf("age", "profile_age"),
+            ),
+        ),
+        Wrapper("watches", Nested("watch", "watch"), "watches_present"),
+    ),
+)
+
+INTEREST = EntitySpec("interest", "interest", (("category", "category"),))
+
+WATCH = EntitySpec("watch", "watch", (("open_auction", "open_auction"),))
+
+OPEN_AUCTION = EntitySpec(
+    "open_auction", "open_auction", (("id", "id"),),
+    (
+        Leaf("initial", "initial"),
+        Leaf("reserve", "reserve"),
+        Nested("bidder", "bidder"),
+        Leaf("current", "current"),
+        Leaf("privacy", "privacy"),
+        RefLeaf("itemref", (("item", "itemref_item"),)),
+        RefLeaf("seller", (("person", "seller_person"),)),
+        _ANNOTATION,
+        Leaf("quantity", "quantity"),
+        Leaf("type", "type"),
+        Struct(
+            "interval", "interval_present", (),
+            (Leaf("start", "interval_start"), Leaf("end", "interval_end")),
+        ),
+    ),
+)
+
+BIDDER = EntitySpec(
+    "bidder", "bidder", (),
+    (
+        Leaf("date", "date"),
+        Leaf("time", "time"),
+        RefLeaf("personref", (("person", "personref_person"),)),
+        Leaf("increase", "increase"),
+    ),
+)
+
+CLOSED_AUCTION = EntitySpec(
+    "closed_auction", "closed_auction", (),
+    (
+        RefLeaf("seller", (("person", "seller_person"),)),
+        RefLeaf("buyer", (("person", "buyer_person"),)),
+        RefLeaf("itemref", (("item", "itemref_item"),)),
+        Leaf("price", "price"),
+        Leaf("date", "date"),
+        Leaf("quantity", "quantity"),
+        Leaf("type", "type"),
+        _ANNOTATION,
+    ),
+)
+
+#: Every relation in the derived schema, keyed by table name.
+ENTITY_SPECS: dict[str, EntitySpec] = {
+    spec.table: spec
+    for spec in (
+        ITEM, INCATEGORY, MAIL, CATEGORY, EDGE, PERSON, INTEREST, WATCH,
+        OPEN_AUCTION, BIDDER, CLOSED_AUCTION,
+    )
+}
+
+#: Element tag -> table, for set-valued (table-mapped) elements.
+TABLE_OF_TAG: dict[str, str] = {spec.tag: spec.table for spec in ENTITY_SPECS.values()}
+
+#: Top-level container tags and the entity table each one holds.
+CONTAINER_CONTENTS: dict[str, tuple[str, str | None]] = {
+    # container -> (table, filter column) ; region containers filter items.
+    "categories": ("category", None),
+    "catgraph": ("edge", None),
+    "people": ("person", None),
+    "open_auctions": ("open_auction", None),
+    "closed_auctions": ("closed_auction", None),
+    "africa": ("item", "region"),
+    "asia": ("item", "region"),
+    "australia": ("item", "region"),
+    "europe": ("item", "region"),
+    "namerica": ("item", "region"),
+    "samerica": ("item", "region"),
+}

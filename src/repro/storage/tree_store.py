@@ -1,0 +1,202 @@
+"""Main-memory tree stores: Systems F (pure traversal) and E (tag index).
+
+Both build a flat array representation straight from the streaming parser —
+nodes are dense pre-order integers, so handles are ints and document order
+is the natural integer order.
+
+* :class:`TreeStore` (System F) navigates by walking the tree; it spends
+  extra space on materialised per-node child lists — a traversal-speed
+  choice that makes it the *largest* database of the main-memory systems,
+  matching Table 1 (F: 345 MB vs E: 302 MB vs D: 142 MB).
+* :class:`IndexedTreeStore` (System E) adds an inverted tag index with
+  pre/post containment filtering, accelerating descendant-axis queries
+  without a full structural summary.
+"""
+
+from __future__ import annotations
+
+import sys
+from bisect import bisect_left, bisect_right
+
+from repro.storage.interface import Store
+from repro.xmlio.events import Characters, EndElement, StartElement
+from repro.xmlio.parser import iterparse
+
+
+class TreeStore(Store):
+    """Pure-traversal main-memory store (System F)."""
+
+    architecture = "main memory, pure tree traversal, heuristic optimizer (System F)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tags: list[str] = []
+        self._parents: list[int] = []
+        self._posts: list[int] = []
+        self._attrs: list[dict[str, str] | None] = []
+        self._content: list[list] = []          # interleaved int child ids / str runs
+        self._children: list[list[int]] = []    # materialised element children
+
+    def load(self, text: str) -> None:
+        self._tags.clear()
+        self._parents.clear()
+        self._posts.clear()
+        self._attrs.clear()
+        self._content.clear()
+        self._children.clear()
+        stack: list[int] = []
+        for event in iterparse(text):
+            if isinstance(event, StartElement):
+                node = len(self._tags)
+                self._tags.append(sys.intern(event.tag))
+                self._parents.append(stack[-1] if stack else -1)
+                self._posts.append(node)
+                self._attrs.append(dict(event.attributes) if event.attributes else None)
+                self._content.append([])
+                self._children.append([])
+                if stack:
+                    self._content[stack[-1]].append(node)
+                    self._children[stack[-1]].append(node)
+                stack.append(node)
+            elif isinstance(event, EndElement):
+                node = stack.pop()
+                self._posts[node] = len(self._tags) - 1
+            else:
+                self._append_text(stack[-1], event.text)
+        self._loaded = True
+
+    def _append_text(self, node: int, text: str) -> None:
+        content = self._content[node]
+        if content and isinstance(content[-1], str):
+            content[-1] += text
+        else:
+            content.append(text)
+
+    def size_bytes(self) -> int:
+        self.require_loaded()
+        total = sum(
+            sys.getsizeof(lst)
+            for lst in (self._tags, self._parents, self._posts, self._attrs,
+                        self._content, self._children)
+        )
+        total += sum(8 for _ in self._parents) * 2   # parents + posts payloads
+        for attrs in self._attrs:
+            if attrs:
+                total += sys.getsizeof(attrs)
+                total += sum(sys.getsizeof(k) + sys.getsizeof(v) for k, v in attrs.items())
+        for content in self._content:
+            total += sys.getsizeof(content)
+            total += sum(sys.getsizeof(part) for part in content if isinstance(part, str))
+        for children in self._children:
+            total += sys.getsizeof(children) + 8 * len(children)
+        return total
+
+    # -- navigation -----------------------------------------------------------
+
+    def root(self) -> int:
+        self.require_loaded()
+        return 0
+
+    def tag(self, node: int) -> str:
+        return self._tags[node]
+
+    def children(self, node: int) -> list[int]:
+        self.stats.nodes_visited += 1
+        return self._children[node]
+
+    def children_by_tag(self, node: int, tag: str) -> list[int]:
+        self.stats.nodes_visited += 1
+        tags = self._tags
+        return [child for child in self._children[node] if tags[child] == tag]
+
+    def descendants_by_tag(self, node: int, tag: str) -> list[int]:
+        # Pre-order ids are contiguous within a subtree: scan [node+1, post].
+        tags = self._tags
+        found = []
+        stop = self._posts[node]
+        self.stats.nodes_visited += max(0, stop - node)
+        for candidate in range(node + 1, stop + 1):
+            if tags[candidate] == tag:
+                found.append(candidate)
+        return found
+
+    def parent(self, node: int) -> int | None:
+        parent = self._parents[node]
+        return None if parent < 0 else parent
+
+    def attribute(self, node: int, name: str) -> str | None:
+        attrs = self._attrs[node]
+        return attrs.get(name) if attrs else None
+
+    def attributes(self, node: int) -> dict[str, str]:
+        attrs = self._attrs[node]
+        return dict(attrs) if attrs else {}
+
+    def child_texts(self, node: int) -> list[str]:
+        self.stats.nodes_visited += 1
+        return [part for part in self._content[node] if isinstance(part, str)]
+
+    def string_value(self, node: int) -> str:
+        parts: list[str] = []
+        stack: list = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, str):
+                parts.append(current)
+            else:
+                self.stats.nodes_visited += 1
+                stack.extend(reversed(self._content[current]))
+        return "".join(parts)
+
+    def content(self, node: int) -> list:
+        self.stats.nodes_visited += 1
+        return list(self._content[node])
+
+    def doc_position(self, node: int) -> int:
+        return node
+
+    def node_count(self) -> int:
+        return len(self._tags)
+
+
+class IndexedTreeStore(TreeStore):
+    """Tag-indexed main-memory store (System E)."""
+
+    architecture = "main memory, inverted tag index + pre/post containment (System E)"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tag_index: dict[str, list[int]] = {}
+
+    def load(self, text: str) -> None:
+        super().load(text)
+        self._tag_index.clear()
+        for node, tag in enumerate(self._tags):
+            self._tag_index.setdefault(tag, []).append(node)
+
+    def size_bytes(self) -> int:
+        total = super().size_bytes()
+        total += sys.getsizeof(self._tag_index)
+        for nodes in self._tag_index.values():
+            total += sys.getsizeof(nodes) + 8 * len(nodes)
+        return total
+
+    def descendants_by_tag(self, node: int, tag: str) -> list[int]:
+        self.stats.index_lookups += 1
+        extent = self._tag_index.get(tag)
+        if not extent:
+            return []
+        # Extent lists are in pre-order; a subtree is the id range (node, post].
+        start = bisect_right(extent, node)
+        stop = bisect_right(extent, self._posts[node])
+        result = extent[start:stop]
+        self.stats.nodes_visited += len(result)
+        return result
+
+    def known_tags(self) -> frozenset[str]:
+        return frozenset(self._tag_index)
+
+    def all_with_tag(self, tag: str) -> list[int]:
+        """The whole extent of one tag (document-ordered)."""
+        self.stats.index_lookups += 1
+        return list(self._tag_index.get(tag, ()))

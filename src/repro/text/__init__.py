@@ -1,0 +1,17 @@
+"""Natural-language-like text generation.
+
+The paper (Section 4.3) derives word-frequency statistics from Shakespeare's
+plays and generates text from "the 17000 most frequent words excluding stop
+words".  The corpus itself is not shipped here; per DESIGN.md we substitute a
+deterministic synthetic vocabulary of the same size whose rank-frequency
+behaviour is Zipfian — the property that matters to storage engines
+(string-length spread, token repetition, compressibility).
+
+Entities such as person names, email addresses and phone numbers imitate the
+paper's "various Internet sources ... scrambled".
+"""
+
+from repro.text.generator import TextGenerator
+from repro.text.vocabulary import Vocabulary
+
+__all__ = ["Vocabulary", "TextGenerator"]

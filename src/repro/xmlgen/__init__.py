@@ -1,0 +1,30 @@
+"""``xmlgen`` — the scalable, deterministic benchmark document generator.
+
+Reimplements the paper's Section 4.5 requirements:
+
+1. *platform independent* — pure Python over :mod:`repro.rng`, no OS RNG;
+2. *accurately scalable* — entity counts are linear in the scaling factor
+   and calibrated so scale 1.0 yields a document of roughly 100 MB
+   (Figure 3);
+3. *time and resource efficient* — a single streaming pass with constant
+   memory: no entity is ever materialised except the one being written;
+4. *deterministic* — output is a pure function of ``(seed, scale)``.
+
+Reference consistency uses the paper's replayable-stream trick
+(:class:`~repro.rng.streams.StreamFamily`): item identifiers are partitioned
+arithmetically between open and closed auctions, and every entity draws from
+its own named stream so a referencing site can re-derive the referenced
+entity's choices without any log.
+"""
+
+from repro.xmlgen.config import GeneratorConfig
+from repro.xmlgen.counts import EntityCounts
+from repro.xmlgen.generator import XMarkGenerator, generate_document, generate_string
+
+__all__ = [
+    "GeneratorConfig",
+    "EntityCounts",
+    "XMarkGenerator",
+    "generate_string",
+    "generate_document",
+]

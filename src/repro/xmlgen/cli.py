@@ -1,0 +1,94 @@
+"""Command-line interface for the document generator.
+
+Mirrors the original ``xmlgen`` binary's surface:
+
+    xmlgen -f 0.01 -o auction.xml          # single document
+    xmlgen -f 0.01 -s 500 -d out/          # split mode, 500 entities/file
+    xmlgen --dtd > auction.dtd             # emit the DTD
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.schema.auction import auction_dtd
+from repro.xmlgen.config import DEFAULT_SEED, GeneratorConfig
+from repro.xmlgen.generator import XMarkGenerator
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xmlgen",
+        description="Generate the XMark benchmark document (VLDB 2002).",
+    )
+    parser.add_argument(
+        "-f", "--factor", type=float, default=1.0,
+        help="scaling factor (1.0 = ~100 MB standard document)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="output file (default: stdout)",
+    )
+    parser.add_argument(
+        "-s", "--split", type=int, default=None, metavar="N",
+        help="split mode: emit N entities per file into --directory",
+    )
+    parser.add_argument(
+        "-d", "--directory", default="xmark-split",
+        help="output directory for split mode",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="master random seed (fixed default for reproducibility)",
+    )
+    parser.add_argument(
+        "--dtd", action="store_true",
+        help="print the auction DTD and exit",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print entity counts and timing to stderr",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.dtd:
+        sys.stdout.write(auction_dtd().serialize())
+        return 0
+
+    config = GeneratorConfig(scale=args.factor, seed=args.seed, entities_per_file=args.split)
+    generator = XMarkGenerator(config)
+    started = time.perf_counter()
+
+    if args.split is not None:
+        paths = generator.write_split(args.directory)
+        elapsed = time.perf_counter() - started
+        if args.stats:
+            print(f"wrote {len(paths)} files to {args.directory} in {elapsed:.2f}s",
+                  file=sys.stderr)
+    elif args.output:
+        size = generator.write_file(args.output)
+        elapsed = time.perf_counter() - started
+        if args.stats:
+            print(f"wrote {size} bytes to {args.output} in {elapsed:.2f}s", file=sys.stderr)
+    else:
+        generator.write(sys.stdout)
+        elapsed = time.perf_counter() - started
+
+    if args.stats:
+        counts = generator.counts
+        print(
+            f"scale={args.factor} persons={counts.persons} items={counts.items} "
+            f"open={counts.open_auctions} closed={counts.closed_auctions} "
+            f"categories={counts.categories}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Entity cardinalities as a function of the scaling factor.
+
+The paper scales "selected sets like the number of items and persons with the
+user defined factor" and maintains the integrity constraint that "the number
+of items organized by continents equals the sum of open and closed auctions".
+Base cardinalities at scale 1.0 follow the published ``xmlgen``:
+25 500 persons, 12 000 open auctions, 9 750 closed auctions (hence 21 750
+items) and 1 000 categories, with items spread unevenly over the six world
+regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.auction import REGIONS
+
+BASE_PERSONS = 25_500
+BASE_OPEN_AUCTIONS = 12_000
+BASE_CLOSED_AUCTIONS = 9_750
+BASE_CATEGORIES = 1_000
+
+#: Items per region at scale 1.0 (sums to BASE_OPEN + BASE_CLOSED = 21 750).
+BASE_REGION_ITEMS: dict[str, int] = {
+    "africa": 550,
+    "asia": 2_000,
+    "australia": 2_200,
+    "europe": 6_000,
+    "namerica": 10_000,
+    "samerica": 1_000,
+}
+
+assert sum(BASE_REGION_ITEMS.values()) == BASE_OPEN_AUCTIONS + BASE_CLOSED_AUCTIONS
+assert tuple(BASE_REGION_ITEMS) == REGIONS
+
+
+def _scaled(base: int, scale: float, minimum: int) -> int:
+    return max(minimum, round(base * scale))
+
+
+@dataclass(frozen=True, slots=True)
+class EntityCounts:
+    """Concrete cardinalities for one scaling factor."""
+
+    persons: int
+    open_auctions: int
+    closed_auctions: int
+    categories: int
+    region_items: tuple[tuple[str, int], ...]
+
+    @classmethod
+    def for_scale(cls, scale: float) -> "EntityCounts":
+        # Minimums keep tiny documents usable: at least one item per region
+        # (6 regions), so open+closed must floor at 6 combined.
+        open_auctions = _scaled(BASE_OPEN_AUCTIONS, scale, 4)
+        closed_auctions = _scaled(BASE_CLOSED_AUCTIONS, scale, 2)
+        items = open_auctions + closed_auctions
+        return cls(
+            persons=_scaled(BASE_PERSONS, scale, 4),
+            open_auctions=open_auctions,
+            closed_auctions=closed_auctions,
+            categories=_scaled(BASE_CATEGORIES, scale, 2),
+            region_items=tuple(_allocate_regions(items)),
+        )
+
+    @property
+    def items(self) -> int:
+        return sum(count for _, count in self.region_items)
+
+    @property
+    def catgraph_edges(self) -> int:
+        """Category graph size: two outgoing edges per category on average."""
+        return 2 * self.categories
+
+    def region_offsets(self) -> dict[str, int]:
+        """Index of the first item in each region (items are numbered
+        contiguously per region, in DTD region order)."""
+        offsets: dict[str, int] = {}
+        running = 0
+        for region, count in self.region_items:
+            offsets[region] = running
+            running += count
+        return offsets
+
+    def region_of_item(self, index: int) -> str:
+        """The region holding item ``index``."""
+        running = 0
+        for region, count in self.region_items:
+            running += count
+            if index < running:
+                return region
+        raise IndexError(f"item index {index} out of range (items={self.items})")
+
+
+def _allocate_regions(total_items: int) -> list[tuple[str, int]]:
+    """Split ``total_items`` across regions proportionally to the base mix.
+
+    Largest-remainder apportionment: deterministic, exact sum, and every
+    region keeps at least one item so region-specific queries (Q13 on
+    australia) stay meaningful at tiny scales.
+    """
+    base_total = sum(BASE_REGION_ITEMS.values())
+    shares = {
+        region: total_items * base / base_total
+        for region, base in BASE_REGION_ITEMS.items()
+    }
+    floors = {region: max(1, int(share)) for region, share in shares.items()}
+    assigned = sum(floors.values())
+    remainders = sorted(
+        REGIONS,
+        key=lambda region: (shares[region] - int(shares[region]), region),
+        reverse=True,
+    )
+    index = 0
+    while assigned < total_items:
+        region = remainders[index % len(remainders)]
+        floors[region] += 1
+        assigned += 1
+        index += 1
+    while assigned > total_items:  # possible when minimums pushed us over
+        region = max(floors, key=lambda r: floors[r])
+        if floors[region] > 1:
+            floors[region] -= 1
+            assigned -= 1
+        else:  # pragma: no cover - cannot happen with >=6 items
+            break
+    return [(region, floors[region]) for region in REGIONS]

@@ -1,0 +1,84 @@
+"""Canonical XML for query-result equivalence.
+
+The paper (Section 1) observes that deciding when two query processors'
+outputs are equivalent is itself a hard problem, citing Canonical XML as an
+attempt.  The benchmark harness needs a practical answer so that the same
+query run on seven different stores can be checked for agreement.  We provide
+a small canonical form:
+
+* attributes sorted by name, double-quoted, minimally escaped;
+* adjacent text nodes coalesced; optional whitespace normalization;
+* an *unordered* mode in which sibling subtrees are sorted by their own
+  canonical string — used for queries whose result order is unspecified.
+"""
+
+from __future__ import annotations
+
+from repro.xmlio.dom import Document, Element, Text
+from repro.xmlio.escape import escape_attribute, escape_text
+
+
+def canonicalize(
+    node: Document | Element | Text,
+    ordered: bool = True,
+    strip_whitespace: bool = False,
+) -> str:
+    """Render a node in canonical form.
+
+    ``ordered=False`` sorts sibling subtrees, giving a form that is invariant
+    under result reordering.  ``strip_whitespace=True`` drops
+    whitespace-only text nodes and trims the rest — useful when comparing
+    indented against unindented serializations.
+    """
+    if isinstance(node, Document):
+        if node.root is None:
+            return ""
+        node = node.root
+    return _render(node, ordered, strip_whitespace)
+
+
+def _render(node: Element | Text, ordered: bool, strip: bool) -> str:
+    if isinstance(node, Text):
+        value = node.value
+        if strip:
+            value = value.strip()
+        return escape_text(value)
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in sorted(node.attributes.items())
+    )
+    pieces: list[str] = []
+    pending_text: list[str] = []
+
+    def flush() -> None:
+        if pending_text:
+            combined = "".join(pending_text)
+            pending_text.clear()
+            if strip:
+                combined = combined.strip()
+            if combined:
+                pieces.append(escape_text(combined))
+
+    for child in node.children:
+        if isinstance(child, Text):
+            pending_text.append(child.value)
+        else:
+            flush()
+            pieces.append(_render(child, ordered, strip))
+    flush()
+    if not ordered:
+        pieces.sort()
+    body = "".join(pieces)
+    return f"<{node.tag}{attrs}>{body}</{node.tag}>"
+
+
+def equivalent(
+    left: Document | Element | Text,
+    right: Document | Element | Text,
+    ordered: bool = True,
+    strip_whitespace: bool = True,
+) -> bool:
+    """True when the two trees have identical canonical forms."""
+    return canonicalize(left, ordered, strip_whitespace) == canonicalize(
+        right, ordered, strip_whitespace
+    )

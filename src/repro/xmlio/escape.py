@@ -1,0 +1,68 @@
+"""Escaping and entity resolution for the supported XML subset."""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+
+_PREDEFINED = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def resolve_references(value: str, line: int = 0, column: int = 0) -> str:
+    """Replace predefined entity and character references in ``value``.
+
+    Unknown entity references are an error: the paper's generator never emits
+    them (Section 4.4 excludes Entities), so their presence means the input
+    is outside the supported subset.
+    """
+    if "&" not in value:
+        return value
+    parts: list[str] = []
+    position = 0
+    while True:
+        amp = value.find("&", position)
+        if amp < 0:
+            parts.append(value[position:])
+            break
+        parts.append(value[position:amp])
+        end = value.find(";", amp + 1)
+        if end < 0:
+            raise XMLSyntaxError("unterminated entity reference", line, column)
+        name = value[amp + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                parts.append(chr(int(name[2:], 16)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", line, column) from exc
+        elif name.startswith("#"):
+            try:
+                parts.append(chr(int(name[1:])))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", line, column) from exc
+        elif name in _PREDEFINED:
+            parts.append(_PREDEFINED[name])
+        else:
+            raise XMLSyntaxError(f"unknown entity &{name};", line, column)
+        position = end + 1
+    return "".join(parts)

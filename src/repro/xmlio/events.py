@@ -1,0 +1,39 @@
+"""Parser event types (the SAX-like streaming interface)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Event:
+    """Base class for streaming parse events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """An opening (or self-closing) tag with its attributes."""
+
+    tag: str
+    attributes: tuple[tuple[str, str], ...]
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    """A closing tag (also emitted for self-closing elements)."""
+
+    tag: str
+
+
+@dataclass(frozen=True, slots=True)
+class Characters(Event):
+    """A run of character data (entity references already resolved)."""
+
+    text: str

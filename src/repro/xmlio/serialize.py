@@ -1,0 +1,117 @@
+"""Serialization: DOM -> text, and a streaming writer for the generator."""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.xmlio.dom import Document, Element, Text
+from repro.xmlio.escape import escape_attribute, escape_text
+
+
+def serialize(node: Document | Element | Text, indent: bool = False) -> str:
+    """Serialize a DOM node (or whole document) to an XML string."""
+    if isinstance(node, Document):
+        if node.root is None:
+            return ""
+        node = node.root
+    parts: list[str] = []
+    _serialize_into(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize_into(
+    node: Element | Text, parts: list[str], indent: bool, depth: int
+) -> None:
+    pad = "  " * depth if indent else ""
+    if isinstance(node, Text):
+        parts.append(escape_text(node.value))
+        return
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in node.attributes.items()
+    )
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attrs}/>")
+        if indent:
+            parts.append("\n")
+        return
+    only_text = all(isinstance(child, Text) for child in node.children)
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    if indent and not only_text:
+        parts.append("\n")
+    for child in node.children:
+        _serialize_into(child, parts, indent and not only_text, depth + 1)
+    if not only_text and indent:
+        parts.append(pad)
+    parts.append(f"</{node.tag}>")
+    if indent:
+        parts.append("\n")
+
+
+class XMLWriter:
+    """Streaming XML writer with constant memory.
+
+    The generator's resource-efficiency requirement (paper Section 4.5:
+    "resource allocation is constant — independent of the size of the
+    generated document") rules out building a DOM; this writer emits markup
+    straight to a file-like object and only keeps the open-element stack.
+    """
+
+    __slots__ = ("_out", "_stack", "_tag_open")
+
+    def __init__(self, out: IO[str]) -> None:
+        self._out = out
+        self._stack: list[str] = []
+        self._tag_open = False
+
+    def declaration(self) -> None:
+        self._out.write('<?xml version="1.0" encoding="us-ascii"?>\n')
+
+    def _close_pending(self) -> None:
+        if self._tag_open:
+            self._out.write(">")
+            self._tag_open = False
+
+    def start(self, tag: str, attributes: dict[str, str] | None = None) -> None:
+        """Open an element; attributes are written in the given order."""
+        self._close_pending()
+        self._out.write(f"<{tag}")
+        if attributes:
+            for name, value in attributes.items():
+                self._out.write(f' {name}="{escape_attribute(value)}"')
+        self._tag_open = True
+        self._stack.append(tag)
+
+    def end(self) -> None:
+        """Close the most recently opened element."""
+        tag = self._stack.pop()
+        if self._tag_open:
+            self._out.write("/>")
+            self._tag_open = False
+        else:
+            self._out.write(f"</{tag}>")
+
+    def text(self, value: str) -> None:
+        if not value:
+            return
+        self._close_pending()
+        self._out.write(escape_text(value))
+
+    def leaf(self, tag: str, value: str, attributes: dict[str, str] | None = None) -> None:
+        """Shorthand for ``start(); text(); end()``."""
+        self.start(tag, attributes)
+        self.text(value)
+        self.end()
+
+    def empty(self, tag: str, attributes: dict[str, str] | None = None) -> None:
+        """Shorthand for an element with no content."""
+        self.start(tag, attributes)
+        self.end()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def finish(self) -> None:
+        """Assert that every opened element was closed."""
+        if self._stack:
+            raise ValueError(f"unclosed elements at finish: {self._stack}")

@@ -1,0 +1,27 @@
+"""XQuery-subset compiler and evaluator.
+
+The paper expresses its twenty queries in XQuery (the Feb-2001 draft, the
+successor to Quilt).  This package implements the exact subset those queries
+need — FLWOR with multiple for/let bindings, quantified expressions with the
+``<<`` document-order operator, child//descendant/attribute/text() steps with
+positional and boolean predicates, element constructors with attribute-value
+templates, user-defined functions (Q18), ``order by`` (Q19) and the standard
+function library (count, contains, empty, not, string, distinct-values,
+zero-or-one, exactly-one, sum, last) — over the abstract
+:class:`~repro.storage.interface.Store` API.
+
+Compilation is per-system: the :mod:`~repro.xquery.planner` resolves access
+paths against the store's metadata (catalog tables for the relational
+mappings, the structural summary for System D) and picks join strategies
+according to the system profile, so compile cost and plan quality differ
+between architectures the way Table 2 and Table 3 report.
+"""
+
+from repro.xquery.parser import parse_query
+from repro.xquery.planner import CompiledQuery, SystemProfile, compile_query
+from repro.xquery.evaluator import evaluate, QueryResult
+
+__all__ = [
+    "parse_query", "compile_query", "evaluate",
+    "CompiledQuery", "SystemProfile", "QueryResult",
+]

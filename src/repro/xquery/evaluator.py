@@ -1,0 +1,637 @@
+"""The query evaluator.
+
+Executes a :class:`~repro.xquery.planner.CompiledQuery` against its store,
+honouring the plan annotations the per-system planner attached: ID-index
+lookups, path-extent scans, and decorrelated (hash / sorted) joins.  All
+document access flows through :class:`~repro.xquery.sequence.Navigator`, so
+execution cost tracks the store's physical mapping.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.errors import QueryError
+from repro.xmlio.dom import Element
+from repro.xmlio.serialize import serialize
+from repro.xmlio.canonical import canonicalize
+from repro.xquery.ast import (
+    Arithmetic, BoolOp, Comparison, ContextItem, ElementCtor, Expr, FLWOR,
+    ForClause, FunctionCall, IfExpr, LetClause, Literal, Path, Quantified,
+    Query, Step, Unary, VarRef,
+)
+from repro.xquery.functions import BUILTINS, call_builtin
+from repro.xquery.planner import CompiledQuery, JoinPlan
+from repro.xquery.sequence import (
+    NodeItem, Navigator, atomic_to_string, atomize, atomize_item,
+    effective_boolean, general_compare, sequence_to_string, to_number, try_number,
+)
+
+_DOC_ROOT = object()  # sentinel: conceptual parent of the root element
+
+
+class QueryResult:
+    """The result sequence of one query execution."""
+
+    __slots__ = ("items", "navigator")
+
+    def __init__(self, items: list, navigator: Navigator) -> None:
+        self.items = items
+        self.navigator = navigator
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def serialize(self) -> str:
+        """One line per item: markup for nodes, text for atomics."""
+        lines = []
+        for item in self.items:
+            if isinstance(item, NodeItem):
+                lines.append(serialize(self.navigator.build_dom(item.handle)))
+            else:
+                lines.append(atomic_to_string(item))
+        return "\n".join(lines)
+
+    def to_element(self) -> Element:
+        """The result wrapped in a detached ``<xmark-result>`` element."""
+        wrapper = Element("xmark-result")
+        pending_atomics: list[str] = []
+
+        def flush() -> None:
+            if pending_atomics:
+                wrapper.append_text(" ".join(pending_atomics))
+                pending_atomics.clear()
+
+        for item in self.items:
+            if isinstance(item, NodeItem):
+                flush()
+                wrapper.append(self.navigator.build_dom(item.handle))
+            else:
+                pending_atomics.append(atomic_to_string(item))
+        flush()
+        return wrapper
+
+    def canonical(self, ordered: bool = True) -> str:
+        """Canonical form for cross-system equivalence checks."""
+        return canonicalize(self.to_element(), ordered=ordered, strip_whitespace=True)
+
+
+def evaluate(compiled: CompiledQuery) -> QueryResult:
+    """Execute a compiled query and return its result sequence."""
+    interpreter = _Interpreter(compiled)
+    items = interpreter.eval(compiled.query.body)
+    return QueryResult(items, interpreter.navigator)
+
+
+class _Interpreter:
+    def __init__(self, compiled: CompiledQuery) -> None:
+        self.compiled = compiled
+        self.store = compiled.store
+        self.navigator = Navigator(compiled.store)
+        self.variables: dict[str, list] = {}
+        self.item: NodeItem | None = None
+        self.position = 0
+        self.size = 0
+        self.join_cache: dict[int, object] = {}
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def eval(self, node: Expr) -> list:
+        method = _DISPATCH[type(node)]
+        return method(self, node)
+
+    # -- primaries -----------------------------------------------------------------
+
+    def eval_literal(self, node: Literal) -> list:
+        return [node.value]
+
+    def eval_varref(self, node: VarRef) -> list:
+        try:
+            return self.variables[node.name]
+        except KeyError:
+            raise QueryError(f"unbound variable ${node.name}") from None
+
+    def eval_context(self, node: ContextItem) -> list:
+        if self.item is None:
+            raise QueryError("no context item")
+        return [self.item]
+
+    # -- paths ----------------------------------------------------------------------
+
+    def eval_path(self, node: Path) -> list:
+        plan = self.compiled.path_plans.get(id(node))
+        if plan is not None and plan.kind == "id_lookup":
+            return self._eval_id_lookup(node, plan)
+        if plan is not None and plan.kind == "path_index":
+            handles = self.store.nodes_at_path(plan.prefix) or []
+            return self._apply_steps(handles, node.steps, plan.prefix_len)
+        if node.root is None:
+            return self._apply_steps([_DOC_ROOT], node.steps, 0)
+        if isinstance(node.root, FunctionCall) and node.root.name in ("document", "doc"):
+            return self._apply_steps([_DOC_ROOT], node.steps, 0)
+        base = self.eval(node.root)
+        if node.steps and node.steps[0].axis == "self":
+            return self._filter_sequence(base, node.steps[0].predicates)
+        handles = []
+        for item in base:
+            if not isinstance(item, NodeItem):
+                raise QueryError(f"cannot apply a path step to atomic {item!r}")
+            handles.append(item.handle)
+        return self._apply_steps(handles, node.steps, 0)
+
+    def _eval_id_lookup(self, node: Path, plan) -> list:
+        handle = self.store.lookup_id(plan.id_value)
+        if handle is None:
+            return []
+        step = node.steps[plan.id_step]
+        if step.name is not None and self.navigator.tag(handle) != step.name:
+            return []
+        survivors = self._filter_step([handle], step.predicates)
+        return self._apply_steps_raw(survivors, node.steps, plan.id_step + 1)
+
+    def _apply_steps(self, handles: list, steps: list[Step], start: int) -> list:
+        return self._apply_steps_raw(handles, steps, start)
+
+    def _apply_steps_raw(self, handles: list, steps: list[Step], start: int) -> list:
+        nav = self.navigator
+        current: list = list(handles)
+        for index in range(start, len(steps)):
+            step = steps[index]
+            axis = step.axis
+            if axis == "attribute":
+                out: list = []
+                for handle in current:
+                    if handle is _DOC_ROOT:
+                        continue
+                    value = nav.attribute(handle, step.name)
+                    if value is not None:
+                        out.append(value)
+                current = out
+                continue
+            if axis == "text":
+                out = []
+                for handle in current:
+                    if handle is _DOC_ROOT:
+                        continue
+                    out.extend(t for t in nav.child_texts(handle) if t)
+                current = out
+                continue
+            if axis == "self":
+                wrapped = [h if isinstance(h, str) else NodeItem(h) for h in current]
+                filtered = self._filter_sequence(wrapped, step.predicates)
+                current = [i.handle if isinstance(i, NodeItem) else i for i in filtered]
+                continue
+            multi_context = len(current) > 1
+            out = []
+            for handle in current:
+                if handle is _DOC_ROOT:
+                    root = self.store.root()
+                    if axis == "child":
+                        found = [root] if (step.name is None or nav.tag(root) == step.name) else []
+                    else:
+                        found = [root] if (step.name is None or nav.tag(root) == step.name) else []
+                        found = found + nav.descendants_by_tag(root, step.name)
+                elif axis == "child":
+                    if step.name is None:
+                        found = nav.children(handle)
+                    else:
+                        found = nav.children_by_tag(handle, step.name)
+                else:  # descendant
+                    found = nav.descendants_by_tag(handle, step.name)
+                if step.predicates:
+                    found = self._filter_step(found, step.predicates)
+                out.extend(found)
+            if axis == "descendant" and multi_context and out:
+                out = self._dedupe_doc_order(out)
+            current = out
+        # Wrap node handles; attribute/text steps produced plain strings.
+        return [h if isinstance(h, str) else NodeItem(h) for h in current]
+
+    def _dedupe_doc_order(self, handles: list) -> list:
+        nav = self.navigator
+        seen = set()
+        decorated = []
+        for handle in handles:
+            key = id(handle) if isinstance(handle, Element) else handle
+            if key in seen:
+                continue
+            seen.add(key)
+            decorated.append((nav.doc_position(handle), handle))
+        decorated.sort(key=lambda pair: pair[0])
+        return [handle for _, handle in decorated]
+
+    def _filter_step(self, handles: list, predicates: list[Expr]) -> list:
+        """Apply step predicates (position-aware) to raw handles."""
+        items = handles
+        for predicate in predicates:
+            if isinstance(predicate, Literal) and isinstance(predicate.value, (int, float)):
+                index = int(predicate.value)
+                items = [items[index - 1]] if 1 <= index <= len(items) else []
+                continue
+            kept = []
+            size = len(items)
+            saved = (self.item, self.position, self.size)
+            for position, handle in enumerate(items, start=1):
+                self.item = NodeItem(handle)
+                self.position = position
+                self.size = size
+                value = self.eval(predicate)
+                if _is_positional(value):
+                    if to_number(value[0]) == position:
+                        kept.append(handle)
+                elif effective_boolean(value):
+                    kept.append(handle)
+            self.item, self.position, self.size = saved
+            items = kept
+        return items
+
+    def _filter_sequence(self, items: list, predicates: list[Expr]) -> list:
+        """Filter-expression semantics over an already-built sequence."""
+        current = items
+        for predicate in predicates:
+            if isinstance(predicate, Literal) and isinstance(predicate.value, (int, float)):
+                index = int(predicate.value)
+                current = [current[index - 1]] if 1 <= index <= len(current) else []
+                continue
+            kept = []
+            size = len(current)
+            saved = (self.item, self.position, self.size)
+            for position, item in enumerate(current, start=1):
+                self.item = item
+                self.position = position
+                self.size = size
+                value = self.eval(predicate)
+                if _is_positional(value):
+                    if to_number(value[0]) == position:
+                        kept.append(item)
+                elif effective_boolean(value):
+                    kept.append(item)
+            self.item, self.position, self.size = saved
+            current = kept
+        return current
+
+    # -- FLWOR ---------------------------------------------------------------------
+
+    def eval_flwor(self, node: FLWOR) -> list:
+        results: list = []
+        ordered_rows: list[tuple] = []
+        clauses = node.clauses
+
+        def recurse(index: int) -> None:
+            if index == len(clauses):
+                if node.where is not None and not effective_boolean(self.eval(node.where)):
+                    return
+                if node.order:
+                    keys = tuple(self._order_key(spec.key) for spec in node.order)
+                    ordered_rows.append((keys, len(ordered_rows), self.eval(node.ret)))
+                else:
+                    results.extend(self.eval(node.ret))
+                return
+            clause = clauses[index]
+            if isinstance(clause, ForClause):
+                sequence = self.eval(clause.sequence)
+                previous = self.variables.get(clause.var)
+                for item in sequence:
+                    self.variables[clause.var] = [item]
+                    recurse(index + 1)
+                _restore(self.variables, clause.var, previous)
+            else:
+                value = self._bind_let(clause)
+                previous = self.variables.get(clause.var)
+                self.variables[clause.var] = value
+                recurse(index + 1)
+                _restore(self.variables, clause.var, previous)
+
+        recurse(0)
+        if node.order:
+            descending = [spec.descending for spec in node.order]
+            normalized = _normalize_order_columns(ordered_rows, descending)
+            normalized.sort(key=lambda row: row[0])
+            for _, _, value in normalized:
+                results.extend(value)
+        return results
+
+    def _order_key(self, key_expr: Expr):
+        values = atomize(self.eval(key_expr), self.navigator)
+        if not values:
+            return None
+        return values[0]
+
+    def _bind_let(self, clause: LetClause) -> list:
+        plan = self.compiled.join_plans.get(id(clause))
+        if plan is None:
+            return self.eval(clause.expr)
+        if plan.strategy == "hash":
+            return self._hash_probe(clause, plan)
+        return self._sorted_probe(clause, plan)
+
+    def _hash_probe(self, clause: LetClause, plan: JoinPlan) -> list:
+        cache = self.join_cache.get(id(clause))
+        if cache is None:
+            table: dict = {}
+            base_items = self.eval(plan.inner_base)
+            previous = self.variables.get(plan.inner_var)
+            for index, item in enumerate(base_items):
+                self.variables[plan.inner_var] = [item]
+                for value in atomize(self.eval(plan.inner_key), self.navigator):
+                    table.setdefault(_join_key(value), []).append((index, item))
+            _restore(self.variables, plan.inner_var, previous)
+            cache = table
+            self.join_cache[id(clause)] = cache
+        matches: list[tuple[int, object]] = []
+        seen: set[int] = set()
+        for value in atomize(self.eval(plan.outer_key), self.navigator):
+            for index, item in cache.get(_join_key(value), ()):
+                if index not in seen:
+                    seen.add(index)
+                    matches.append((index, item))
+        matches.sort(key=lambda pair: pair[0])
+        return self._join_returns(clause, plan, [item for _, item in matches])
+
+    def _sorted_probe(self, clause: LetClause, plan: JoinPlan) -> list:
+        cache = self.join_cache.get(id(clause))
+        if cache is None:
+            keys: list[float] = []
+            items: list = []
+            base_items = self.eval(plan.inner_base)
+            previous = self.variables.get(plan.inner_var)
+            decorated = []
+            for index, item in enumerate(base_items):
+                self.variables[plan.inner_var] = [item]
+                for value in atomize(self.eval(plan.inner_key), self.navigator):
+                    number = try_number(value)
+                    if number is not None:
+                        decorated.append((number, index, item))
+            _restore(self.variables, plan.inner_var, previous)
+            decorated.sort(key=lambda entry: entry[0])
+            keys = [entry[0] for entry in decorated]
+            items = [entry[2] for entry in decorated]
+            cache = (keys, items)
+            self.join_cache[id(clause)] = cache
+        keys, items = cache
+        outer_values = atomize(self.eval(plan.outer_key), self.navigator)
+        if not outer_values:
+            return []
+        outer = try_number(outer_values[0])
+        if outer is None:
+            return []
+        if plan.op == ">":          # outer > inner  ->  inner < outer
+            selected = items[: bisect_left(keys, outer)]
+        elif plan.op == ">=":
+            selected = items[: bisect_right(keys, outer)]
+        elif plan.op == "<":
+            selected = items[bisect_right(keys, outer):]
+        elif plan.op == "<=":
+            selected = items[bisect_left(keys, outer):]
+        else:
+            raise QueryError(f"sorted join cannot evaluate op {plan.op!r}")
+        return self._join_returns(clause, plan, selected)
+
+    def _join_returns(self, clause: LetClause, plan: JoinPlan, items: list) -> list:
+        flwor = clause.expr
+        assert isinstance(flwor, FLWOR)
+        if isinstance(flwor.ret, VarRef) and flwor.ret.name == plan.inner_var:
+            return list(items)
+        out: list = []
+        previous = self.variables.get(plan.inner_var)
+        for item in items:
+            self.variables[plan.inner_var] = [item]
+            out.extend(self.eval(flwor.ret))
+        _restore(self.variables, plan.inner_var, previous)
+        return out
+
+    # -- quantified / conditional ------------------------------------------------------
+
+    def eval_quantified(self, node: Quantified) -> list:
+        bindings = node.bindings
+
+        def recurse(index: int) -> bool:
+            if index == len(bindings):
+                return effective_boolean(self.eval(node.satisfies))
+            clause = bindings[index]
+            sequence = self.eval(clause.sequence)
+            previous = self.variables.get(clause.var)
+            try:
+                if node.kind == "some":
+                    return any(
+                        self._bind_and(clause.var, [item], recurse, index + 1)
+                        for item in sequence
+                    )
+                return all(
+                    self._bind_and(clause.var, [item], recurse, index + 1)
+                    for item in sequence
+                )
+            finally:
+                _restore(self.variables, clause.var, previous)
+
+        return [recurse(0)]
+
+    def _bind_and(self, var: str, value: list, fn, arg) -> bool:
+        self.variables[var] = value
+        return fn(arg)
+
+    def eval_if(self, node: IfExpr) -> list:
+        if effective_boolean(self.eval(node.condition)):
+            return self.eval(node.then)
+        return self.eval(node.orelse)
+
+    # -- operators --------------------------------------------------------------------
+
+    def eval_comparison(self, node: Comparison) -> list:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if node.op == "<<":
+            return [self._before(left, right)]
+        return [general_compare(node.op, left, right, self.navigator)]
+
+    def _before(self, left: list, right: list) -> bool:
+        nav = self.navigator
+        for a in left:
+            if not isinstance(a, NodeItem):
+                continue
+            pos_a = nav.doc_position(a.handle)
+            for b in right:
+                if not isinstance(b, NodeItem):
+                    continue
+                if pos_a < nav.doc_position(b.handle):
+                    return True
+        return False
+
+    def eval_arithmetic(self, node: Arithmetic) -> list:
+        left = atomize(self.eval(node.left), self.navigator)
+        right = atomize(self.eval(node.right), self.navigator)
+        if not left or not right:
+            return []  # arithmetic over the empty sequence is empty
+        a = to_number(left[0])
+        b = to_number(right[0])
+        op = node.op
+        if op == "+":
+            return [a + b]
+        if op == "-":
+            return [a - b]
+        if op == "*":
+            return [a * b]
+        if op == "div":
+            return [a / b]
+        if op == "mod":
+            return [a % b]
+        raise QueryError(f"unknown arithmetic operator {op!r}")
+
+    def eval_unary(self, node: Unary) -> list:
+        values = atomize(self.eval(node.operand), self.navigator)
+        if not values:
+            return []
+        return [-to_number(values[0])]
+
+    def eval_boolop(self, node: BoolOp) -> list:
+        if node.op == "and":
+            for operand in node.operands:
+                if not effective_boolean(self.eval(operand)):
+                    return [False]
+            return [True]
+        for operand in node.operands:
+            if effective_boolean(self.eval(operand)):
+                return [True]
+        return [False]
+
+    # -- functions -----------------------------------------------------------------------
+
+    def eval_call(self, node: FunctionCall) -> list:
+        declared = self.compiled.query.functions.get(node.name)
+        if declared is not None:
+            if len(node.args) != len(declared.params):
+                raise QueryError(
+                    f"{node.name}() expects {len(declared.params)} args, got {len(node.args)}"
+                )
+            saved = [(p, self.variables.get(p)) for p in declared.params]
+            for param, arg in zip(declared.params, node.args):
+                self.variables[param] = self.eval(arg)
+            try:
+                return self.eval(declared.body)
+            finally:
+                for param, previous in saved:
+                    _restore(self.variables, param, previous)
+        if node.name == "last":
+            return [self.size]
+        if node.name == "position":
+            return [self.position]
+        args = [self.eval(argument) for argument in node.args]
+        return call_builtin(node.name, args, self.navigator)
+
+    # -- constructors ------------------------------------------------------------------------
+
+    def eval_ctor(self, node: ElementCtor) -> list:
+        element = Element(node.tag)
+        for attribute in node.attributes:
+            pieces: list[str] = []
+            for part in attribute.parts:
+                if isinstance(part, str):
+                    pieces.append(part)
+                else:
+                    pieces.append(sequence_to_string(self.eval(part), self.navigator))
+            element.attributes[attribute.name] = "".join(pieces)
+        for part in node.content:
+            if isinstance(part, str):
+                if part.strip():
+                    element.append_text(part)
+                continue
+            if isinstance(part, ElementCtor):
+                element.append(self.eval_ctor(part)[0].handle)
+                continue
+            values = self.eval(part)
+            previous_atomic = False
+            for item in values:
+                if isinstance(item, NodeItem):
+                    element.append(self.navigator.build_dom(item.handle))
+                    previous_atomic = False
+                else:
+                    text = atomic_to_string(item)
+                    if previous_atomic:
+                        element.append_text(" " + text)
+                    else:
+                        element.append_text(text)
+                    previous_atomic = True
+        return [NodeItem(element)]
+
+
+def _is_positional(value: list) -> bool:
+    return (
+        len(value) == 1
+        and isinstance(value[0], (int, float))
+        and not isinstance(value[0], bool)
+    )
+
+
+def _restore(variables: dict, name: str, previous) -> None:
+    if previous is None:
+        variables.pop(name, None)
+    else:
+        variables[name] = previous
+
+
+def _join_key(value):
+    number = try_number(value)
+    return number if number is not None else atomic_to_string(value)
+
+
+def _normalize_order_columns(rows: list[tuple], descending: list[bool]) -> list[tuple]:
+    """Rewrite order-by keys so each column compares homogeneously.
+
+    A column sorts numerically only when *every* row's key casts to a number
+    (XPath 1.0-ish: one generic string defeats numeric ordering); empty keys
+    sort first.  Row tuples are (keys, arrival, result) — arrival keeps the
+    sort stable.
+    """
+    if not rows:
+        return []
+    column_count = len(descending)
+    numeric_columns = []
+    for column in range(column_count):
+        numeric_columns.append(all(
+            row[0][column] is None or try_number(row[0][column]) is not None
+            for row in rows
+        ))
+    normalized = []
+    for keys, arrival, value in rows:
+        out_keys = []
+        for column in range(column_count):
+            value_in = keys[column]
+            if numeric_columns[column]:
+                key = (0, 0.0) if value_in is None else (1, to_number(value_in))
+            else:
+                key = (0, "") if value_in is None else (1, atomic_to_string(value_in))
+            out_keys.append(_Rev(key) if descending[column] else key)
+        normalized.append((tuple(out_keys), arrival, value))
+    return normalized
+
+
+class _Rev:
+    """Inverts comparison for descending order-by keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Rev") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Rev) and other.value == self.value
+
+
+_DISPATCH = {
+    Literal: _Interpreter.eval_literal,
+    VarRef: _Interpreter.eval_varref,
+    ContextItem: _Interpreter.eval_context,
+    Path: _Interpreter.eval_path,
+    FLWOR: _Interpreter.eval_flwor,
+    Quantified: _Interpreter.eval_quantified,
+    IfExpr: _Interpreter.eval_if,
+    Comparison: _Interpreter.eval_comparison,
+    Arithmetic: _Interpreter.eval_arithmetic,
+    Unary: _Interpreter.eval_unary,
+    BoolOp: _Interpreter.eval_boolop,
+    FunctionCall: _Interpreter.eval_call,
+    ElementCtor: _Interpreter.eval_ctor,
+}

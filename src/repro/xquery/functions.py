@@ -1,0 +1,129 @@
+"""Built-in function library.
+
+The subset the twenty benchmark queries require: cardinalities (count, sum),
+existence (empty, not), text (string, contains), cardinality assertions
+(zero-or-one, exactly-one), value sets (distinct-values) and the document
+accessor.  ``last()`` and ``position()`` are context functions handled by
+the evaluator directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.xquery.sequence import (
+    NodeItem, Navigator, atomic_to_string, atomize, atomize_item,
+    effective_boolean, to_number,
+)
+
+
+def _fn_count(args: list[list], navigator: Navigator) -> list:
+    return [len(args[0])]
+
+
+def _fn_sum(args: list[list], navigator: Navigator) -> list:
+    values = atomize(args[0], navigator)
+    return [sum(to_number(value) for value in values)] if values else [0]
+
+
+def _fn_empty(args: list[list], navigator: Navigator) -> list:
+    return [not args[0]]
+
+
+def _fn_exists(args: list[list], navigator: Navigator) -> list:
+    return [bool(args[0])]
+
+
+def _fn_not(args: list[list], navigator: Navigator) -> list:
+    return [not effective_boolean(args[0])]
+
+
+def _fn_string(args: list[list], navigator: Navigator) -> list:
+    sequence = args[0]
+    if not sequence:
+        return [""]
+    return [atomic_to_string(atomize_item(sequence[0], navigator))]
+
+
+def _fn_contains(args: list[list], navigator: Navigator) -> list:
+    haystack = _fn_string([args[0]], navigator)[0]
+    needle = _fn_string([args[1]], navigator)[0]
+    return [needle in haystack]
+
+
+def _fn_number(args: list[list], navigator: Navigator) -> list:
+    sequence = args[0]
+    if not sequence:
+        return []
+    return [to_number(atomize_item(sequence[0], navigator))]
+
+
+def _fn_zero_or_one(args: list[list], navigator: Navigator) -> list:
+    sequence = args[0]
+    if len(sequence) > 1:
+        raise QueryError(f"zero-or-one(): sequence has {len(sequence)} items")
+    return list(sequence)
+
+
+def _fn_exactly_one(args: list[list], navigator: Navigator) -> list:
+    sequence = args[0]
+    if len(sequence) != 1:
+        raise QueryError(f"exactly-one(): sequence has {len(sequence)} items")
+    return list(sequence)
+
+
+def _fn_distinct_values(args: list[list], navigator: Navigator) -> list:
+    seen: set = set()
+    out: list = []
+    for value in atomize(args[0], navigator):
+        key = atomic_to_string(value)
+        if key not in seen:
+            seen.add(key)
+            out.append(value)
+    return out
+
+
+def _fn_name(args: list[list], navigator: Navigator) -> list:
+    sequence = args[0]
+    if not sequence or not isinstance(sequence[0], NodeItem):
+        return [""]
+    return [navigator.tag(sequence[0].handle)]
+
+
+def _fn_document(args: list[list], navigator: Navigator) -> list:
+    """The benchmark's single-document convention: any document() call
+    resolves to the loaded document's root parent (steps then select site)."""
+    return [NodeItem(_DocumentRoot())]
+
+
+class _DocumentRoot:
+    """Sentinel handle: the conceptual parent of the root element."""
+
+    __slots__ = ()
+
+
+BUILTINS = {
+    "count": (_fn_count, 1),
+    "sum": (_fn_sum, 1),
+    "empty": (_fn_empty, 1),
+    "exists": (_fn_exists, 1),
+    "not": (_fn_not, 1),
+    "string": (_fn_string, 1),
+    "contains": (_fn_contains, 2),
+    "number": (_fn_number, 1),
+    "zero-or-one": (_fn_zero_or_one, 1),
+    "exactly-one": (_fn_exactly_one, 1),
+    "distinct-values": (_fn_distinct_values, 1),
+    "name": (_fn_name, 1),
+    "document": (_fn_document, 1),
+    "doc": (_fn_document, 1),
+}
+
+
+def call_builtin(name: str, args: list[list], navigator: Navigator) -> list:
+    entry = BUILTINS.get(name)
+    if entry is None:
+        raise QueryError(f"unknown function {name}()")
+    impl, arity = entry
+    if len(args) != arity:
+        raise QueryError(f"{name}() expects {arity} argument(s), got {len(args)}")
+    return impl(args, navigator)

@@ -1,0 +1,209 @@
+"""The value model: sequences of items, atomization, comparisons.
+
+Items are either atomic Python values (``str``/``int``/``float``/``bool``)
+or :class:`NodeItem` wrappers around store handles.  Constructed elements
+(from element constructors) are wrapped the same way with a DOM Element as
+the handle; the :class:`Navigator` dispatches those to direct DOM access.
+
+Casting follows the paper's experimental setup: "all character data in the
+original document, including references, were stored as strings and cast at
+runtime to richer data types whenever necessary" — comparisons and
+arithmetic coerce strings to numbers at evaluation time, every time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCoercionError
+from repro.storage.interface import Store
+from repro.xmlio.dom import Element, Text
+
+
+class NodeItem:
+    """A node in a sequence; wraps an opaque store handle or a DOM Element."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle) -> None:
+        self.handle = handle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeItem({self.handle!r})"
+
+
+class Navigator:
+    """Uniform navigation over store handles and constructed DOM elements."""
+
+    __slots__ = ("store", "_dom_handles")
+
+    def __init__(self, store: Store) -> None:
+        self.store = store
+        # DomStore's native handles ARE Elements; only then can an Element
+        # have a document position.
+        from repro.storage.dom_store import DomStore
+        self._dom_handles = isinstance(store, DomStore)
+
+    def is_dom(self, handle) -> bool:
+        return isinstance(handle, Element)
+
+    def tag(self, handle) -> str:
+        if isinstance(handle, Element):
+            return handle.tag
+        return self.store.tag(handle)
+
+    def children_by_tag(self, handle, tag: str) -> list:
+        if isinstance(handle, Element):
+            return handle.find_all(tag)
+        return self.store.children_by_tag(handle, tag)
+
+    def children(self, handle) -> list:
+        if isinstance(handle, Element):
+            return list(handle.child_elements())
+        return self.store.children(handle)
+
+    def descendants_by_tag(self, handle, tag: str) -> list:
+        if isinstance(handle, Element):
+            return list(handle.descendants(tag))
+        return self.store.descendants_by_tag(handle, tag)
+
+    def attribute(self, handle, name: str) -> str | None:
+        if isinstance(handle, Element):
+            return handle.attributes.get(name)
+        return self.store.attribute(handle, name)
+
+    def child_texts(self, handle) -> list[str]:
+        if isinstance(handle, Element):
+            return [c.value for c in handle.children if isinstance(c, Text)]
+        return self.store.child_texts(handle)
+
+    def string_value(self, handle) -> str:
+        if isinstance(handle, Element):
+            return handle.text_content()
+        return self.store.string_value(handle)
+
+    def doc_position(self, handle):
+        if isinstance(handle, Element) and not self._dom_handles:
+            raise TypeCoercionError("constructed nodes have no document order")
+        try:
+            return self.store.doc_position(handle)
+        except KeyError:
+            raise TypeCoercionError("constructed nodes have no document order") from None
+
+    def build_dom(self, handle) -> Element:
+        if isinstance(handle, Element):
+            return handle.copy()
+        return self.store.build_dom(handle)
+
+
+# -- atomization -------------------------------------------------------------------
+
+
+def atomize_item(item, navigator: Navigator):
+    """Node -> string value; atomics pass through."""
+    if isinstance(item, NodeItem):
+        return navigator.string_value(item.handle)
+    return item
+
+
+def atomize(sequence: list, navigator: Navigator) -> list:
+    return [atomize_item(item, navigator) for item in sequence]
+
+
+def atomic_to_string(value) -> str:
+    """Stable textual form of one atomic value (for constructors/results)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return format(value, ".10g")
+    return str(value)
+
+
+def sequence_to_string(sequence: list, navigator: Navigator) -> str:
+    """Space-joined string of the atomized sequence (attribute templates)."""
+    return " ".join(atomic_to_string(atomize_item(item, navigator)) for item in sequence)
+
+
+# -- boolean / numeric coercions ---------------------------------------------------------
+
+
+def effective_boolean(sequence: list) -> bool:
+    """XPath-style effective boolean value."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if isinstance(first, NodeItem):
+        return True
+    if len(sequence) == 1:
+        if isinstance(first, bool):
+            return first
+        if isinstance(first, (int, float)):
+            return first != 0
+        if isinstance(first, str):
+            return bool(first)
+    return True
+
+
+def try_number(value) -> float | None:
+    """Coerce one atomic to float, or None when impossible."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def to_number(value) -> float:
+    number = try_number(value)
+    if number is None:
+        raise TypeCoercionError(f"cannot cast {value!r} to a number")
+    return number
+
+
+# -- comparisons -----------------------------------------------------------------------
+
+
+def compare_atomics(op: str, left, right) -> bool:
+    """Value comparison with runtime string->number casting.
+
+    Ordering operators always compare numerically (the benchmark's casting
+    challenge); equality compares numerically when both sides cast, else as
+    strings.
+    """
+    if op in ("<", "<=", ">", ">="):
+        left_num = try_number(left)
+        right_num = try_number(right)
+        if left_num is None or right_num is None:
+            return False
+        if op == "<":
+            return left_num < right_num
+        if op == "<=":
+            return left_num <= right_num
+        if op == ">":
+            return left_num > right_num
+        return left_num >= right_num
+    left_num = try_number(left)
+    right_num = try_number(right)
+    if left_num is not None and right_num is not None:
+        equal = left_num == right_num
+    else:
+        equal = atomic_to_string(left) == atomic_to_string(right)
+    return equal if op == "=" else not equal
+
+
+def general_compare(op: str, left: list, right: list, navigator: Navigator) -> bool:
+    """Existential comparison over two sequences."""
+    if not left or not right:
+        return False
+    left_atoms = atomize(left, navigator)
+    right_atoms = atomize(right, navigator)
+    for a in left_atoms:
+        for b in right_atoms:
+            if compare_atomics(op, a, b):
+                return True
+    return False

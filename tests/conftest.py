@@ -1,0 +1,53 @@
+"""Shared fixtures: generated documents and loaded stores.
+
+Documents and stores are session-scoped — generation and bulkload are the
+expensive parts of the pipeline, and every consumer treats them read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.systems import SYSTEMS, make_store
+from repro.xmlgen.generator import generate_string
+from repro.xmlio.parser import parse
+
+TINY_SCALE = 0.001    # ~100 kB, the paper's Figure 4 small document
+SMALL_SCALE = 0.002   # ~200 kB, used where more data variety helps
+
+
+@pytest.fixture(scope="session")
+def tiny_text() -> str:
+    return generate_string(TINY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_text() -> str:
+    return generate_string(SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tiny_document(tiny_text):
+    return parse(tiny_text)
+
+
+@pytest.fixture(scope="session")
+def small_document(small_text):
+    return parse(small_text)
+
+
+@pytest.fixture(scope="session")
+def loaded_stores(small_text):
+    """All seven systems loaded with the same small document."""
+    stores = {}
+    for name in SYSTEMS:
+        store = make_store(name)
+        store.load(small_text)
+        stores[name] = store
+    return stores
+
+
+@pytest.fixture(params=sorted(SYSTEMS))
+def any_store(request, loaded_stores):
+    """Parametrized fixture: each system's loaded store in turn."""
+    return loaded_stores[request.param]

@@ -1,0 +1,165 @@
+"""Benchmark-kit tests: query set, system registry, runner, reports."""
+
+import pytest
+
+from repro.benchmark.equivalence import check_equivalence
+from repro.benchmark.queries import QUERIES, TABLE3_QUERIES, query_text
+from repro.benchmark.report import (
+    figure4_report, format_table, query_group_legend, table1_report,
+    table2_report, table3_report,
+)
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.systems import SYSTEMS, get_profile, make_store
+from repro.errors import BenchmarkError
+from repro.storage.bulkload import scan_baseline
+from repro.xquery.parser import parse_query
+
+
+class TestQuerySet:
+    def test_twenty_queries(self):
+        assert sorted(QUERIES) == list(range(1, 21))
+
+    def test_all_queries_parse(self):
+        for number in QUERIES:
+            parse_query(query_text(number))  # must not raise
+
+    def test_groups_match_paper_sections(self):
+        assert QUERIES[1].group == "Exact match"
+        assert QUERIES[2].group == "Ordered access"
+        assert QUERIES[5].group == "Casting"
+        assert QUERIES[8].group == "Chasing references"
+        assert QUERIES[10].group == "Construction of complex results"
+        assert QUERIES[11].group == "Joins on values"
+        assert QUERIES[13].group == "Reconstruction"
+        assert QUERIES[14].group == "Full text"
+        assert QUERIES[17].group == "Missing elements"
+        assert QUERIES[18].group == "Function application"
+        assert QUERIES[19].group == "Sorting"
+        assert QUERIES[20].group == "Aggregation"
+
+    def test_table3_query_subset(self):
+        assert TABLE3_QUERIES == (1, 2, 3, 5, 6, 7, 8, 9, 10, 11, 12, 17, 20)
+
+    def test_q18_declares_udf(self):
+        assert "declare function" in query_text(18)
+
+
+class TestSystemRegistry:
+    def test_seven_systems(self):
+        assert sorted(SYSTEMS) == list("ABCDEFG")
+
+    def test_store_instantiation(self):
+        for name in SYSTEMS:
+            store = make_store(name)
+            assert type(store).__name__ == SYSTEMS[name].store_class.__name__
+
+    def test_unknown_system(self):
+        with pytest.raises(BenchmarkError):
+            make_store("Z")
+        with pytest.raises(BenchmarkError):
+            get_profile("Z")
+
+    def test_mass_storage_excludes_g(self):
+        assert not SYSTEMS["G"].mass_storage
+        assert all(SYSTEMS[s].mass_storage for s in "ABCDEF")
+
+    def test_profiles_match_paper_architecture(self):
+        assert get_profile("A").optimizer == "cost-exhaustive"
+        assert get_profile("C").join_rewrite_depth == 1
+        assert get_profile("D").inequality_join == "sorted"
+        assert get_profile("G").join_rewrite_depth == 0
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self, tiny_text):
+        return BenchmarkRunner(tiny_text, systems=("D", "G"))
+
+    def test_load_reports(self, runner, tiny_text):
+        assert set(runner.load_reports) == {"D", "G"}
+        assert runner.load_reports["D"].document_bytes == len(tiny_text)
+
+    def test_run_returns_timing_and_result(self, runner):
+        timing, result = runner.run("D", 1)
+        assert timing.system == "D" and timing.query == 1
+        assert timing.compile_seconds > 0
+        assert timing.execute_seconds > 0
+        assert timing.result_size == len(result) == 1
+        assert 0 <= timing.compile_share <= 1
+
+    def test_run_matrix(self, runner):
+        grid = runner.run_matrix(("D", "G"), (1, 6), repeats=2)
+        assert set(grid) == {("D", 1), ("D", 6), ("G", 1), ("G", 6)}
+
+    def test_unknown_system_raises(self, runner):
+        with pytest.raises(BenchmarkError):
+            runner.run("A", 1)  # not loaded in this runner
+
+    def test_g_capacity_failure_is_recorded(self, tiny_text):
+        from repro.storage.dom_store import DomStore
+        import repro.benchmark.systems as systems_module
+        original = DomStore.__init__
+
+        def tiny_limit(self):
+            original(self, document_limit=10)
+
+        DomStore.__init__ = tiny_limit
+        try:
+            runner = BenchmarkRunner(tiny_text, systems=("G",))
+            assert "G" in runner.failed_loads
+            with pytest.raises(BenchmarkError):
+                runner.store("G")
+        finally:
+            DomStore.__init__ = original
+
+
+class TestEquivalence:
+    def test_agreement(self, tiny_text):
+        runner = BenchmarkRunner(tiny_text, systems=("D", "F"))
+        results = {s: runner.run(s, 6)[1] for s in ("D", "F")}
+        report = check_equivalence(6, results)
+        assert report.ok
+        assert report.agreeing == ["F"]
+
+    def test_disagreement_detected(self, tiny_text):
+        runner = BenchmarkRunner(tiny_text, systems=("D",))
+        good = runner.run("D", 6)[1]
+        bad = runner.run("D", 5)[1]
+        report = check_equivalence(6, {"D": good, "X": bad})
+        assert not report.ok
+        assert "X" in report.disagreeing
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long"], [["1", "2"], ["33", "444"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_table1_report(self, tiny_text):
+        runner = BenchmarkRunner(tiny_text, systems=("D", "F"))
+        report = table1_report(runner.load_reports, scan_baseline(tiny_text))
+        assert "Bulkload time" in report and "scan baseline" in report
+
+    def test_table2_report(self, tiny_text):
+        runner = BenchmarkRunner(tiny_text, systems=("A", "B", "C"))
+        grid = runner.run_matrix(("A", "B", "C"), (1, 2))
+        report = table2_report(grid)
+        assert "Compile share" in report
+        assert "Q1" in report and "Q2" in report
+
+    def test_table3_report(self, tiny_text):
+        runner = BenchmarkRunner(tiny_text, systems=("D", "F"))
+        grid = runner.run_matrix(("D", "F"), (1, 5))
+        report = table3_report(grid, systems=("D", "F"), queries=(1, 5))
+        assert "System D" in report
+
+    def test_figure4_report(self, tiny_text):
+        runner = BenchmarkRunner(tiny_text, systems=("G",))
+        series = {0.001: {q: runner.run("G", q)[0] for q in (1, 2)}}
+        report = figure4_report(series)
+        assert "f=0.001" in report
+
+    def test_query_legend(self):
+        legend = query_group_legend()
+        assert "Q20" in legend and "Aggregation" in legend

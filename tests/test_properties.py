@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rng.distributions import RandomSource
+from repro.rng.lcg import Lcg48
+from repro.storage.dom_store import DomStore
+from repro.storage.fragment_store import FragmentStore
+from repro.storage.heap_store import HeapStore
+from repro.storage.summary_store import SummaryStore
+from repro.storage.tree_store import IndexedTreeStore, TreeStore
+from repro.xmlio.canonical import canonicalize
+from repro.xmlio.dom import Element, Text
+from repro.xmlio.parser import parse
+from repro.xmlio.serialize import serialize
+
+# -- random XML tree strategy ---------------------------------------------------
+
+_tag = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_attr_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'", max_size=12)
+_text_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&", min_size=1, max_size=20)
+
+
+@st.composite
+def xml_trees(draw, depth=3):
+    element = Element(draw(_tag))
+    for name in draw(st.lists(_tag, max_size=3, unique=True)):
+        element.attributes[name] = draw(_attr_value)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                element.append(draw(xml_trees(depth=depth - 1)))
+            else:
+                element.append_text(draw(_text_value))
+    return element
+
+
+class TestXmlRoundtrip:
+    @given(xml_trees())
+    @settings(max_examples=120, deadline=None)
+    def test_serialize_parse_roundtrip(self, tree):
+        text = serialize(tree)
+        reparsed = parse(text).root
+        assert serialize(reparsed) == text
+
+    @given(xml_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_canonicalize_idempotent(self, tree):
+        once = canonicalize(tree)
+        assert canonicalize(parse(once).root) == once
+
+    @given(xml_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_unordered_canonical_invariant_under_sibling_reversal(self, tree):
+        unordered = canonicalize(tree, ordered=False)
+        tree.children.reverse()
+        assert canonicalize(tree, ordered=False) == unordered
+
+
+class TestStoreConformanceOnRandomTrees:
+    @given(xml_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_all_stores_rebuild_random_documents(self, tree):
+        text = serialize(tree)
+        expected = canonicalize(parse(text).root, strip_whitespace=False)
+        for store_class in (DomStore, TreeStore, IndexedTreeStore,
+                            SummaryStore, HeapStore, FragmentStore):
+            store = store_class()
+            store.load(text)
+            rebuilt = store.build_dom(store.root())
+            assert canonicalize(rebuilt, strip_whitespace=False) == expected, store_class
+
+    @given(xml_trees(), _tag)
+    @settings(max_examples=40, deadline=None)
+    def test_descendant_counts_agree(self, tree, probe_tag):
+        text = serialize(tree)
+        oracle = sum(1 for _ in parse(text).root.descendants(probe_tag))
+        for store_class in (TreeStore, IndexedTreeStore, SummaryStore, HeapStore):
+            store = store_class()
+            store.load(text)
+            assert len(store.descendants_by_tag(store.root(), probe_tag)) == oracle
+
+
+class TestRngProperties:
+    @given(st.integers(0, 2**48 - 1))
+    @settings(max_examples=40)
+    def test_clone_equivalence(self, seed):
+        source = RandomSource(Lcg48(seed))
+        source.uniform()
+        twin = source.clone()
+        assert [source.uniform() for _ in range(8)] == [twin.uniform() for _ in range(8)]
+
+    @given(st.integers(0, 2**48 - 1), st.integers(1, 1000), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_sample_without_replacement_properties(self, seed, population, extra):
+        source = RandomSource(Lcg48(seed))
+        count = min(population, 1 + extra % population)
+        sample = source.sample_without_replacement(population, count)
+        assert len(set(sample)) == count
+        assert all(0 <= value < population for value in sample)
+
+    @given(st.floats(min_value=0.01, max_value=1e6), st.integers(0, 2**48 - 1))
+    @settings(max_examples=40)
+    def test_exponential_positive(self, mean, seed):
+        source = RandomSource(Lcg48(seed))
+        assert source.exponential(mean) >= 0

@@ -1,0 +1,221 @@
+"""Tests for the relational substrate: tables, indexes, operators, catalog."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.catalog import Catalog
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.operators import (
+    OperatorCounters, anti_join, group_aggregate, hash_join, nested_loop_join,
+    project, select, semi_join, sort_rows,
+)
+from repro.relational.stats import TableStats
+from repro.relational.table import Column, ColumnType, Table
+
+
+def make_people() -> Table:
+    table = Table("people", [
+        Column("id", ColumnType.INT, nullable=False),
+        Column("name", ColumnType.STR, nullable=False),
+        Column("age", ColumnType.INT),
+    ])
+    table.append(id=1, name="ann", age=30)
+    table.append(id=2, name="bob", age=None)
+    table.append(id=3, name="cid", age=25)
+    return table
+
+
+class TestTable:
+    def test_append_and_get(self):
+        table = make_people()
+        assert len(table) == 3
+        assert table.get(0, "name") == "ann"
+        assert table.get(1, "age") is None
+        assert table.row(2) == (3, "cid", 25)
+
+    def test_coercion(self):
+        table = make_people()
+        row = table.append(id="4", name="dee", age="40")
+        assert table.get(row, "id") == 4
+        assert table.get(row, "age") == 40
+
+    def test_coercion_failure(self):
+        table = make_people()
+        with pytest.raises(RelationalError):
+            table.append(id="not-a-number", name="x")
+
+    def test_missing_non_null_column(self):
+        table = make_people()
+        with pytest.raises(RelationalError):
+            table.append(id=9)
+
+    def test_unknown_column_rejected(self):
+        table = make_people()
+        with pytest.raises(RelationalError):
+            table.append(id=9, name="x", bogus=1)
+
+    def test_rows_projection(self):
+        table = make_people()
+        assert list(table.rows(["name"])) == [("ann",), ("bob",), ("cid",)]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationalError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(RelationalError):
+            Table("t", [])
+
+    def test_estimated_bytes_positive(self):
+        assert make_people().estimated_bytes() > 0
+
+
+class TestIndexes:
+    def test_hash_lookup(self):
+        table = make_people()
+        index = HashIndex(table, "name")
+        assert index.lookup("bob") == [1]
+        assert index.lookup("zzz") == []
+        assert index.unique("ann") == 0
+        assert index.unique("zzz") is None
+
+    def test_hash_refresh_after_append(self):
+        table = make_people()
+        index = HashIndex(table, "name")
+        table.append(id=4, name="bob", age=1)
+        index.refresh()
+        assert index.lookup("bob") == [1, 3]
+
+    def test_sorted_range(self):
+        table = make_people()
+        index = SortedIndex(table, "age")
+        assert index.range(25, 30) == [2, 0]
+        assert index.range(26, None) == [0]
+        assert index.range(None, 26) == [2]
+        assert index.range(25, 30, inclusive=False) == [2]
+
+    def test_sorted_excludes_nulls(self):
+        table = make_people()
+        index = SortedIndex(table, "age")
+        assert len(index) == 2
+        assert index.count_range(None, None) == 2
+
+
+class TestOperators:
+    def test_select_and_counters(self):
+        counters = OperatorCounters()
+        rows = [(1,), (2,), (3,)]
+        kept = select(rows, lambda r: r[0] > 1, counters)
+        assert kept == [(2,), (3,)]
+        assert counters.tuples_scanned == 3
+
+    def test_project(self):
+        assert project([(1, "a"), (2, "b")], [1]) == [("a",), ("b",)]
+
+    def test_hash_join_basic(self):
+        left = [(1, "l1"), (2, "l2")]
+        right = [(2, "r2"), (2, "r2b"), (3, "r3")]
+        joined = hash_join(left, right, lambda r: r[0], lambda r: r[0])
+        assert joined == [(2, "l2", 2, "r2"), (2, "l2", 2, "r2b")]
+
+    def test_hash_join_null_keys_never_match(self):
+        joined = hash_join([(None, "x")], [(None, "y")], lambda r: r[0], lambda r: r[0])
+        assert joined == []
+
+    def test_nested_loop_join_counts_pairs(self):
+        counters = OperatorCounters()
+        left = [(i,) for i in range(10)]
+        right = [(j,) for j in range(20)]
+        out = nested_loop_join(left, right, lambda l, r: l[0] > r[0], counters)
+        assert counters.join_pairs_considered == 200
+        assert len(out) == sum(min(i, 20) for i in range(10))
+
+    def test_sort_rows_stable(self):
+        rows = [(2, "a"), (1, "b"), (2, "c")]
+        assert sort_rows(rows, key=lambda r: r[0]) == [(1, "b"), (2, "a"), (2, "c")]
+
+    def test_group_aggregate(self):
+        rows = [("x", 1), ("y", 2), ("x", 3)]
+        groups = group_aggregate(rows, key=lambda r: r[0],
+                                 aggregate=lambda members: sum(m[1] for m in members))
+        assert groups == {"x": 4, "y": 2}
+
+    def test_semi_and_anti_join(self):
+        rows = [(1,), (2,), (3,)]
+        assert semi_join(rows, {2, 3}, lambda r: r[0]) == [(2,), (3,)]
+        assert anti_join(rows, {2, 3}, lambda r: r[0]) == [(1,)]
+
+
+class TestStats:
+    def test_gather_counts(self):
+        stats = TableStats.gather(make_people())
+        assert stats.row_count == 3
+        assert stats.distinct["name"] == 3
+
+    def test_join_cardinality_estimate(self):
+        a = TableStats(1000, {"k": 100})
+        b = TableStats(500, {"k": 50})
+        assert a.join_cardinality(b, "k", "k") == 1000 * 500 / 100
+
+    def test_equality_cardinality(self):
+        stats = TableStats(1000, {"k": 100})
+        assert stats.equality_cardinality("k") == 10
+        assert stats.equality_cardinality("unknown") == 100  # default 0.1
+
+    def test_range_default(self):
+        assert TableStats(300, {}).range_cardinality() == 100
+
+
+class TestCatalog:
+    def test_create_and_lookup_counted(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("a")])
+        before = catalog.metadata_accesses
+        catalog.table("t")
+        catalog.has_table("nope")
+        assert catalog.metadata_accesses == before + 2
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", [Column("a")])
+        with pytest.raises(RelationalError):
+            catalog.create_table("t", [Column("a")])
+
+    def test_ensure_table_idempotent(self):
+        catalog = Catalog()
+        first = catalog.ensure_table("t", [Column("a")])
+        second = catalog.ensure_table("t", [Column("a")])
+        assert first is second
+
+    def test_match_table_names_costs_per_table(self):
+        catalog = Catalog()
+        for name in ("x/a", "x/b", "y/c"):
+            catalog.create_table(name, [Column("v")])
+        before = catalog.metadata_accesses
+        names = catalog.match_table_names(lambda n: n.startswith("x/"))
+        assert names == ["x/a", "x/b"]
+        assert catalog.metadata_accesses - before == 3
+
+    def test_analyze_and_stats(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", [Column("a", ColumnType.INT)])
+        table.append(a=1)
+        table.append(a=2)
+        catalog.analyze()
+        assert catalog.stats("t").row_count == 2
+
+    def test_indexes_via_catalog(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", [Column("a", ColumnType.INT)])
+        table.append(a=5)
+        hash_ix = catalog.create_hash_index("t", "a")
+        sorted_ix = catalog.create_sorted_index("t", "a")
+        assert catalog.hash_index("t", "a") is hash_ix
+        assert catalog.sorted_index("t", "a") is sorted_ix
+        assert catalog.hash_index("t", "zz") is None
+        assert hash_ix.lookup(5) == [0]
+        assert sorted_ix.range(0, 10) == [0]
+
+    def test_missing_table_raises(self):
+        with pytest.raises(RelationalError):
+            Catalog().table("ghost")

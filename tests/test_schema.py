@@ -1,0 +1,175 @@
+"""Tests for content models, DTD declarations and the validator."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.schema.auction import REFERENCE_TARGETS, auction_dtd, auction_split_dtd
+from repro.schema.dtd import AttributeKind, Dtd, cdata, id_attr, idref
+from repro.schema.model import (
+    Choice, Empty, Mixed, Name, Repeat, Sequence, choice, optional,
+    parse_content_model, plus, seq, star,
+)
+from repro.schema.validator import validate
+from repro.xmlio.parser import parse
+
+
+class TestContentModels:
+    @pytest.mark.parametrize("model,accept,reject", [
+        (seq("a", "b"), [["a", "b"]], [["a"], ["b", "a"], ["a", "b", "b"], []]),
+        (choice("a", "b"), [["a"], ["b"]], [[], ["a", "b"]]),
+        (star("a"), [[], ["a"], ["a"] * 5], [["b"], ["a", "b"]]),
+        (plus("a"), [["a"], ["a", "a"]], [[]]),
+        (optional("a"), [[], ["a"]], [["a", "a"]]),
+        (seq("a", optional("b"), "c"), [["a", "c"], ["a", "b", "c"]], [["a", "b"], ["b", "c"]]),
+        (seq(star(choice("a", "b")), "c"), [["c"], ["a", "b", "a", "c"]], [["a", "b"]]),
+        (Empty(), [[]], [["a"]]),
+    ])
+    def test_matching(self, model, accept, reject):
+        for sequence in accept:
+            assert model.matches(sequence), f"{model} should accept {sequence}"
+        for sequence in reject:
+            assert not model.matches(sequence), f"{model} should reject {sequence}"
+
+    def test_mixed_accepts_any_order_of_listed(self):
+        model = Mixed(frozenset(("b", "i")))
+        assert model.matches(["b", "i", "b"])
+        assert not model.matches(["u"])
+        assert model.allows_text()
+
+    def test_allowed_tags(self):
+        model = seq("a", star(choice("b", "c")))
+        assert model.allowed_tags() == {"a", "b", "c"}
+
+    def test_str_rendering(self):
+        assert str(seq("a", optional("b"))) == "(a, b?)"
+        assert str(Empty()) == "EMPTY"
+
+
+class TestContentModelParsing:
+    @pytest.mark.parametrize("text", [
+        "(a, b, c)", "(a | b)", "(a*)", "(a+, b?)", "EMPTY",
+        "(#PCDATA)", "(#PCDATA | b | i)*", "((a | b)+, c)",
+    ])
+    def test_parse_roundtrip_semantics(self, text):
+        model = parse_content_model(text)
+        reparsed = parse_content_model(str(model)) if text != "EMPTY" else model
+        probes = [[], ["a"], ["b"], ["a", "b"], ["a", "b", "c"], ["c"]]
+        for probe in probes:
+            assert model.matches(probe) == reparsed.matches(probe)
+
+    def test_parse_sequence(self):
+        model = parse_content_model("(a, b?)")
+        assert isinstance(model, Sequence)
+        assert model.matches(["a"]) and model.matches(["a", "b"])
+
+    def test_parse_mixed(self):
+        model = parse_content_model("(#PCDATA | bold | emph)*")
+        assert isinstance(model, Mixed)
+        assert model.tags == {"bold", "emph"}
+
+    @pytest.mark.parametrize("bad", ["", "(a", "(a,)", "ANY", "(#PCDATA | b)", "(a,b) junk"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(ValidationError):
+            parse_content_model(bad)
+
+
+class TestDtd:
+    def test_declare_and_lookup(self):
+        dtd = Dtd(root="r")
+        dtd.declare("r", "(x*)")
+        dtd.declare("x", "EMPTY", (id_attr(), cdata("note")))
+        assert "r" in dtd
+        assert dtd.element("x").attribute("id").kind is AttributeKind.ID
+        with pytest.raises(ValidationError):
+            dtd.element("zzz")
+
+    def test_id_and_idref_maps(self):
+        dtd = auction_dtd()
+        ids = dtd.id_attributes()
+        assert ids["person"] == "id"
+        assert ids["item"] == "id"
+        refs = dtd.idref_attributes()
+        assert refs["edge"] == ["from", "to"]
+        assert refs["seller"] == ["person"]
+
+    def test_serialize_contains_declarations(self):
+        text = auction_dtd().serialize()
+        assert "<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>" in text
+        assert "<!ATTLIST person id ID #REQUIRED>" in text
+        assert "(#PCDATA | bold | emph | keyword)*" in text  # tags sorted
+        assert "<!ELEMENT categories (category+)>" in text
+
+    def test_split_dtd_relaxes_ids(self):
+        split = auction_split_dtd()
+        person_id = split.element("person").attribute("id")
+        assert person_id.kind is AttributeKind.CDATA
+        assert person_id.required
+        seller = split.element("seller").attribute("person")
+        assert seller.kind is AttributeKind.CDATA
+
+    def test_auction_dtd_reference_targets_are_declared(self):
+        dtd = auction_dtd()
+        for (element, attribute), target in REFERENCE_TARGETS.items():
+            assert dtd.element(element).attribute(attribute) is not None
+            assert target in dtd
+
+
+class TestValidator:
+    def _dtd(self) -> Dtd:
+        dtd = Dtd(root="r")
+        dtd.declare("r", "(x+, y?)")
+        dtd.declare("x", "(#PCDATA)", (id_attr(),))
+        dtd.declare("y", "EMPTY", (idref("to"),))
+        return dtd
+
+    def test_valid_document(self):
+        doc = parse('<r><x id="a">t</x><y to="a"/></r>')
+        assert validate(doc, self._dtd()).ok
+
+    def test_wrong_root(self):
+        report = validate(parse("<x/>"), self._dtd())
+        assert any("root element" in v for v in report.violations)
+
+    def test_undeclared_element(self):
+        report = validate(parse('<r><x id="a"/><z/></r>'), self._dtd())
+        assert any("match" in v or "undeclared" in v for v in report.violations)
+
+    def test_content_model_violation(self):
+        report = validate(parse('<r><y to="a"/></r>'), self._dtd())
+        assert any("do not match" in v for v in report.violations)
+
+    def test_missing_required_attribute(self):
+        report = validate(parse("<r><x>t</x></r>"), self._dtd())
+        assert any("missing required attribute" in v for v in report.violations)
+
+    def test_duplicate_id(self):
+        report = validate(parse('<r><x id="a"/><x id="a"/></r>'), self._dtd())
+        assert any("duplicate ID" in v for v in report.violations)
+
+    def test_dangling_idref(self):
+        report = validate(parse('<r><x id="a"/><y to="zzz"/></r>'), self._dtd())
+        assert any("points at no ID" in v for v in report.violations)
+
+    def test_typed_reference_target(self):
+        dtd = self._dtd()
+        doc = parse('<r><x id="a"/><y to="a"/></r>')
+        report = validate(doc, dtd, reference_targets={("y", "to"): "other"})
+        assert any("expected <other>" in v for v in report.violations)
+
+    def test_stray_text_in_element_only(self):
+        report = validate(parse('<r>oops<x id="a"/></r>'), self._dtd())
+        assert any("character data" in v for v in report.violations)
+
+    def test_undeclared_attribute(self):
+        report = validate(parse('<r><x id="a" hacked="1"/></r>'), self._dtd())
+        assert any("undeclared attribute" in v for v in report.violations)
+
+    def test_raise_if_failed(self):
+        report = validate(parse("<x/>"), self._dtd())
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+    def test_benchmark_document_is_valid(self, small_document):
+        report = validate(small_document, auction_dtd(), REFERENCE_TARGETS)
+        assert report.ok, report.violations[:5]
+        assert report.refs_checked > 100

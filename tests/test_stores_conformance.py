@@ -1,0 +1,151 @@
+"""Cross-store conformance: every system must agree with the DOM oracle.
+
+The paper's entire methodology rests on seven architectures answering the
+same queries identically; these tests pin the navigation API of every store
+to the parsed DOM as ground truth.
+"""
+
+import pytest
+
+from repro.xmlio.canonical import canonicalize
+from repro.xmlio.serialize import serialize
+
+
+def _oracle_person(document, index=0):
+    return document.root.find("people").find_all("person")[index]
+
+
+class TestFullRoundtrip:
+    def test_whole_document_reconstruction(self, any_store, small_document):
+        """build_dom over the navigation API must reproduce the document."""
+        rebuilt = any_store.build_dom(any_store.root())
+        assert canonicalize(rebuilt, strip_whitespace=False) == canonicalize(
+            small_document, strip_whitespace=False
+        )
+
+
+class TestNavigation:
+    def test_root_tag(self, any_store):
+        assert any_store.tag(any_store.root()) == "site"
+
+    def test_top_level_children_order(self, any_store):
+        tags = [any_store.tag(c) for c in any_store.children(any_store.root())]
+        assert tags == ["regions", "categories", "catgraph", "people",
+                        "open_auctions", "closed_auctions"]
+
+    def test_children_by_tag_matches_oracle(self, any_store, small_document):
+        store = any_store
+        people = store.children_by_tag(store.root(), "people")[0]
+        persons = store.children_by_tag(people, "person")
+        oracle = small_document.root.find("people").find_all("person")
+        assert len(persons) == len(oracle)
+        assert store.attribute(persons[0], "id") == oracle[0].get("id")
+        assert store.attribute(persons[-1], "id") == oracle[-1].get("id")
+
+    def test_descendants_by_tag_count(self, any_store, small_document):
+        store = any_store
+        expected = sum(1 for _ in small_document.root.iter("item"))
+        found = store.descendants_by_tag(store.root(), "item")
+        assert len(found) == expected
+
+    def test_descendants_in_document_order(self, any_store):
+        store = any_store
+        items = store.descendants_by_tag(store.root(), "item")
+        positions = [store.doc_position(i) for i in items]
+        assert positions == sorted(positions)
+
+    def test_descendants_scoped_to_subtree(self, any_store, small_document):
+        store = any_store
+        regions = store.children_by_tag(store.root(), "regions")[0]
+        europe = store.children_by_tag(regions, "europe")[0]
+        expected = len(small_document.root.find("regions").find("europe").find_all("item"))
+        assert len(store.descendants_by_tag(europe, "item")) == expected
+
+    def test_descendants_nonexistent_tag_empty(self, any_store):
+        store = any_store
+        assert store.descendants_by_tag(store.root(), "nonexistent_tag") == []
+
+    def test_attributes_match_oracle(self, any_store, small_document):
+        store = any_store
+        people = store.children_by_tag(store.root(), "people")[0]
+        person = store.children_by_tag(people, "person")[0]
+        oracle = _oracle_person(small_document)
+        assert store.attributes(person) == dict(oracle.attributes)
+        assert store.attribute(person, "id") == oracle.get("id")
+        assert store.attribute(person, "missing") is None
+
+    def test_child_texts_match_oracle(self, any_store, small_document):
+        store = any_store
+        people = store.children_by_tag(store.root(), "people")[0]
+        person = store.children_by_tag(people, "person")[0]
+        name = store.children_by_tag(person, "name")[0]
+        assert "".join(store.child_texts(name)) == _oracle_person(
+            small_document).find("name").immediate_text()
+
+    def test_string_value_of_description(self, any_store, small_document):
+        store = any_store
+        regions = store.children_by_tag(store.root(), "regions")[0]
+        items = store.descendants_by_tag(regions, "item")
+        oracle_items = list(small_document.root.find("regions").iter("item"))
+        for index in (0, len(items) // 2, len(items) - 1):
+            ours = store.string_value(
+                store.children_by_tag(items[index], "description")[0])
+            theirs = oracle_items[index].find("description").text_content()
+            assert ours == theirs
+
+    def test_content_interleaving(self, any_store, small_document):
+        """Mixed-content reconstruction must preserve text/element order."""
+        store = any_store
+        regions = store.children_by_tag(store.root(), "regions")[0]
+        item = store.descendants_by_tag(regions, "item")[0]
+        description = store.children_by_tag(item, "description")[0]
+        rebuilt = store.build_dom(description)
+        oracle = list(small_document.root.find("regions").iter("item"))[0].find("description")
+        assert serialize(rebuilt) == serialize(oracle)
+
+    def test_parent_of_person(self, any_store):
+        store = any_store
+        people = store.children_by_tag(store.root(), "people")[0]
+        person = store.children_by_tag(people, "person")[0]
+        parent = store.parent(person)
+        assert parent is not None
+        assert store.tag(parent) == "people"
+
+    def test_parent_of_root_is_none_or_site_container(self, any_store):
+        store = any_store
+        assert store.parent(store.root()) is None
+
+    def test_doc_position_orders_bidders(self, any_store, small_document):
+        """Q4's << operator depends on bidder order within an auction."""
+        store = any_store
+        auctions = store.children_by_tag(store.root(), "open_auctions")[0]
+        for auction in store.children_by_tag(auctions, "open_auction"):
+            bidders = store.children_by_tag(auction, "bidder")
+            positions = [store.doc_position(b) for b in bidders]
+            assert positions == sorted(positions)
+            if len(bidders) >= 2:
+                return
+        pytest.skip("no auction with two bidders at this scale")
+
+    def test_size_bytes_positive(self, any_store):
+        assert any_store.size_bytes() > 0
+
+
+class TestIdLookup:
+    def test_id_index_when_supported(self, any_store, small_document):
+        store = any_store
+        if not store.has_id_index():
+            assert store.lookup_id("person0") is None
+            return
+        handle = store.lookup_id("person0")
+        assert handle is not None
+        assert store.tag(handle) == "person"
+        assert store.attribute(handle, "id") == "person0"
+        assert store.lookup_id("person-that-does-not-exist") is None
+
+    def test_item_lookup(self, any_store):
+        store = any_store
+        if not store.has_id_index():
+            pytest.skip("no ID index")
+        handle = store.lookup_id("item0")
+        assert store.tag(handle) == "item"

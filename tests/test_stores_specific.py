@@ -1,0 +1,247 @@
+"""Architecture-specific behaviour of each store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.bulkload import bulkload, scan_baseline
+from repro.storage.dom_store import DomStore
+from repro.storage.fragment_store import FragmentStore
+from repro.storage.heap_store import HeapStore
+from repro.storage.schema_store import SchemaStore
+from repro.storage.shred import shred_to_files
+from repro.storage.structural_summary import StructuralSummary
+from repro.storage.summary_store import SummaryStore
+from repro.storage.tree_store import IndexedTreeStore, TreeStore
+
+
+class TestHeapStore:
+    def test_single_relation_architecture(self, loaded_stores):
+        store = loaded_stores["A"]
+        assert store.catalog.table_count() == 3  # nodes, texts, attrs
+
+    def test_pre_post_containment(self, loaded_stores):
+        store = loaded_stores["A"]
+        nodes = store.catalog.table("nodes")
+        pres = nodes.column("pre")
+        posts = nodes.column("post")
+        parents = nodes.column("parent")
+        for row in range(1, min(2000, len(nodes))):
+            parent = parents[row]
+            if parent is None:
+                continue
+            parent_row = next(r for r in range(len(nodes)) if pres[r] == parent)
+            assert pres[parent_row] < pres[row] <= posts[parent_row]
+
+    def test_tag_extent_access(self, loaded_stores):
+        store = loaded_stores["A"]
+        extent = store.all_with_tag("person")
+        assert extent == sorted(extent)
+        assert len(extent) > 10
+
+
+class TestFragmentStore:
+    def test_many_tables(self, loaded_stores):
+        store = loaded_stores["B"]
+        # "Highly fragmenting": far more relations than System A's three.
+        assert store.table_count > 100
+
+    def test_paths_extending(self, loaded_stores):
+        store = loaded_stores["B"]
+        paths = store.paths_extending(("site",), "item")
+        assert ("site", "regions", "europe", "item") in paths
+        assert len(paths) == 6  # one per region
+
+    def test_child_path_exists(self, loaded_stores):
+        store = loaded_stores["B"]
+        assert store.child_path_exists(("site",), "people")
+        assert not store.child_path_exists(("site",), "nonsense")
+
+    def test_nodes_at_path_is_extent(self, loaded_stores, small_document):
+        store = loaded_stores["B"]
+        extent = store.nodes_at_path(("site", "people", "person"))
+        assert len(extent) == len(small_document.root.find("people").find_all("person"))
+
+    def test_metadata_counted_on_navigation(self, loaded_stores):
+        store = loaded_stores["B"]
+        before = store.catalog.metadata_accesses
+        store.children_by_tag(store.root(), "people")
+        assert store.catalog.metadata_accesses > before
+
+
+class TestSchemaStore:
+    def test_typed_tables_exist(self, loaded_stores):
+        store = loaded_stores["C"]
+        for table in ("person", "item", "open_auction", "closed_auction",
+                      "category", "edge", "bidder", "mail", "interest",
+                      "watch", "incategory"):
+            assert store.table(table) is not None
+
+    def test_person_row_inlines_scalars(self, loaded_stores, small_document):
+        store = loaded_stores["C"]
+        person_table = store.table("person")
+        oracle = small_document.root.find("people").find("person")
+        assert person_table.get(0, "name") == oracle.find("name").immediate_text()
+        assert person_table.get(0, "id") == oracle.get("id")
+
+    def test_optional_struct_presence_column(self, loaded_stores, small_document):
+        store = loaded_stores["C"]
+        person_table = store.table("person")
+        presences = person_table.column("profile_present")
+        oracle_persons = small_document.root.find("people").find_all("person")
+        for row in range(min(50, len(oracle_persons))):
+            assert bool(presences[row]) == (oracle_persons[row].find("profile") is not None)
+
+    def test_bidder_positions(self, loaded_stores, small_document):
+        store = loaded_stores["C"]
+        bidder_table = store.table("bidder")
+        oracle_bidders = sum(
+            len(a.find_all("bidder"))
+            for a in small_document.root.find("open_auctions").find_all("open_auction")
+        )
+        assert len(bidder_table) == oracle_bidders
+
+    def test_fragments_parsed_lazily(self, small_text):
+        store = SchemaStore()
+        store.load(small_text)
+        assert store.stats.fragments_parsed == 0
+        regions = store.children_by_tag(store.root(), "regions")[0]
+        item = store.descendants_by_tag(regions, "item")[0]
+        description = store.children_by_tag(item, "description")[0]
+        store.children(description)  # forces a CLOB parse
+        assert store.stats.fragments_parsed >= 1
+
+    def test_rejects_non_auction_document(self):
+        store = SchemaStore()
+        with pytest.raises(StorageError):
+            store.load("<other/>")
+
+    def test_container_descendant_fast_path(self, loaded_stores, small_document):
+        store = loaded_stores["C"]
+        descriptions = store.descendants_by_tag(store.root(), "description")
+        expected = sum(1 for _ in small_document.root.iter("description"))
+        assert len(descriptions) == expected
+
+
+class TestSummaryStore:
+    def test_summary_counts_match_document(self, loaded_stores, small_document):
+        store = loaded_stores["D"]
+        assert store.count_path(("site", "people", "person")) == len(
+            small_document.root.find("people").find_all("person"))
+        assert store.count_path(("site", "no", "such", "path")) == 0
+
+    def test_nodes_at_path(self, loaded_stores):
+        store = loaded_stores["D"]
+        nodes = store.nodes_at_path(("site", "people", "person"))
+        assert all(store.tag(n) == "person" for n in nodes[:5])
+
+    def test_known_tags(self, loaded_stores):
+        tags = loaded_stores["D"].known_tags()
+        assert "person" in tags and "keyword" in tags
+        assert "bogus" not in tags
+
+    def test_summary_paths_through(self, loaded_stores):
+        summary = loaded_stores["D"].summary
+        entries = summary.paths_through(("site",), "item")
+        assert len(entries) == 6
+        assert all(entry.path[-1] == "item" for entry in entries)
+
+    def test_compactness_vs_tree_store(self, loaded_stores):
+        # Table 1: System D's database is smaller than E's and F's.
+        assert loaded_stores["D"].size_bytes() < loaded_stores["F"].size_bytes()
+        assert loaded_stores["D"].size_bytes() < loaded_stores["E"].size_bytes()
+
+
+class TestStructuralSummary:
+    def test_build_from_arrays(self):
+        tags = ["a", "b", "c", "b"]
+        parents = [-1, 0, 1, 0]
+        summary = StructuralSummary.build(tags, parents)
+        assert summary.count(("a",)) == 1
+        assert summary.count(("a", "b")) == 2
+        assert summary.count(("a", "b", "c")) == 1
+        assert summary.nodes(("a", "b")) == [1, 3]
+        assert summary.path_count() == 3
+        assert summary.has_tag("c") and not summary.has_tag("z")
+
+
+class TestTreeStores:
+    def test_tag_index_equals_scan(self, loaded_stores):
+        indexed = loaded_stores["E"]
+        plain = loaded_stores["F"]
+        for tag in ("item", "keyword", "person"):
+            via_index = indexed.descendants_by_tag(indexed.root(), tag)
+            via_scan = plain.descendants_by_tag(plain.root(), tag)
+            assert len(via_index) == len(via_scan)
+
+    def test_all_with_tag_document_order(self, loaded_stores):
+        extent = loaded_stores["E"].all_with_tag("person")
+        assert extent == sorted(extent)
+
+    def test_f_larger_than_e_minus_index(self, loaded_stores):
+        # F materialises child lists; E derives children but adds a tag index.
+        assert loaded_stores["F"].node_count() == loaded_stores["E"].node_count()
+
+    def test_no_id_index(self, loaded_stores):
+        assert not loaded_stores["F"].has_id_index()
+        assert loaded_stores["F"].lookup_id("person0") is None
+
+
+class TestDomStore:
+    def test_document_limit_enforced(self):
+        store = DomStore(document_limit=100)
+        with pytest.raises(StorageError) as excinfo:
+            store.load("<site>" + "x" * 200 + "</site>")
+        assert "System G" in str(excinfo.value)
+
+    def test_requires_load_before_navigation(self):
+        store = DomStore()
+        with pytest.raises(StorageError):
+            store.root()
+
+
+class TestBulkload:
+    def test_report_fields(self, small_text):
+        report = bulkload(TreeStore(), small_text, "F")
+        assert report.store_name == "F"
+        assert report.seconds > 0
+        assert report.database_bytes > 0
+        assert report.document_bytes == len(small_text)
+        assert report.size_ratio > 1.0
+
+    def test_scan_baseline_faster_than_any_load(self, small_text):
+        scan = scan_baseline(small_text)
+        load = bulkload(IndexedTreeStore(), small_text)
+        assert scan.seconds < load.seconds
+        assert scan.events > 1000
+
+    def test_fragmenting_mapping_loads_slowest_of_relational(self, small_text):
+        # Table 1 shape: B's bulkload exceeds A's (many-table mapping).
+        time_a = min(bulkload(HeapStore(), small_text).seconds for _ in range(2))
+        time_b = min(bulkload(FragmentStore(), small_text).seconds for _ in range(2))
+        assert time_b > time_a
+
+    def test_summary_store_loads_faster_than_relational(self, small_text):
+        time_d = min(bulkload(SummaryStore(), small_text).seconds for _ in range(2))
+        time_b = min(bulkload(FragmentStore(), small_text).seconds for _ in range(2))
+        assert time_d < time_b
+
+
+class TestShred:
+    @pytest.mark.parametrize("mapping,min_files", [
+        ("edge", 3), ("path", 50), ("schema", 11),
+    ])
+    def test_shred_file_counts(self, tiny_text, tmp_path, mapping, min_files):
+        files = shred_to_files(tiny_text, str(tmp_path / mapping), mapping)
+        assert len(files) >= min_files
+        header = open(files[0], encoding="ascii").readline()
+        assert header.startswith("# ")
+
+    def test_shred_rejects_unknown_mapping(self, tiny_text, tmp_path):
+        with pytest.raises(StorageError):
+            shred_to_files(tiny_text, str(tmp_path), "bogus")
+
+    def test_edge_shred_row_count(self, tiny_text, tmp_path, tiny_document):
+        files = shred_to_files(tiny_text, str(tmp_path / "edge"), "edge")
+        nodes_file = next(f for f in files if f.endswith("nodes.tbl"))
+        rows = sum(1 for line in open(nodes_file, encoding="ascii")) - 1
+        assert rows == sum(1 for _ in tiny_document.root.iter())

@@ -1,0 +1,126 @@
+"""Tests for the vocabulary and text generator."""
+
+import re
+
+import pytest
+
+from repro.rng.distributions import RandomSource
+from repro.text.generator import TextGenerator
+from repro.text.vocabulary import Vocabulary, default_vocabulary
+
+
+class TestVocabulary:
+    def test_size(self):
+        assert len(Vocabulary(500)) == 500
+        assert len(default_vocabulary()) == 17_000
+
+    def test_words_distinct(self):
+        vocab = Vocabulary(5000)
+        assert len(set(vocab.words)) == 5000
+
+    def test_frequent_words_short(self):
+        vocab = Vocabulary(17_000)
+        first100 = sum(len(vocab.word(i)) for i in range(100)) / 100
+        last100 = sum(len(vocab.word(i)) for i in range(16_900, 17_000)) / 100
+        assert first100 < last100
+
+    def test_ascii_only(self):
+        vocab = Vocabulary(2000)
+        for word in vocab.words:
+            assert word.isascii() and word.isalpha() and word == word.lower()
+
+    def test_anchor_insertion(self):
+        vocab = Vocabulary(1000, anchors={10: "gold"})
+        assert vocab.word(10) == "gold"
+        assert vocab.contains("gold")
+
+    def test_anchor_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            Vocabulary(10, anchors={100: "gold"})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Vocabulary(0)
+
+    def test_zipf_sampling_prefers_low_ranks(self):
+        vocab = Vocabulary(1000)
+        src = RandomSource.from_seed(1)
+        counts = {}
+        for _ in range(5000):
+            word = vocab.sample(src)
+            counts[word] = counts.get(word, 0) + 1
+        top_word = vocab.word(0)
+        # P(rank 0) = 1/H(1000) ~= 13%, so ~650 expected out of 5000.
+        assert counts.get(top_word, 0) > 400
+
+
+class TestTextGenerator:
+    @pytest.fixture()
+    def gen(self):
+        return TextGenerator(Vocabulary(500))
+
+    @pytest.fixture()
+    def src(self):
+        return RandomSource.from_seed(42)
+
+    def test_sentence_word_count(self, gen, src):
+        for _ in range(50):
+            words = gen.sentence(src, 4, 8).split(" ")
+            assert 4 <= len(words) <= 8
+
+    def test_person_name_format(self, gen, src):
+        for _ in range(20):
+            name = gen.person_name(src)
+            first, last = name.split(" ")
+            assert first[0].isupper() and last[0].isupper()
+
+    def test_email_format(self, gen, src):
+        email = gen.email(src, "Ada Lovelace")
+        assert email.startswith("mailto:ada.lovelace")
+        assert "@" in email
+
+    def test_phone_format(self, gen, src):
+        assert re.fullmatch(r"\+\d{1,2} \(\d{2,3}\) \d{7,8}", gen.phone(src))
+
+    def test_date_format(self, gen, src):
+        for _ in range(50):
+            month, day, year = gen.date(src).split("/")
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+            assert 1998 <= int(year) <= 2001
+
+    def test_time_format(self, gen, src):
+        assert re.fullmatch(r"\d{2}:\d{2}:\d{2}", gen.time(src))
+
+    def test_amount_positive_two_decimals(self, gen, src):
+        for _ in range(100):
+            amount = gen.amount(src, 40.0)
+            assert re.fullmatch(r"\d+\.\d{2}", amount)
+            assert float(amount) > 0
+
+    def test_zipcode_five_digits(self, gen, src):
+        assert re.fullmatch(r"\d{5}", gen.zipcode(src))
+
+    def test_creditcard_format(self, gen, src):
+        assert re.fullmatch(r"\d{4} \d{4} \d{4} \d{4}", gen.creditcard(src))
+
+    def test_payment_type_distinct_methods(self, gen, src):
+        for _ in range(50):
+            methods = gen.payment_type(src).split(", ")
+            assert 1 <= len(methods) <= 3
+            assert len(set(methods)) == len(methods)
+
+    def test_homepage_from_name(self, gen, src):
+        page = gen.homepage(src, "Ada Lovelace")
+        assert page.startswith("http://www.")
+        assert "ada/lovelace" in page
+
+    def test_deterministic_given_source(self, gen):
+        a = TextGenerator(Vocabulary(500))
+        out1 = a.paragraph(RandomSource.from_seed(9))
+        out2 = gen.paragraph(RandomSource.from_seed(9))
+        assert out1 == out2
+
+    def test_keyword_short(self, gen, src):
+        for _ in range(50):
+            assert 1 <= len(gen.keyword(src).split(" ")) <= 3

@@ -1,0 +1,152 @@
+"""Tests for the lightweight DOM, serializer and canonicalizer."""
+
+import io
+
+import pytest
+
+from repro.xmlio.canonical import canonicalize, equivalent
+from repro.xmlio.dom import Document, Element, Text
+from repro.xmlio.parser import parse
+from repro.xmlio.serialize import XMLWriter, serialize
+
+
+def build_sample() -> Element:
+    root = Element("root", {"a": "1"})
+    child = root.append(Element("child"))
+    child.append(Text("hello "))
+    child.append(Element("em")).append(Text("world"))
+    root.append(Element("empty"))
+    return root
+
+
+class TestDom:
+    def test_find_and_find_all(self):
+        root = build_sample()
+        assert root.find("child").tag == "child"
+        assert root.find("missing") is None
+        assert len(root.find_all("empty")) == 1
+
+    def test_iter_document_order(self):
+        root = build_sample()
+        assert [e.tag for e in root.iter()] == ["root", "child", "em", "empty"]
+        assert [e.tag for e in root.iter("em")] == ["em"]
+
+    def test_descendants_excludes_self(self):
+        root = build_sample()
+        assert [e.tag for e in root.descendants()] == ["child", "em", "empty"]
+
+    def test_text_content_and_immediate(self):
+        root = build_sample()
+        child = root.find("child")
+        assert child.text_content() == "hello world"
+        assert child.immediate_text() == "hello "
+
+    def test_append_text_merges(self):
+        element = Element("x")
+        element.append_text("a")
+        element.append_text("b")
+        assert len(element.children) == 1
+        assert element.immediate_text() == "ab"
+
+    def test_copy_is_deep_and_detached(self):
+        root = build_sample()
+        duplicate = root.copy()
+        assert duplicate.parent is None
+        assert serialize(duplicate) == serialize(root)
+        duplicate.find("child").attributes["new"] = "1"
+        assert "new" not in root.find("child").attributes
+
+    def test_parent_links(self):
+        root = build_sample()
+        assert root.find("child").parent is root
+        assert root.parent is None
+
+    def test_document_single_root(self):
+        doc = Document()
+        doc.set_root(Element("a"))
+        with pytest.raises(ValueError):
+            doc.set_root(Element("b"))
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_attributes_escaped(self):
+        element = Element("a", {"x": 'v"<'})
+        assert serialize(element) == '<a x="v&quot;&lt;"/>'
+
+    def test_text_escaped(self):
+        element = Element("a")
+        element.append_text("1 < 2 & 3")
+        assert serialize(element) == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_indent_mode_round_trips(self):
+        root = build_sample()
+        pretty = serialize(root, indent=True)
+        assert parse(pretty).root.find("child").text_content().strip().startswith("hello")
+
+
+class TestXMLWriter:
+    def test_writer_basic(self):
+        out = io.StringIO()
+        writer = XMLWriter(out)
+        writer.start("a", {"k": "v"})
+        writer.leaf("b", "text & more")
+        writer.empty("c", {"x": "1"})
+        writer.end()
+        writer.finish()
+        assert out.getvalue() == '<a k="v"><b>text &amp; more</b><c x="1"/></a>'
+
+    def test_writer_detects_unclosed(self):
+        writer = XMLWriter(io.StringIO())
+        writer.start("a")
+        with pytest.raises(ValueError):
+            writer.finish()
+
+    def test_writer_depth(self):
+        writer = XMLWriter(io.StringIO())
+        writer.start("a")
+        writer.start("b")
+        assert writer.depth == 2
+        writer.end()
+        writer.end()
+        assert writer.depth == 0
+
+    def test_declaration(self):
+        out = io.StringIO()
+        writer = XMLWriter(out)
+        writer.declaration()
+        assert out.getvalue().startswith("<?xml")
+
+
+class TestCanonical:
+    def test_attribute_order_normalized(self):
+        a = parse('<r b="2" a="1"/>')
+        b = parse('<r a="1" b="2"/>')
+        assert canonicalize(a) == canonicalize(b)
+
+    def test_text_coalesced(self):
+        element = Element("r")
+        element.append(Text("a"))
+        element.append(Text("b"))
+        other = Element("r")
+        other.append(Text("ab"))
+        assert canonicalize(element) == canonicalize(other)
+
+    def test_ordered_mode_distinguishes_sibling_order(self):
+        a = parse("<r><x/><y/></r>")
+        b = parse("<r><y/><x/></r>")
+        assert canonicalize(a) != canonicalize(b)
+        assert canonicalize(a, ordered=False) == canonicalize(b, ordered=False)
+
+    def test_strip_whitespace(self):
+        a = parse("<r>\n  <x/>\n</r>")
+        b = parse("<r><x/></r>")
+        assert canonicalize(a, strip_whitespace=True) == canonicalize(b, strip_whitespace=True)
+        assert equivalent(a, b)
+
+    def test_idempotent(self, tiny_document):
+        once = canonicalize(tiny_document)
+        again = canonicalize(parse(f"{once}"))
+        assert once == again

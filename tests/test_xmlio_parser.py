@@ -1,0 +1,147 @@
+"""Tests for the from-scratch XML parser, with stdlib ElementTree as oracle."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlio.escape import escape_attribute, escape_text, resolve_references
+from repro.xmlio.events import Characters, EndElement, StartElement
+from repro.xmlio.parser import iterparse, parse, scan
+from repro.xmlio.serialize import serialize
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b & c>d") == "a&lt;b &amp; c&gt;d"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_resolve_predefined(self):
+        assert resolve_references("&lt;&gt;&amp;&quot;&apos;") == "<>&\"'"
+
+    def test_resolve_charrefs(self):
+        assert resolve_references("&#65;&#x42;") == "AB"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&nbsp;")
+
+    def test_unterminated_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&amp")
+
+    def test_no_amp_fast_path(self):
+        assert resolve_references("plain") == "plain"
+
+
+class TestIterparse:
+    def test_simple_events(self):
+        events = list(iterparse('<a x="1"><b>hi</b></a>'))
+        assert events == [
+            StartElement("a", (("x", "1"),)),
+            StartElement("b", ()),
+            Characters("hi"),
+            EndElement("b"),
+            EndElement("a"),
+        ]
+
+    def test_self_closing(self):
+        events = list(iterparse("<a><b/></a>"))
+        assert events[1] == StartElement("b", ())
+        assert events[2] == EndElement("b")
+
+    def test_attributes_both_quote_styles(self):
+        events = list(iterparse("<a x='1' y=\"2\"/>"))
+        assert events[0].get("x") == "1"
+        assert events[0].get("y") == "2"
+
+    def test_entities_in_text_and_attrs(self):
+        events = list(iterparse('<a x="&lt;v&gt;">&amp;&#33;</a>'))
+        assert events[0].get("x") == "<v>"
+        assert events[1] == Characters("&!")
+
+    def test_comments_skipped(self):
+        events = list(iterparse("<a><!-- note --><b/></a>"))
+        assert len(events) == 4
+
+    def test_cdata(self):
+        events = list(iterparse("<a><![CDATA[<raw> & stuff]]></a>"))
+        assert events[1] == Characters("<raw> & stuff")
+
+    def test_prolog_and_doctype_skipped(self):
+        text = '<?xml version="1.0"?>\n<!DOCTYPE site SYSTEM "x.dtd" [<!ELEMENT a EMPTY>]>\n<a/>'
+        assert len(list(iterparse(text))) == 2
+
+    def test_processing_instruction_skipped(self):
+        assert len(list(iterparse("<a><?target data?></a>"))) == 2
+
+    def test_whitespace_around_root_ok(self):
+        assert len(list(iterparse("  <a/>  \n"))) == 2
+
+    @pytest.mark.parametrize("bad,fragment", [
+        ("<a><b></a>", "mismatched"),
+        ("<a>", "unclosed"),
+        ("<a/><b/>", "multiple root"),
+        ("text<a/>", "character data outside"),
+        ("<a x='1' x='2'/>", "duplicate attribute"),
+        ("<a x=1/>", "quoted"),
+        ("<a x></a>", "missing '='"),
+        ("<a><!-- oops </a>", "unterminated comment"),
+        ("<a><![CDATA[x</a>", "unterminated CDATA"),
+        ("", "no root"),
+        ("   ", "no root"),
+        ("<a>&bogus;</a>", "unknown entity"),
+        ("</a>", "no open element"),
+        ("<a x=\"<\"/>", "'<' in attribute"),
+        ("<!ELEMENT a EMPTY><a/>", "unsupported markup"),
+    ])
+    def test_malformed_inputs_raise(self, bad, fragment):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            list(iterparse(bad))
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            list(iterparse("<a>\n  <b></c>\n</a>"))
+        assert excinfo.value.line == 2
+
+
+class TestParse:
+    def test_tree_structure(self):
+        doc = parse('<a x="1"><b>one</b>two<b>three</b></a>')
+        root = doc.root
+        assert root.tag == "a"
+        assert root.get("x") == "1"
+        assert [c.tag for c in root.child_elements()] == ["b", "b"]
+        assert root.text_content() == "onetwothree"
+
+    def test_text_merging_across_cdata(self):
+        doc = parse("<a>one<![CDATA[two]]>three</a>")
+        assert doc.root.immediate_text() == "onetwothree"
+
+    def test_parse_matches_stdlib_oracle(self, tiny_text):
+        ours = parse(tiny_text)
+        theirs = ET.fromstring(tiny_text)
+        assert ours.root.tag == theirs.tag
+        assert len(list(ours.root.child_elements())) == len(list(theirs))
+        # Spot-check a deep subtree: people/person[0]
+        our_person = ours.root.find("people").find("person")
+        their_person = theirs.find("people").find("person")
+        assert our_person.get("id") == their_person.get("id")
+        assert our_person.find("name").immediate_text() == their_person.find("name").text
+
+    def test_roundtrip_via_serialize(self, tiny_text):
+        doc = parse(tiny_text)
+        again = parse(serialize(doc))
+        assert serialize(again) == serialize(doc)
+
+
+class TestScan:
+    def test_event_count_matches_iterparse(self):
+        text = "<a><b>x</b><c/></a>"
+        assert scan(text) == len(list(iterparse(text)))
+
+    def test_scan_benchmark_document(self, tiny_text):
+        assert scan(tiny_text) > 1000
