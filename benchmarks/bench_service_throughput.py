@@ -1,0 +1,248 @@
+"""Service throughput: client-count sweep and cache ablations.
+
+The single-user tables measure one query at a time from a cold cache; this
+bench opens the multi-user scenario the paper leaves out.  A deterministic
+closed-loop workload (Zipf query popularity, exponential think times) is
+replayed through the :class:`~repro.service.service.QueryService` at client
+counts 1 -> 16 with caches on and off, recording throughput (qps), latency
+percentiles, and cache hit rates, plus a cold-vs-warm plan-cache comparison
+of compile-inclusive latency.
+
+Runs two ways:
+
+* under pytest-benchmark like the sibling benches (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_service_throughput.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON document
+  (a top-level ``benchmarks`` list of ``{name, params, stats, extra_info}``
+  records), which is what CI's smoke run exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import pytest
+
+from repro.service import QueryService, WorkloadGenerator, WorkloadSpec
+from repro.xmlgen.generator import generate_string
+
+CLIENT_SWEEP = (1, 2, 4, 8, 16)
+SWEEP_SYSTEM = "D"
+THINK_MEAN_SECONDS = 0.003
+BENCH_SCALE = 0.005
+TINY_SCALE = 0.001
+
+
+def _spec(clients: int, requests: int, system: str = SWEEP_SYSTEM) -> WorkloadSpec:
+    return WorkloadSpec(
+        clients=clients,
+        requests_per_client=requests,
+        systems=(system,),
+        think_mean_seconds=THINK_MEAN_SECONDS,
+    )
+
+
+def run_sweep_cell(text: str, clients: int, requests: int, *, caches: bool,
+                   system: str = SWEEP_SYSTEM) -> dict:
+    """One sweep cell on a fresh service (cold caches, fair comparison)."""
+    with QueryService(
+        text, (system,),
+        max_workers=max(8, clients),
+        plan_cache_size=128 if caches else 0,
+        result_cache_size=1024 if caches else 0,
+    ) as service:
+        snapshot = service.run_workload(_spec(clients, requests, system))
+    snapshot["caches"] = caches
+    snapshot["system"] = system
+    return snapshot
+
+
+def run_plan_cache_comparison(text: str, *, system: str = SWEEP_SYSTEM,
+                              rounds: int = 3) -> dict:
+    """Cold vs warm compile-inclusive latency over the workload's query mix.
+
+    The result cache is disabled so every request executes; the only reuse
+    is the compiled plan.  Round 1 compiles everything (cold); later rounds
+    hit the plan cache, so their mean latency drop is the compilation share
+    the cache saves.
+    """
+    queries = WorkloadSpec().queries
+    with QueryService(
+        text, (system,), max_workers=1,
+        plan_cache_size=128, result_cache_size=0,
+    ) as service:
+        round_means: list[float] = []
+        for _ in range(rounds):
+            latencies = [service.execute(system, q).latency_seconds for q in queries]
+            round_means.append(statistics.mean(latencies))
+        plan_stats = service.plan_cache.stats.as_dict()
+    cold, warm = round_means[0], statistics.mean(round_means[1:])
+    return {
+        "system": system,
+        "queries": len(queries),
+        "cold_mean_ms": round(cold * 1000.0, 3),
+        "warm_mean_ms": round(warm * 1000.0, 3),
+        "warm_speedup": round(cold / warm, 2) if warm > 0 else 0.0,
+        "plan_cache": plan_stats,
+    }
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.fixture(scope="module")
+def service_text(bench_text) -> str:
+    return bench_text
+
+
+@pytest.mark.parametrize("clients", CLIENT_SWEEP)
+@pytest.mark.parametrize("caches", (True, False), ids=("caches", "nocache"))
+def bench_throughput(benchmark, service_text, clients, caches):
+    snapshot = benchmark.pedantic(
+        run_sweep_cell, args=(service_text, clients, 20),
+        kwargs={"caches": caches}, rounds=1, iterations=1)
+    benchmark.extra_info["throughput_qps"] = snapshot["throughput_qps"]
+    benchmark.extra_info["p95_ms"] = snapshot["latency"]["p95_ms"]
+    benchmark.extra_info["result_cache_hit_rate"] = snapshot["result_cache"]["hit_rate"]
+
+
+def bench_plan_cache_warmup(benchmark, service_text):
+    comparison = benchmark.pedantic(
+        run_plan_cache_comparison, args=(service_text,), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: v for k, v in comparison.items() if not isinstance(v, dict)})
+    assert comparison["warm_mean_ms"] < comparison["cold_mean_ms"], comparison
+
+
+def bench_concurrency_speedup(benchmark, service_text):
+    """The multi-user headline: 8 closed-loop clients must clear 2x the qps
+    of a single client on the same service configuration."""
+    def run():
+        single = run_sweep_cell(service_text, 1, 20, caches=True)
+        eight = run_sweep_cell(service_text, 8, 20, caches=True)
+        return single, eight
+
+    single, eight = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = eight["throughput_qps"] / single["throughput_qps"]
+    benchmark.extra_info["qps_1_client"] = single["throughput_qps"]
+    benchmark.extra_info["qps_8_clients"] = eight["throughput_qps"]
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= 2.0, f"8 clients only {speedup:.2f}x over 1"
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def _record(name: str, params: dict, seconds: float, extra: dict) -> dict:
+    """One pytest-benchmark-shaped record."""
+    return {
+        "group": "service",
+        "name": name,
+        "fullname": f"bench_service_throughput.py::{name}",
+        "params": params,
+        "stats": {"min": seconds, "max": seconds, "mean": seconds,
+                  "stddev": 0.0, "rounds": 1, "iterations": 1},
+        "extra_info": extra,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sweep client counts and cache settings through the query service")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: small document, short sweep")
+    parser.add_argument("--factor", type=float, default=None,
+                        help="document scaling factor (default 0.005; --tiny: 0.001)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 20; --tiny: 8)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (
+        TINY_SCALE if args.tiny else BENCH_SCALE)
+    requests = args.requests if args.requests is not None else (8 if args.tiny else 20)
+    sweep = CLIENT_SWEEP[:4] if args.tiny else CLIENT_SWEEP
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    text = generate_string(factor)
+    records: list[dict] = []
+    qps: dict[tuple[int, bool], float] = {}
+
+    for caches in (True, False):
+        for clients in sweep:
+            started = time.perf_counter()
+            snapshot = run_sweep_cell(text, clients, requests, caches=caches)
+            elapsed = time.perf_counter() - started
+            qps[(clients, caches)] = snapshot["throughput_qps"]
+            label = "caches" if caches else "nocache"
+            records.append(_record(
+                f"throughput[{label}-c{clients}]",
+                {"clients": clients, "caches": caches}, elapsed,
+                {
+                    "throughput_qps": snapshot["throughput_qps"],
+                    "p50_ms": snapshot["latency"]["p50_ms"],
+                    "p95_ms": snapshot["latency"]["p95_ms"],
+                    "p99_ms": snapshot["latency"]["p99_ms"],
+                    "plan_cache_hit_rate": snapshot["plan_cache"]["hit_rate"],
+                    "result_cache_hit_rate": snapshot["result_cache"]["hit_rate"],
+                },
+            ))
+            print(f"  {label:7s} clients={clients:2d}  "
+                  f"{snapshot['throughput_qps']:8.1f} qps  "
+                  f"p95 {snapshot['latency']['p95_ms']:6.2f} ms", file=sys.stderr)
+
+    speedup = qps[(8, True)] / qps[(1, True)] if (8, True) in qps else (
+        qps[(sweep[-1], True)] / qps[(1, True)])
+    speedup_clients = 8 if (8, True) in qps else sweep[-1]
+    records.append(_record(
+        "concurrency_speedup", {"clients": speedup_clients},
+        0.0, {"qps_1_client": qps[(1, True)],
+              f"qps_{speedup_clients}_clients": qps[(speedup_clients, True)],
+              "speedup": round(speedup, 2)},
+    ))
+
+    started = time.perf_counter()
+    comparison = run_plan_cache_comparison(text, rounds=2 if args.tiny else 3)
+    records.append(_record(
+        "plan_cache_warmup", {"system": comparison["system"]},
+        time.perf_counter() - started,
+        {k: v for k, v in comparison.items() if not isinstance(v, dict)},
+    ))
+    print(f"  plan cache: cold {comparison['cold_mean_ms']:.2f} ms -> "
+          f"warm {comparison['warm_mean_ms']:.2f} ms "
+          f"({comparison['warm_speedup']}x)", file=sys.stderr)
+    print(f"  concurrency: {speedup_clients} clients = {speedup:.2f}x 1-client qps",
+          file=sys.stderr)
+
+    report = {
+        "machine_info": {"python_version": platform.python_version(),
+                         "machine": platform.machine()},
+        "commit_info": {},
+        "benchmarks": records,
+        "version": "service-throughput-1",
+        "config": {"factor": factor, "requests_per_client": requests,
+                   "client_sweep": list(sweep), "system": SWEEP_SYSTEM,
+                   "think_mean_ms": THINK_MEAN_SECONDS * 1000.0},
+    }
+    output = json.dumps(report, indent=2)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    else:
+        print(output)
+    ok = speedup >= 2.0 and comparison["warm_mean_ms"] < comparison["cold_mean_ms"]
+    if not ok:
+        print("ACCEPTANCE NOT MET: need >=2x qps at 8 clients and a warm "
+              "plan-cache latency win", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,12 +4,14 @@
     xmark dtd
     xmark query -f 0.005 -q 8 -s D
     xmark bench  -f 0.005 --table 3
+    xmark serve-bench -f 0.005 -s D -c 8 -n 25
     xmark validate auction.xml
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.benchmark.queries import QUERIES, TABLE3_QUERIES
@@ -45,9 +47,94 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
     bench.add_argument("--figure4", action="store_true")
 
+    serve = commands.add_parser(
+        "serve-bench",
+        help="run a concurrent multi-client workload through the query service",
+        description="Load the document into the chosen systems, replay a "
+                    "deterministic multi-client workload (Zipf-skewed query "
+                    "popularity, exponential think times) through the "
+                    "QueryService's worker pool, and report throughput, "
+                    "latency percentiles, and cache hit rates.")
+    serve.add_argument("-f", "--factor", type=float, default=0.005,
+                       help="document scaling factor (default 0.005)")
+    serve.add_argument("-s", "--systems", default="D",
+                       help="system letters to serve, e.g. 'D' or 'BD' (default D)")
+    serve.add_argument("-c", "--clients", type=int, default=4,
+                       help="number of concurrent closed-loop clients (default 4)")
+    serve.add_argument("-n", "--requests", type=int, default=25,
+                       help="requests per client (default 25)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="worker pool size (default 8)")
+    serve.add_argument("--think-ms", type=float, default=2.0,
+                       help="mean client think time in ms (default 2.0)")
+    serve.add_argument("--zipf", type=float, default=1.0,
+                       help="Zipf exponent of query popularity (default 1.0)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="workload seed (default: the built-in workload seed)")
+    serve.add_argument("--no-plan-cache", action="store_true",
+                       help="disable compiled-plan reuse")
+    serve.add_argument("--no-result-cache", action="store_true",
+                       help="disable result caching")
+    serve.add_argument("--json", dest="json_path", default=None,
+                       help="also write the full metrics snapshot to this file")
+
     validate_cmd = commands.add_parser("validate", help="validate a document against the DTD")
     validate_cmd.add_argument("path")
     return parser
+
+
+def _serve_bench(args) -> int:
+    from repro.errors import BenchmarkError
+    from repro.service import QueryService, WorkloadGenerator, WorkloadSpec
+    from repro.service.workload import DEFAULT_WORKLOAD_SEED
+
+    try:
+        systems = tuple(dict.fromkeys(args.systems.upper()))
+        spec = WorkloadSpec(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            systems=systems,
+            zipf_exponent=args.zipf,
+            think_mean_seconds=args.think_ms / 1000.0,
+            seed=args.seed if args.seed is not None else DEFAULT_WORKLOAD_SEED,
+        )
+        generator = WorkloadGenerator(spec)
+        text = generate_string(args.factor)
+        with QueryService(
+            text, systems,
+            max_workers=args.workers,
+            plan_cache_size=0 if args.no_plan_cache else 128,
+            result_cache_size=0 if args.no_result_cache else 1024,
+        ) as service:
+            for system in systems:
+                if system in service.failed_loads:
+                    print(f"system {system} failed to load: "
+                          f"{service.failed_loads[system]}", file=sys.stderr)
+                    return 1
+            snapshot = service.run_workload(generator)
+    except BenchmarkError as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 2
+    snapshot["workload"] = {
+        "systems": list(systems), "clients": spec.clients,
+        "requests_per_client": spec.requests_per_client,
+        "zipf_exponent": spec.zipf_exponent,
+        "think_mean_ms": args.think_ms, "seed": spec.seed,
+        "popularity_order": list(generator.popularity_order),
+    }
+    latency = snapshot["latency"]
+    print(f"served {snapshot['completed']} queries from {spec.clients} client(s) "
+          f"on {'/'.join(systems)} in {snapshot['elapsed_seconds']:.3f} s")
+    print(f"throughput {snapshot['throughput_qps']:.1f} qps; latency "
+          f"p50 {latency['p50_ms']:.2f} ms, p95 {latency['p95_ms']:.2f} ms, "
+          f"p99 {latency['p99_ms']:.2f} ms")
+    print(f"plan cache hit rate {snapshot['plan_cache']['hit_rate']:.0%}, "
+          f"result cache hit rate {snapshot['result_cache']['hit_rate']:.0%}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,6 +163,9 @@ def main(argv: list[str] | None = None) -> int:
         for violation in report.violations[:20]:
             print(f"violation: {violation}")
         return 1
+
+    if args.command == "serve-bench":
+        return _serve_bench(args)
 
     if args.command == "query":
         text = generate_string(args.factor)

@@ -1,0 +1,40 @@
+"""The query-serving layer: concurrency and reuse on top of Systems A-G.
+
+XMark deliberately measures single-user, cold-cache performance; the survey
+literature (Darmont's *Database Benchmarks*, Simalango's XML query survey)
+flags multi-user concurrency and compiled-plan reuse as exactly what such a
+benchmark leaves out.  This package opens that scenario:
+
+* :class:`~repro.service.service.QueryService` — bounded worker pool with
+  per-system admission control; ``submit()`` / ``submit_batch()``.
+* :class:`~repro.service.cache.PlanCache` /
+  :class:`~repro.service.cache.ResultCache` — LRU caches for compiled plans
+  and query results, with hit/miss statistics and digest-based invalidation.
+* :class:`~repro.service.workload.WorkloadGenerator` — deterministic
+  multi-client query streams (Zipf-skewed popularity, exponential think
+  times) seeded through :mod:`repro.rng`.
+* :class:`~repro.service.metrics.ServiceMetrics` — throughput and
+  p50/p95/p99 latency collection.
+
+See DESIGN.md ("The query service") for the architecture.
+"""
+
+from repro.service.cache import CacheStats, LRUCache, PlanCache, ResultCache
+from repro.service.metrics import LatencySummary, ServiceMetrics, percentile
+from repro.service.service import QueryOutcome, QueryService
+from repro.service.workload import ClientRequest, WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "CacheStats",
+    "ClientRequest",
+    "LRUCache",
+    "LatencySummary",
+    "PlanCache",
+    "QueryOutcome",
+    "QueryService",
+    "ResultCache",
+    "ServiceMetrics",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "percentile",
+]

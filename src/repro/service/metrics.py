@@ -1,0 +1,150 @@
+"""Service-side measurement: throughput and latency percentiles.
+
+The single-user benchmark reports per-query wall/CPU splits
+(:class:`repro.benchmark.runner.QueryTiming`); a serving layer needs the
+aggregate view instead — queries per second over the measurement window and
+the latency distribution clients actually experience.  Percentiles use the
+standard linear-interpolation estimator (the one NumPy calls ``linear``),
+implemented here so the service stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    For a sorted sample ``x`` of size ``n`` the rank is
+    ``r = q/100 * (n - 1)``; the estimate interpolates between
+    ``x[floor(r)]`` and ``x[ceil(r)]``.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Latency distribution of one measurement window (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencySummary":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50.0),
+            p95=percentile(samples, 95.0),
+            p99=percentile(samples, 99.0),
+            maximum=max(samples),
+        )
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1000.0, 3),
+            "p50_ms": round(self.p50 * 1000.0, 3),
+            "p95_ms": round(self.p95 * 1000.0, 3),
+            "p99_ms": round(self.p99 * 1000.0, 3),
+            "max_ms": round(self.maximum * 1000.0, 3),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe collector for one service measurement window."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._compile_latencies: list[float] = []
+        self._queue_waits: list[float] = []
+        self._errors = 0
+        self._plan_hits = 0
+        self._result_hits = 0
+        self._first_start: float | None = None
+        self._last_finish: float | None = None
+
+    def record(self, *, started: float, finished: float, compile_seconds: float,
+               queue_seconds: float, plan_cache_hit: bool,
+               result_cache_hit: bool) -> None:
+        """Record one completed query (timestamps from ``perf_counter``)."""
+        with self._lock:
+            self._latencies.append(finished - started)
+            self._compile_latencies.append(compile_seconds)
+            self._queue_waits.append(queue_seconds)
+            if plan_cache_hit:
+                self._plan_hits += 1
+            if result_cache_hit:
+                self._result_hits += 1
+            if self._first_start is None or started < self._first_start:
+                self._first_start = started
+            if self._last_finish is None or finished > self._last_finish:
+                self._last_finish = finished
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._latencies)
+
+    def elapsed_seconds(self) -> float:
+        """Width of the window from first submit-start to last finish."""
+        with self._lock:
+            if self._first_start is None or self._last_finish is None:
+                return 0.0
+            return self._last_finish - self._first_start
+
+    def throughput_qps(self) -> float:
+        elapsed = self.elapsed_seconds()
+        return self.completed / elapsed if elapsed > 0 else 0.0
+
+    def latency_summary(self) -> LatencySummary:
+        with self._lock:
+            samples = list(self._latencies)
+        return LatencySummary.from_samples(samples)
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict: qps, latency distribution, cache hit counts."""
+        with self._lock:
+            latencies = list(self._latencies)
+            compiles = list(self._compile_latencies)
+            waits = list(self._queue_waits)
+            errors = self._errors
+            plan_hits = self._plan_hits
+            result_hits = self._result_hits
+        completed = len(latencies)
+        elapsed = self.elapsed_seconds()
+        return {
+            "completed": completed,
+            "errors": errors,
+            "elapsed_seconds": round(elapsed, 4),
+            "throughput_qps": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
+            "latency": LatencySummary.from_samples(latencies).as_dict(),
+            "compile_latency": LatencySummary.from_samples(compiles).as_dict(),
+            "queue_wait": LatencySummary.from_samples(waits).as_dict(),
+            "plan_cache_hits": plan_hits,
+            "result_cache_hits": result_hits,
+        }

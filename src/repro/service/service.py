@@ -1,0 +1,304 @@
+"""The concurrent query service.
+
+One :class:`QueryService` owns a set of loaded stores (Systems A-G) and
+serves queries against them from a bounded thread pool:
+
+* ``submit()`` returns a future; ``submit_batch()`` fans a list out;
+  ``execute()`` is the synchronous convenience.
+* A per-system semaphore provides admission control: at most
+  ``per_system_limit`` queries execute on one store simultaneously, so a
+  burst against System A cannot starve System D's clients.
+* Compiled plans are reused through a :class:`~repro.service.cache.PlanCache`
+  (keyed on system + query text); results through a
+  :class:`~repro.service.cache.ResultCache` (keyed additionally on the
+  loaded document's content digest, so :meth:`reload_document` invalidates
+  exactly the stale entries).
+* Closed-loop multi-client experiments come from :meth:`run_workload`, which
+  drives a deterministic :class:`~repro.service.workload.WorkloadGenerator`
+  stream with one thread per client, honouring per-request think times.
+
+Plan reuse is safe because compiled plans are read-only after compilation
+(see :class:`repro.xquery.planner.CompiledQuery`) and the stores' read paths
+keep no shared mutable scratch; execution state lives in the evaluator's
+per-call interpreter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.benchmark.queries import QUERIES
+from repro.benchmark.systems import get_profile, make_store
+from repro.errors import BenchmarkError
+from repro.service.cache import PlanCache, ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.workload import ClientRequest, WorkloadGenerator, WorkloadSpec
+from repro.storage.bulkload import BulkloadReport, bulkload
+from repro.storage.interface import Store
+from repro.xquery.evaluator import QueryResult, evaluate
+from repro.xquery.planner import CompiledQuery, compile_query
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOutcome:
+    """What one served query cost and where the work was saved."""
+
+    system: str
+    query_text: str
+    result_size: int
+    compile_seconds: float
+    execute_seconds: float
+    queue_seconds: float
+    submitted: float
+    finished: float
+    plan_cache_hit: bool
+    result_cache_hit: bool
+    result: QueryResult
+
+    @property
+    def latency_seconds(self) -> float:
+        """Client-visible latency: submission to completion."""
+        return self.finished - self.submitted
+
+
+class QueryService:
+    """Multi-user query serving over the benchmark's store architectures."""
+
+    def __init__(
+        self,
+        document: str,
+        systems: tuple[str, ...] = ("D",),
+        *,
+        max_workers: int = 8,
+        per_system_limit: int | None = None,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 1024,
+    ) -> None:
+        if max_workers <= 0:
+            raise BenchmarkError(f"max_workers must be positive, got {max_workers}")
+        self.stores: dict[str, Store] = {}
+        self.load_reports: dict[str, BulkloadReport] = {}
+        self.failed_loads: dict[str, str] = {}
+        self._load(document, systems)
+        limit = per_system_limit if per_system_limit is not None else max_workers
+        if limit <= 0:
+            raise BenchmarkError(f"per_system_limit must be positive, got {limit}")
+        self.per_system_limit = limit
+        self._admission = {name: threading.BoundedSemaphore(limit) for name in systems}
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size)
+        self.metrics = ServiceMetrics()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="xmark-query")
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _load(self, document: str, systems: tuple[str, ...]) -> None:
+        for name in systems:
+            store = make_store(name)
+            try:
+                self.load_reports[name] = bulkload(store, document, name)
+            except Exception as exc:  # System G's capacity limit, notably
+                self.failed_loads[name] = str(exc)
+                continue
+            self.stores[name] = store
+
+    def reload_document(self, document: str) -> None:
+        """Replace the loaded document on every serving system.
+
+        Compiled plans are bound to the old store instances and every cached
+        result to the old digest, so both caches shed exactly that state —
+        the invalidation contract the result cache exists for.
+
+        Reloading does not drain the pool: a query already executing keeps
+        its reference to the old store and may finish (and briefly re-cache)
+        against the old digest.  Callers needing a hard cut-over should let
+        outstanding futures complete before reloading.
+        """
+        self._require_open()
+        systems = tuple(self._admission)
+        old_digests = {store.document_digest() for store in self.stores.values()}
+        self.stores.clear()
+        self.load_reports.clear()
+        self.failed_loads.clear()
+        self._load(document, systems)
+        self.plan_cache.clear()
+        for digest in old_digests:
+            if digest:
+                self.result_cache.invalidate_document(digest)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise BenchmarkError("query service is closed")
+
+    # -- submission ----------------------------------------------------------------
+
+    def store(self, system: str) -> Store:
+        try:
+            return self.stores[system]
+        except KeyError:
+            reason = self.failed_loads.get(system, "not loaded")
+            raise BenchmarkError(f"system {system} unavailable: {reason}") from None
+
+    def _query_text(self, query: int | str) -> str:
+        if isinstance(query, int):
+            try:
+                return QUERIES[query].text
+            except KeyError:
+                raise BenchmarkError(f"unknown query number {query}") from None
+        return query
+
+    def submit(self, system: str, query: int | str) -> "Future[QueryOutcome]":
+        """Enqueue one query (a benchmark number or raw XQuery text)."""
+        self._require_open()
+        self.store(system)  # fail fast on unavailable systems
+        text = self._query_text(query)
+        submitted = time.perf_counter()
+        return self._pool.submit(self._serve, system, text, submitted)
+
+    def submit_batch(self, requests: list[tuple[str, int | str]]) -> list["Future[QueryOutcome]"]:
+        return [self.submit(system, query) for system, query in requests]
+
+    def execute(self, system: str, query: int | str) -> QueryOutcome:
+        return self.submit(system, query).result()
+
+    # -- the worker body ------------------------------------------------------------
+
+    def _serve(self, system: str, text: str, submitted: float) -> QueryOutcome:
+        gate = self._admission[system]
+        gate.acquire()
+        started = time.perf_counter()
+        try:
+            outcome = self._run_query(system, text, submitted, started)
+        except Exception:
+            self.metrics.record_error()
+            raise
+        finally:
+            gate.release()
+        self.metrics.record(
+            started=submitted,
+            finished=outcome.finished,
+            compile_seconds=outcome.compile_seconds,
+            queue_seconds=outcome.queue_seconds,
+            plan_cache_hit=outcome.plan_cache_hit,
+            result_cache_hit=outcome.result_cache_hit,
+        )
+        return outcome
+
+    def _run_query(self, system: str, text: str, submitted: float,
+                   started: float) -> QueryOutcome:
+        store = self.store(system)
+        digest = store.document_digest() or ""
+        result_key = ResultCache.key(system, text, digest)
+        cached_result = self.result_cache.get(result_key)
+        if cached_result is not None:
+            finished = time.perf_counter()
+            return QueryOutcome(
+                system=system, query_text=text,
+                result_size=len(cached_result),
+                compile_seconds=0.0, execute_seconds=0.0,
+                queue_seconds=started - submitted,
+                submitted=submitted, finished=finished,
+                plan_cache_hit=False, result_cache_hit=True,
+                result=cached_result,
+            )
+
+        compile_start = time.perf_counter()
+        plan_key = PlanCache.key(system, text)
+        compiled, plan_hit = self.plan_cache.get_or_compute(
+            plan_key,
+            lambda: compile_query(text, store, get_profile(system)),
+        )
+        if compiled.store is not store:
+            # A reload raced this request: the cached plan is bound to the
+            # previous document's store.  Recompile against the current one
+            # so the result always matches the digest in the cache key.
+            compiled = compile_query(text, store, get_profile(system))
+            plan_hit = False
+            self.plan_cache.put(plan_key, compiled)
+        compile_end = time.perf_counter()
+        result = evaluate(compiled)
+        finished = time.perf_counter()
+        self.result_cache.put(result_key, result)
+        return QueryOutcome(
+            system=system, query_text=text,
+            result_size=len(result),
+            compile_seconds=0.0 if plan_hit else compile_end - compile_start,
+            execute_seconds=finished - compile_end,
+            queue_seconds=started - submitted,
+            submitted=submitted, finished=finished,
+            plan_cache_hit=plan_hit, result_cache_hit=False,
+            result=result,
+        )
+
+    # -- workload driving ------------------------------------------------------------
+
+    def run_workload(self, workload: WorkloadSpec | WorkloadGenerator,
+                     *, reset_metrics: bool = True) -> dict:
+        """Drive a closed-loop multi-client workload; returns the metrics snapshot.
+
+        One driver thread per client replays that client's deterministic
+        stream: sleep the request's think time, submit, wait for completion.
+        Overlap between clients is what the service's pool and admission
+        control are being measured on.
+        """
+        self._require_open()
+        generator = (workload if isinstance(workload, WorkloadGenerator)
+                     else WorkloadGenerator(workload))
+        for system in generator.spec.systems:
+            self.store(system)  # every targeted system must be serving
+        if reset_metrics:
+            self.metrics = ServiceMetrics()
+        plan_baseline = self.plan_cache.stats.copy()
+        result_baseline = self.result_cache.stats.copy()
+        streams = generator.streams()
+        failures: list[BaseException] = []
+
+        def drive(stream: list[ClientRequest]) -> None:
+            for request in stream:
+                if request.think_seconds > 0:
+                    time.sleep(request.think_seconds)
+                try:
+                    self.submit(request.system, request.query).result()
+                except BaseException as exc:  # surfaced after the run
+                    failures.append(exc)
+                    return
+
+        clients = [threading.Thread(target=drive, args=(stream,), daemon=True)
+                   for stream in streams]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        if failures:
+            raise failures[0]
+        snapshot = self.metrics.snapshot()
+        snapshot["clients"] = generator.spec.clients
+        # Cache counters are service-lifetime; report this window's deltas so
+        # hit rates describe the same interval as the latency/qps numbers.
+        snapshot["plan_cache"] = self.plan_cache.stats.since(plan_baseline).as_dict()
+        snapshot["result_cache"] = self.result_cache.stats.since(result_baseline).as_dict()
+        return snapshot
+
+    # -- reporting -------------------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        return {
+            "plan_cache": self.plan_cache.stats.as_dict(),
+            "result_cache": self.result_cache.stats.as_dict(),
+        }

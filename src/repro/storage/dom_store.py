@@ -55,7 +55,7 @@ class DomStore(Store):
                 self._positions[id(node)] = order
                 order += 1
                 stack.extend(reversed(list(node.child_elements())))
-        self._loaded = True
+        self.mark_loaded(text)
 
     def size_bytes(self) -> int:
         self.require_loaded()

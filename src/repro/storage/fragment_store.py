@@ -150,7 +150,18 @@ class FragmentStore(Store):
             for attr in attr_names:
                 self.catalog.create_hash_index(_attr_table_name(path, attr), "parent")
         self.catalog.analyze()
-        self._loaded = True
+        # Resolve the text tables below every registered path now: the catalog
+        # never changes after load, and precomputing keeps string_value() free
+        # of shared mutable scratch, so concurrent readers are safe.
+        below: dict[Path, list[str]] = {path: [] for path in self._children_map}
+        for text_path in self._text_paths:
+            name = _text_table_name(text_path)
+            for depth in range(1, len(text_path) + 1):
+                prefix = text_path[:depth]
+                if prefix in below:
+                    below[prefix].append(name)
+        self._text_tables_below = {path: sorted(names) for path, names in below.items()}
+        self.mark_loaded(text)
 
     def _register_path(self, path: Path, parent_path: Path) -> None:
         self._children_map[path] = []
@@ -297,17 +308,10 @@ class FragmentStore(Store):
         path, pre = node
         post = self._post_of(node)
         collected: list[tuple[int, str]] = []
-        # The text tables below a path never change after load; resolve the
-        # catalog scan once per distinct path (a real system would have this
-        # in its compiled plan).
-        text_tables = self._text_tables_below.get(path)
-        if text_tables is None:
-            prefix_name = _table_name(path)
-            text_tables = self.catalog.match_table_names(
-                lambda name: name.endswith("/#text")
-                and (name.startswith(prefix_name + "/") or name == prefix_name + "/#text")
-            )
-            self._text_tables_below[path] = text_tables
+        # The text tables below a path never change after load; the mapping is
+        # precomputed at load time (a real system would have this in its
+        # compiled plan), so this read path mutates no shared state.
+        text_tables = self._text_tables_below.get(path, ())
         for name in text_tables:
             table = self.catalog.table(name)
             pres = table.column("pre")

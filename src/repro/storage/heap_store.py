@@ -119,7 +119,7 @@ class HeapStore(Store):
             if names[row] == "id":
                 self._id_index[values[row]] = parents[row]
         self.catalog.analyze()
-        self._loaded = True
+        self.mark_loaded(text)
 
     def size_bytes(self) -> int:
         self.require_loaded()

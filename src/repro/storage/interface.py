@@ -13,6 +13,7 @@ sort in document order *within one store*.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
 from dataclasses import dataclass, field
@@ -22,6 +23,11 @@ from repro.errors import StorageError
 from repro.xmlio.dom import Element
 
 Handle = Any
+
+
+def document_digest(text: str) -> str:
+    """Content digest of a document (cache keys, invalidation)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(slots=True)
@@ -49,12 +55,23 @@ class Store(ABC):
     def __init__(self) -> None:
         self.stats = StoreStats()
         self._loaded = False
+        self._document_digest: str | None = None
 
     # -- lifecycle ---------------------------------------------------------------
 
     @abstractmethod
     def load(self, text: str) -> None:
         """Bulkload a document (parse + convert, one completed transaction)."""
+
+    def mark_loaded(self, text: str) -> None:
+        """Record a completed load: flips the loaded flag and remembers the
+        document's content digest (the invalidation key for result caches)."""
+        self._document_digest = document_digest(text)
+        self._loaded = True
+
+    def document_digest(self) -> str | None:
+        """Digest of the currently loaded document, or None before load."""
+        return self._document_digest
 
     def require_loaded(self) -> None:
         if not self._loaded:

@@ -17,6 +17,7 @@ predicates (Q14) avoid the parse.
 from __future__ import annotations
 
 import sys
+import threading
 
 from repro.errors import StorageError
 from repro.relational.catalog import Catalog
@@ -78,6 +79,7 @@ class SchemaStore(Store):
         self._frag_owner: list[tuple] = []      # owner base position + idx path
         self._frag_cache: dict[int, _Fragment] = {}
         self._frag_cache_size = fragment_cache_size
+        self._frag_cache_lock = threading.Lock()
         self._container_ord: dict[str, int] = {}
         self._id_index: dict[str, tuple] = {}
         self._nested_spec_idx: dict[tuple[str, str], int] = {}
@@ -152,7 +154,7 @@ class SchemaStore(Store):
                             self._id_index[value] = ("e", spec.table, row)
         self._compute_locations()
         self.catalog.analyze()
-        self._loaded = True
+        self.mark_loaded(text)
 
     def _compute_locations(self) -> None:
         """For every tag, where it lives: (table, kind, data) triples.
@@ -334,9 +336,12 @@ class SchemaStore(Store):
         if cached is None:
             self.stats.fragments_parsed += 1
             cached = _Fragment(parse(self._frag_xml[frag_id]).root)
-            if len(self._frag_cache) >= self._frag_cache_size:
-                self._frag_cache.pop(next(iter(self._frag_cache)))
-            self._frag_cache[frag_id] = cached
+            # Concurrent readers share the buffer pool; evict under a lock so
+            # two simultaneous misses cannot race the same victim out twice.
+            with self._frag_cache_lock:
+                if len(self._frag_cache) >= self._frag_cache_size:
+                    self._frag_cache.pop(next(iter(self._frag_cache)), None)
+                self._frag_cache[frag_id] = cached
         return cached
 
     # -- navigation -------------------------------------------------------------------
@@ -465,6 +470,8 @@ class SchemaStore(Store):
         return [child for child in self.children(node) if self.tag(child) == tag]
 
     def _child_map(self, table: str, idx_base: tuple[int, ...]):
+        # Built purely from the static entity specs, so a concurrent rebuild
+        # produces an identical dict and the single reference store is benign.
         key = (table, idx_base)
         cached = self._child_maps.get(key)
         if cached is None:

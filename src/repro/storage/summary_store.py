@@ -9,6 +9,12 @@ Compactness here is real, not claimed: relative to :class:`TreeStore` this
 store drops the redundant child lists, interns tags, and freezes content
 lists into tuples; the structural summary and ID index it adds are smaller
 than what was removed.
+
+Concurrency: every read path (navigation, summary probes, ID lookups) works
+over structures frozen at load time and keeps no shared mutable scratch, so
+the query service may execute plans against one loaded instance from many
+threads.  The ``stats`` counters are the only shared writes; under races
+they can undercount but never affect results.
 """
 
 from __future__ import annotations

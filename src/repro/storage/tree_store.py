@@ -63,7 +63,7 @@ class TreeStore(Store):
                 self._posts[node] = len(self._tags) - 1
             else:
                 self._append_text(stack[-1], event.text)
-        self._loaded = True
+        self.mark_loaded(text)
 
     def _append_text(self, node: int, text: str) -> None:
         content = self._content[node]

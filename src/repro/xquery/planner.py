@@ -74,9 +74,19 @@ class JoinPlan:
     where_residual: Expr | None = None
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class CompiledQuery:
-    """A query compiled for one (store, profile) pair."""
+    """A query compiled for one (store, profile) pair.
+
+    Reuse contract (the plan cache depends on it): after
+    :func:`compile_query` returns, nothing mutates ``query``,
+    ``path_plans``, ``join_plans`` or ``warnings`` — the evaluator
+    treats them as read-only, keeping all per-execution state in its own
+    interpreter.  A compiled plan may therefore be executed repeatedly,
+    including from several threads at once, as long as the underlying
+    store's read paths are thread-safe.  ``eq=False`` keeps instances
+    hashable by identity so plans can key caches and sets directly.
+    """
 
     query: Query
     store: Store

@@ -43,3 +43,15 @@ class TestCli:
     def test_bench_table2(self, capsys):
         assert main(["bench", "-f", "0.0005", "--table", "2"]) == 0
         assert "Compile share" in capsys.readouterr().out
+
+    def test_serve_bench(self, tmp_path, capsys):
+        report = tmp_path / "serve.json"
+        assert main(["serve-bench", "-f", "0.0005", "-s", "D", "-c", "2",
+                     "-n", "4", "--think-ms", "0.5", "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "qps" in out
+        import json
+        snapshot = json.loads(report.read_text())
+        assert snapshot["completed"] == 8
+        assert snapshot["workload"]["clients"] == 2
+        assert "p99_ms" in snapshot["latency"]

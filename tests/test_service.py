@@ -1,0 +1,332 @@
+"""The query service: caching, workload determinism, metrics, concurrency.
+
+Covers the serving layer's contracts:
+
+* plan-cache reuse (the same compiled object, zero recompilation),
+* result-cache invalidation when the document changes,
+* deterministic workload generation under a fixed seed,
+* latency-percentile math,
+* thread-safety regression: the same query from 8 threads must return
+  identical results on every store architecture the service targets.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.service import (
+    LRUCache, PlanCache, QueryService, ResultCache, ServiceMetrics,
+    WorkloadGenerator, WorkloadSpec, percentile,
+)
+from repro.service.metrics import LatencySummary
+from repro.benchmark.queries import QUERIES, query_text
+from repro.benchmark.systems import get_profile
+from repro.xmlgen.config import GeneratorConfig
+from repro.xmlgen.generator import XMarkGenerator
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import compile_query
+
+
+@pytest.fixture(scope="module")
+def service(small_text):
+    with QueryService(small_text, ("B", "C", "D"), max_workers=8) as svc:
+        yield svc
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1     # refresh a; b becomes the LRU victim
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_get_or_compute(self):
+        cache = LRUCache(4)
+        value, hit = cache.get_or_compute("k", lambda: 41 + 1)
+        assert (value, hit) == (42, False)
+        value, hit = cache.get_or_compute("k", lambda: pytest.fail("must not run"))
+        assert (value, hit) == (42, True)
+
+    def test_invalidate_where(self):
+        cache = ResultCache(8)
+        cache.put(ResultCache.key("D", "q", "digest1"), "old")
+        cache.put(ResultCache.key("D", "q", "digest2"), "new")
+        assert cache.invalidate_document("digest1") == 1
+        assert cache.get(ResultCache.key("D", "q", "digest1")) is None
+        assert cache.get(ResultCache.key("D", "q", "digest2")) == "new"
+        assert cache.stats.invalidations == 1
+
+    def test_concurrent_put_get(self):
+        cache = LRUCache(16)
+        errors: list[BaseException] = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(200):
+                    cache.put((base, i % 20), i)
+                    cache.get((base, (i + 7) % 20))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+
+
+class TestPercentiles:
+    def test_known_quartiles(self):
+        samples = [15.0, 20.0, 35.0, 40.0, 50.0]
+        assert percentile(samples, 0) == 15.0
+        assert percentile(samples, 100) == 50.0
+        assert percentile(samples, 50) == 35.0
+        # linear interpolation: rank = 0.25 * 4 = 1.0 -> exactly x[1]
+        assert percentile(samples, 25) == 20.0
+        # rank = 0.40 * 4 = 1.6 -> 20 + 0.6 * 15
+        assert percentile(samples, 40) == pytest.approx(29.0)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_sample(self):
+        assert percentile([7.5], 99) == 7.5
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_summary_from_samples(self):
+        summary = LatencySummary.from_samples([0.001 * i for i in range(1, 101)])
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(0.0505)
+        assert summary.p99 == pytest.approx(0.09901)
+        assert summary.maximum == pytest.approx(0.1)
+
+    def test_metrics_snapshot(self):
+        metrics = ServiceMetrics()
+        for i in range(10):
+            metrics.record(started=float(i), finished=float(i) + 0.5,
+                           compile_seconds=0.1, queue_seconds=0.0,
+                           plan_cache_hit=(i % 2 == 0), result_cache_hit=False)
+        snapshot = metrics.snapshot()
+        assert snapshot["completed"] == 10
+        assert snapshot["plan_cache_hits"] == 5
+        assert snapshot["elapsed_seconds"] == pytest.approx(9.5)
+        assert snapshot["throughput_qps"] == pytest.approx(10 / 9.5, abs=0.01)
+        assert snapshot["latency"]["p50_ms"] == pytest.approx(500.0)
+
+
+class TestWorkloadGenerator:
+    def test_same_seed_identical_stream(self):
+        spec = WorkloadSpec(clients=6, requests_per_client=40, think_mean_seconds=0.001)
+        assert WorkloadGenerator(spec).flat() == WorkloadGenerator(spec).flat()
+
+    def test_different_seed_different_stream(self):
+        base = WorkloadSpec(clients=4, requests_per_client=40)
+        other = WorkloadSpec(clients=4, requests_per_client=40, seed=base.seed + 1)
+        assert WorkloadGenerator(base).flat() != WorkloadGenerator(other).flat()
+
+    def test_clients_are_independent_streams(self):
+        generator = WorkloadGenerator(WorkloadSpec(clients=2, requests_per_client=50))
+        first, second = generator.streams()
+        assert [r.query for r in first] != [r.query for r in second]
+        # ... but replaying one client alone matches the full generation.
+        assert generator.client_stream(1) == second
+
+    def test_zipf_skew_concentrates_popular_queries(self):
+        spec = WorkloadSpec(clients=8, requests_per_client=100, zipf_exponent=1.0)
+        generator = WorkloadGenerator(spec)
+        histogram = generator.query_histogram()
+        most_popular = generator.popularity_order[0]
+        least_popular = generator.popularity_order[-1]
+        assert histogram[most_popular] > 3 * histogram[least_popular]
+        assert sum(histogram.values()) == spec.total_requests
+
+    def test_explicit_weights_override_zipf(self):
+        spec = WorkloadSpec(clients=2, requests_per_client=50, queries=(1, 6),
+                            query_weights=(1.0, 0.0))
+        histogram = WorkloadGenerator(spec).query_histogram()
+        assert histogram == {1: 100, 6: 0}
+
+    def test_think_times_follow_mean(self):
+        spec = WorkloadSpec(clients=4, requests_per_client=200,
+                            think_mean_seconds=0.01)
+        thinks = [r.think_seconds for r in WorkloadGenerator(spec).flat()]
+        assert all(t >= 0 for t in thinks)
+        assert sum(thinks) / len(thinks) == pytest.approx(0.01, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(clients=0)
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(queries=(999,))
+        with pytest.raises(BenchmarkError):
+            WorkloadSpec(queries=(1, 2), query_weights=(1.0,))
+
+
+class TestQueryService:
+    def test_submit_returns_result(self, service):
+        outcome = service.execute("D", 1)
+        assert outcome.result_size == 1
+        assert outcome.system == "D"
+        assert outcome.latency_seconds > 0
+
+    def test_plan_cache_reuse(self, small_text):
+        with QueryService(small_text, ("B",), max_workers=2,
+                          result_cache_size=0) as svc:
+            first = svc.execute("B", 7)
+            again = svc.execute("B", 7)
+            assert not first.plan_cache_hit and first.compile_seconds > 0
+            assert again.plan_cache_hit and again.compile_seconds == 0.0
+            assert again.result_size == first.result_size
+            # The cached entry is the very same compiled object.
+            key = PlanCache.key("B", svc._query_text(7))
+            assert svc.plan_cache.get(key) is svc.plan_cache.get(key)
+            assert svc.plan_cache.stats.hits >= 1
+
+    def test_plan_cache_is_per_system(self, service):
+        service.execute("D", 5)
+        outcome = service.execute("C", 5)
+        assert not outcome.plan_cache_hit
+
+    def test_result_cache_hit_skips_execution(self, small_text):
+        with QueryService(small_text, ("D",), max_workers=2) as svc:
+            first = svc.execute("D", 2)
+            again = svc.execute("D", 2)
+            assert not first.result_cache_hit
+            assert again.result_cache_hit
+            assert again.execute_seconds == 0.0
+            assert again.result is first.result
+
+    def test_result_cache_invalidated_on_document_change(self, small_text, tiny_text):
+        with QueryService(small_text, ("D",), max_workers=2) as svc:
+            before = svc.execute("D", 6)
+            digest_before = svc.store("D").document_digest()
+            svc.reload_document(tiny_text)
+            after = svc.execute("D", 6)
+            assert svc.store("D").document_digest() != digest_before
+            assert not after.result_cache_hit, "stale result must not be served"
+            assert not after.plan_cache_hit, "plans are bound to the old store"
+            # Q6 counts items per region: different documents, different counts.
+            assert after.result.serialize() != before.result.serialize()
+            assert svc.result_cache.stats.invalidations >= 1
+
+    def test_stale_plan_from_raced_reload_is_recompiled(self, small_text, tiny_text):
+        """A plan bound to a superseded store (a compile racing
+        reload_document) must not be executed or re-cached."""
+        with QueryService(small_text, ("D",), max_workers=2) as svc:
+            old_store = svc.store("D")
+            svc.reload_document(tiny_text)
+            text = svc._query_text(6)
+            # Simulate the race: a late put() lands a plan compiled against
+            # the old store after the reload cleared the cache.
+            stale = compile_query(text, old_store, get_profile("D"))
+            svc.plan_cache.put(PlanCache.key("D", text), stale)
+            outcome = svc.execute("D", 6)
+            assert not outcome.plan_cache_hit
+            fresh = svc.plan_cache.get(PlanCache.key("D", text))
+            assert fresh is not stale and fresh.store is svc.store("D")
+            # The served result matches the current document, not the old one.
+            direct = evaluate(compile_query(text, svc.store("D"), get_profile("D")))
+            assert outcome.result.serialize() == direct.serialize()
+
+    def test_workload_snapshot_cache_stats_are_per_window(self, small_text):
+        spec = WorkloadSpec(clients=2, requests_per_client=5, systems=("D",))
+        with QueryService(small_text, ("D",), max_workers=2) as svc:
+            for _ in range(4):
+                svc.execute("D", 1)  # pre-workload traffic must not leak in
+            snapshot = svc.run_workload(spec)
+        cache = snapshot["result_cache"]
+        assert cache["hits"] + cache["misses"] == spec.total_requests
+
+    def test_submit_batch(self, service):
+        futures = service.submit_batch([("D", 1), ("D", 5), ("C", 2)])
+        outcomes = [f.result() for f in futures]
+        assert [o.system for o in outcomes] == ["D", "D", "C"]
+
+    def test_raw_query_text(self, service):
+        outcome = service.execute(
+            "D", 'for $p in document("auction.xml")/site/people/person return $p/name')
+        assert outcome.result_size > 0
+
+    def test_unavailable_system_raises(self, service):
+        with pytest.raises(BenchmarkError, match="unavailable"):
+            service.submit("A", 1)
+
+    def test_run_workload_snapshot(self, small_text):
+        spec = WorkloadSpec(clients=3, requests_per_client=5, systems=("D",),
+                            think_mean_seconds=0.0)
+        with QueryService(small_text, ("D",), max_workers=4) as svc:
+            snapshot = svc.run_workload(spec)
+        assert snapshot["completed"] == spec.total_requests
+        assert snapshot["errors"] == 0
+        assert snapshot["throughput_qps"] > 0
+        assert snapshot["latency"]["p95_ms"] >= snapshot["latency"]["p50_ms"]
+
+    def test_closed_service_rejects_work(self, small_text):
+        svc = QueryService(small_text, ("D",), max_workers=1)
+        svc.close()
+        with pytest.raises(BenchmarkError, match="closed"):
+            svc.submit("D", 1)
+
+
+class TestConcurrentReads:
+    """Thread-safety regression: stores must serve identical results from
+    many threads at once (the SummaryStore/FragmentStore audit)."""
+
+    QUERY_BY_SYSTEM = {"B": 13, "C": 14, "D": 10}  # reconstruction + full text
+
+    @pytest.mark.parametrize("system", sorted(QUERY_BY_SYSTEM))
+    def test_same_query_from_8_threads(self, service, system):
+        query = self.QUERY_BY_SYSTEM[system]
+        store = service.store(system)
+        profile = get_profile(system)
+        compiled = compile_query(query_text(query), store, profile)
+        reference = evaluate(compiled).serialize()
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            serialized = list(pool.map(
+                lambda _: evaluate(compiled).serialize(), range(8)))
+        assert all(s == reference for s in serialized)
+
+    def test_mixed_workload_across_systems(self, service):
+        """submit() from many clients against three architectures at once."""
+        spec = WorkloadSpec(clients=8, requests_per_client=6,
+                            systems=("B", "C", "D"), seed=99)
+        snapshot = service.run_workload(spec)
+        assert snapshot["completed"] == spec.total_requests
+        assert snapshot["errors"] == 0
+
+    def test_fragment_store_string_value_has_no_read_scratch(self, service):
+        store = service.store("B")
+        scratch_before = dict(store._text_tables_below)
+        root = store.root()
+        store.string_value(root)
+        assert store._text_tables_below == scratch_before, \
+            "string_value must not mutate shared state"
