@@ -1,0 +1,270 @@
+"""Indexed-vs-scan ablation across systems (the secondary-index subsystem).
+
+For each system and each of Q1/Q2/Q5/Q8/Q12, the same compiled-and-executed
+measurement runs twice: once under the system's real optimizer profile
+(indexes on) and once under a scan-only variant of that profile (every
+index flag off — join strategy and optimizer class untouched, so the
+ablation isolates the access structures).  The two result sequences are
+compared *in-run*: a probe that returned anything but the scan's exact
+result set would invalidate the timing, so equality is asserted before any
+number is reported.
+
+The query set covers the index families:
+
+* Q1  — exact match: store ID index (A-D) / secondary value index (E);
+* Q2  — ordered access over a path extent: path index (B/D native, E
+  secondary);
+* Q5  — range predicate: the sorted numeric index (FLWOR range plan);
+* Q8  — value join: index-backed hash probe on ``buyer/@person``;
+* Q12 — inequality join: System D's sorted join served from the sorted
+  index (probe instead of per-query build).
+
+Acceptance (exit status 1 when not met): indexed Q1 and Q5 strictly faster
+than scan on every system whose profile enables the relevant index.
+
+Runs two ways:
+
+* under pytest-benchmark like the sibling benches (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_index_ablation.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON document,
+  which is what CI's index-ablation smoke step exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.benchmark.queries import query_text
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.systems import get_profile, parse_system_letters
+from repro.errors import BenchmarkError
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import SystemProfile, compile_query
+
+ABLATION_QUERIES = (1, 2, 5, 8, 12)
+DEFAULT_SYSTEMS = "ABCDE"               # the profiles with any index enabled
+BENCH_SCALE = 0.005
+TINY_SCALE = 0.001
+
+
+def scan_profile(profile: SystemProfile) -> SystemProfile:
+    """The same optimizer with every index access structure disabled."""
+    return replace(
+        profile, name=profile.name + "-scan",
+        use_id_index=False, use_path_index=False,
+        use_value_index=False, use_sorted_index=False,
+    )
+
+
+def access_paths(compiled) -> list[str]:
+    """Compact labels of the non-scan access paths a plan resolved."""
+    labels = set()
+    for plan in compiled.path_plans.values():
+        if plan.kind == "id_lookup":
+            labels.add("id-index")
+        elif plan.kind == "value_probe":
+            labels.add("value-index")
+        elif plan.kind == "range_probe":
+            labels.add("sorted-index")
+        elif plan.kind == "path_index":
+            labels.add("path-index")
+    if compiled.range_plans:
+        labels.add("sorted-index")
+    for join in compiled.join_plans.values():
+        if join.index_kind == "value":
+            labels.add("value-index-join")
+        elif join.index_kind == "sorted":
+            labels.add("sorted-index-join")
+        else:
+            labels.add(f"{join.strategy}-join")
+    return sorted(labels) or ["scan"]
+
+
+def time_best(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_cell(store, system: str, query: int, rounds: int) -> dict:
+    """One (system, query) ablation cell: indexed vs scan, verified equal."""
+    indexed_profile = get_profile(system)
+    compiled_indexed = compile_query(query_text(query), store, indexed_profile)
+    compiled_scan = compile_query(query_text(query), store,
+                                  scan_profile(indexed_profile))
+    indexed_result = evaluate(compiled_indexed)
+    scan_result = evaluate(compiled_scan)
+    if indexed_result.serialize() != scan_result.serialize():
+        raise AssertionError(
+            f"Q{query} on System {system}: indexed result differs from scan")
+    indexed_seconds = time_best(lambda: evaluate(compiled_indexed), rounds)
+    scan_seconds = time_best(lambda: evaluate(compiled_scan), rounds)
+    return {
+        "system": system,
+        "query": query,
+        "indexed_ms": round(indexed_seconds * 1000.0, 4),
+        "scan_ms": round(scan_seconds * 1000.0, 4),
+        "speedup": round(scan_seconds / indexed_seconds, 2)
+        if indexed_seconds > 0 else 0.0,
+        "result_size": len(indexed_result),
+        "access_paths": access_paths(compiled_indexed),
+        "results_equal": True,
+    }
+
+
+def check_acceptance(cells: list[dict]) -> list[str]:
+    """Indexed Q1 and Q5 must be strictly faster than scan wherever the
+    profile enables the relevant index family."""
+    failures = []
+    for cell in cells:
+        profile = get_profile(cell["system"])
+        if cell["query"] == 1 and (profile.use_id_index or profile.use_value_index):
+            if not cell["indexed_ms"] < cell["scan_ms"]:
+                failures.append(
+                    f"Q1 on {cell['system']}: indexed {cell['indexed_ms']} ms "
+                    f"not faster than scan {cell['scan_ms']} ms")
+        if cell["query"] == 5 and profile.use_sorted_index:
+            if not cell["indexed_ms"] < cell["scan_ms"]:
+                failures.append(
+                    f"Q5 on {cell['system']}: indexed {cell['indexed_ms']} ms "
+                    f"not faster than scan {cell['scan_ms']} ms")
+    return failures
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.mark.parametrize("query", ABLATION_QUERIES)
+def bench_indexed(benchmark, runner, query):
+    store = runner.store("D")
+    compiled = compile_query(query_text(query), store, get_profile("D"))
+    benchmark.pedantic(lambda: evaluate(compiled), rounds=3, iterations=1)
+    benchmark.extra_info["access_paths"] = ",".join(access_paths(compiled))
+
+
+@pytest.mark.parametrize("query", ABLATION_QUERIES)
+def bench_scan(benchmark, runner, query):
+    store = runner.store("D")
+    compiled = compile_query(query_text(query), store,
+                             scan_profile(get_profile("D")))
+    benchmark.pedantic(lambda: evaluate(compiled), rounds=3, iterations=1)
+
+
+def bench_ablation_shape(benchmark, runner):
+    """One-shot direction check: indexed Q1/Q5 beat scan on System D."""
+    def run():
+        return [run_cell(runner.store("D"), "D", query, rounds=5)
+                for query in (1, 5)]
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    for cell in cells:
+        benchmark.extra_info[f"q{cell['query']}_speedup"] = cell["speedup"]
+    failures = check_acceptance(cells)
+    assert not failures, failures
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def _record(cell: dict, seconds: float) -> dict:
+    """One pytest-benchmark-shaped record."""
+    name = f"index_ablation[{cell['system']}-Q{cell['query']}]"
+    return {
+        "group": "index-ablation",
+        "name": name,
+        "fullname": f"bench_index_ablation.py::{name}",
+        "params": {"system": cell["system"], "query": cell["query"]},
+        "stats": {"min": seconds, "max": seconds, "mean": seconds,
+                  "stddev": 0.0, "rounds": 1, "iterations": 1},
+        "extra_info": {key: (",".join(value) if isinstance(value, list) else value)
+                       for key, value in cell.items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="indexed-vs-scan ablation of Q1/Q2/Q5/Q8/Q12 across systems")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: small document, fewer rounds")
+    parser.add_argument("--factor", type=float, default=None,
+                        help="document scaling factor (default 0.005; --tiny: 0.001)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timing rounds per cell, best-of (default 5; --tiny: 7)")
+    parser.add_argument("--systems", default=DEFAULT_SYSTEMS,
+                        help=f"system letters to ablate (default {DEFAULT_SYSTEMS})")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (
+        TINY_SCALE if args.tiny else BENCH_SCALE)
+    rounds = args.rounds if args.rounds is not None else (7 if args.tiny else 5)
+    try:
+        systems = parse_system_letters(args.systems)
+    except BenchmarkError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    from repro.xmlgen.generator import generate_string
+    text = generate_string(factor)
+    runner = BenchmarkRunner(text, systems=systems)
+
+    records: list[dict] = []
+    cells: list[dict] = []
+    for system in systems:
+        if system in runner.failed_loads:
+            print(f"  system {system} failed to load: "
+                  f"{runner.failed_loads[system]}", file=sys.stderr)
+            continue
+        store = runner.store(system)
+        for query in ABLATION_QUERIES:
+            started = time.perf_counter()
+            cell = run_cell(store, system, query, rounds)
+            cells.append(cell)
+            records.append(_record(cell, time.perf_counter() - started))
+            print(f"  {system} Q{query:<2d} indexed {cell['indexed_ms']:9.3f} ms  "
+                  f"scan {cell['scan_ms']:9.3f} ms  {cell['speedup']:6.2f}x  "
+                  f"via {','.join(cell['access_paths'])}", file=sys.stderr)
+
+    failures = check_acceptance(cells)
+    report = {
+        "machine_info": {"python_version": platform.python_version(),
+                         "machine": platform.machine()},
+        "commit_info": {},
+        "benchmarks": records,
+        "version": "index-ablation-1",
+        "config": {"factor": factor, "rounds": rounds,
+                   "systems": list(systems),
+                   "queries": list(ABLATION_QUERIES)},
+        "acceptance": {"ok": not failures, "failures": failures},
+    }
+    output = json.dumps(report, indent=2)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    else:
+        print(output)
+    if failures:
+        print("ACCEPTANCE NOT MET: indexed Q1/Q5 must be strictly faster "
+              "than scan wherever the profile enables the index:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

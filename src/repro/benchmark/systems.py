@@ -36,6 +36,7 @@ SYSTEMS: dict[str, SystemSpec] = {
         SystemProfile(
             name="A", optimizer="cost-exhaustive", join_rewrite_depth=2,
             inequality_join="nlj", use_id_index=True, use_path_index=False,
+            use_value_index=True, use_sorted_index=True,
         ),
         mass_storage=True,
         description="relational, single generic heap relation, cost-based "
@@ -46,6 +47,7 @@ SYSTEMS: dict[str, SystemSpec] = {
         SystemProfile(
             name="B", optimizer="cost-greedy", join_rewrite_depth=2,
             inequality_join="nlj", use_id_index=True, use_path_index=True,
+            use_value_index=True, use_sorted_index=True,
         ),
         mass_storage=True,
         description="relational, one table per distinct path, cost-based "
@@ -56,6 +58,7 @@ SYSTEMS: dict[str, SystemSpec] = {
         SystemProfile(
             name="C", optimizer="cost-greedy", join_rewrite_depth=1,
             inequality_join="nlj", use_id_index=True, use_path_index=False,
+            use_value_index=True, use_sorted_index=True,
         ),
         mass_storage=True,
         description="relational, DTD-derived inlined schema; at most one "
@@ -66,6 +69,7 @@ SYSTEMS: dict[str, SystemSpec] = {
         SystemProfile(
             name="D", optimizer="heuristic", join_rewrite_depth=99,
             inequality_join="sorted", use_id_index=True, use_path_index=True,
+            use_value_index=True, use_sorted_index=True,
         ),
         mass_storage=True,
         description="main memory, structural summary; hand-optimized "
@@ -75,10 +79,12 @@ SYSTEMS: dict[str, SystemSpec] = {
         "E", IndexedTreeStore,
         SystemProfile(
             name="E", optimizer="heuristic", join_rewrite_depth=99,
-            inequality_join="nlj", use_id_index=False, use_path_index=False,
+            inequality_join="nlj", use_id_index=False, use_path_index=True,
+            use_value_index=True, use_sorted_index=True,
         ),
         mass_storage=True,
-        description="main memory, inverted tag index, heuristic optimizer",
+        description="main memory, inverted tag index + secondary value/"
+                    "sorted/path indexes, heuristic optimizer",
     ),
     "F": SystemSpec(
         "F", TreeStore,
@@ -103,6 +109,17 @@ SYSTEMS: dict[str, SystemSpec] = {
 
 #: The paper's "mass storage" systems (Table 1 / Table 3 population).
 MASS_STORAGE_SYSTEMS = tuple(name for name, spec in SYSTEMS.items() if spec.mass_storage)
+
+
+def parse_system_letters(letters: str) -> tuple[str, ...]:
+    """``'bd'`` -> ``('B', 'D')``: uppercase, dedupe preserving order,
+    reject unknown letters (shared by every CLI/bench entry point)."""
+    systems = tuple(dict.fromkeys(letters.upper()))
+    unknown = [s for s in systems if s not in SYSTEMS]
+    if unknown:
+        raise BenchmarkError(
+            f"unknown system(s) {''.join(unknown)}; choose from A-G")
+    return systems
 
 
 def make_store(name: str) -> Store:

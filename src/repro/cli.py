@@ -4,6 +4,7 @@
     xmark dtd
     xmark query -f 0.005 -q 8 -s D
     xmark bench  -f 0.005 --table 3
+    xmark index  -f 0.005 -s BD
     xmark serve-bench -f 0.005 -s D -c 8 -n 25
     xmark validate auction.xml
 """
@@ -47,6 +48,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
     bench.add_argument("--figure4", action="store_true")
 
+    index = commands.add_parser(
+        "index",
+        help="inspect the secondary indexes each system builds at load",
+        description="Load the document into the chosen systems and report "
+                    "what repro.index built at mark_loaded time: the value "
+                    "(hash) and sorted (range) fields with their entry and "
+                    "distinct-key counts — the cardinality statistics the "
+                    "planner's scan-vs-probe choice reads — plus the "
+                    "dictionary-encoded path index and build cost.")
+    index.add_argument("-f", "--factor", type=float, default=0.005,
+                       help="document scaling factor (default 0.005)")
+    index.add_argument("-s", "--systems", default="ABCDEFG",
+                       help="system letters to load, e.g. 'D' or 'BD' "
+                            "(default: all seven)")
+    index.add_argument("--json", dest="json_path", default=None,
+                       help="also write the summaries to this file")
+
     serve = commands.add_parser(
         "serve-bench",
         help="run a concurrent multi-client workload through the query service",
@@ -83,13 +101,69 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _index_report(args) -> int:
+    from repro.benchmark.systems import get_profile, parse_system_letters
+    from repro.errors import BenchmarkError
+
+    try:
+        systems = parse_system_letters(args.systems)
+    except BenchmarkError as exc:
+        print(f"index: {exc}", file=sys.stderr)
+        return 2
+    text = generate_string(args.factor)
+    runner = BenchmarkRunner(text, systems=systems)
+    summaries: dict[str, dict] = {}
+    for system in systems:
+        if system in runner.failed_loads:
+            print(f"system {system} failed to load: {runner.failed_loads[system]}",
+                  file=sys.stderr)
+            continue
+        store = runner.stores[system]
+        if store.indexes is None:
+            print(f"System {system}: no secondary indexes built")
+            continue
+        summary = store.indexes.summary()
+        summaries[system] = summary
+        profile = get_profile(system)
+        enabled = ", ".join(
+            flag for flag, on in (
+                ("id", profile.use_id_index and store.has_id_index()),
+                ("value", profile.use_value_index),
+                ("sorted", profile.use_sorted_index),
+                ("path", profile.use_path_index),
+            ) if on) or "none (scan-only profile)"
+        print(f"System {system}  [{store.architecture}]")
+        print(f"  built in {summary['build_ms']:.2f} ms over "
+              f"{summary['nodes_walked']} nodes, ~{summary['size_bytes'] / 1024:.1f} kB; "
+              f"planner may use: {enabled}")
+        for entry in summary["value"]:
+            print(f"  value   {entry['field']:55s} entries={entry['entries']:<6d} "
+                  f"distinct={entry['distinct_keys']:<6d} "
+                  f"avg-bucket={entry['avg_bucket']}")
+        for entry in summary["sorted"]:
+            span = ("empty" if entry["min"] is None
+                    else f"[{entry['min']:g}, {entry['max']:g}]")
+            print(f"  sorted  {entry['field']:55s} entries={entry['entries']:<6d} "
+                  f"range={span}")
+        paths = summary["paths"]
+        if paths:
+            print(f"  paths   {paths['distinct_paths']} distinct label paths over "
+                  f"{paths['nodes']} nodes")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump({"factor": args.factor, "systems": summaries}, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
 def _serve_bench(args) -> int:
+    from repro.benchmark.systems import parse_system_letters
     from repro.errors import BenchmarkError
     from repro.service import QueryService, WorkloadGenerator, WorkloadSpec
     from repro.service.workload import DEFAULT_WORKLOAD_SEED
 
     try:
-        systems = tuple(dict.fromkeys(args.systems.upper()))
+        systems = parse_system_letters(args.systems)
         spec = WorkloadSpec(
             clients=args.clients,
             requests_per_client=args.requests,
@@ -163,6 +237,9 @@ def main(argv: list[str] | None = None) -> int:
         for violation in report.violations[:20]:
             print(f"violation: {violation}")
         return 1
+
+    if args.command == "index":
+        return _index_report(args)
 
     if args.command == "serve-bench":
         return _serve_bench(args)

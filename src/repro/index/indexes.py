@@ -1,0 +1,268 @@
+"""The three index structures: value (hash), sorted numeric, and path.
+
+All three store opaque store handles next to a dense build sequence number
+(the builder walks in document order, so the sequence number *is* a
+document-order key that works for every handle representation — ints, DOM
+objects, composite tuples).  Probe results therefore come back as
+``(seq, handle)`` pairs that callers can sort or deduplicate without ever
+asking the store for a document position.
+"""
+
+from __future__ import annotations
+
+import sys
+from bisect import bisect_left, bisect_right
+
+
+def normalize_key(value) -> float | str | None:
+    """The typed key of one raw value, matching runtime-cast comparisons.
+
+    The benchmark stores every value as a string and casts at runtime
+    (paper Section 6: the "Casting" challenge); two values are ``=`` when
+    both cast to the same number, or failing that, when the strings match.
+    A hash index must collapse exactly the same equivalence classes, so
+    keys are floats whenever the string casts and raw strings otherwise.
+    NaN never equals anything (including itself) under runtime casting, so
+    NaN-casting values return None: not indexable, never probe-able.
+    """
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        number = float(value)
+    elif isinstance(value, str):
+        try:
+            number = float(value.strip())
+        except ValueError:
+            return value
+    else:
+        return None
+    if number != number:                # NaN
+        return None
+    return number
+
+
+class ValueIndex:
+    """Hash index over the typed values of one field."""
+
+    __slots__ = ("field", "extent_size", "nodes_empty", "nodes_multi",
+                 "_buckets", "_entries")
+
+    def __init__(self, field) -> None:
+        self.field = field
+        self.extent_size = 0            # nodes at the field's path
+        self.nodes_empty = 0            # extent nodes with no accessor value
+        self.nodes_multi = 0            # extent nodes with 2+ accessor values
+        self._entries = 0
+        self._buckets: dict[float | str, list[tuple[int, object]]] = {}
+
+    def add(self, raw_value, seq: int, handle) -> None:
+        key = normalize_key(raw_value)
+        if key is None:
+            return
+        bucket = self._buckets.setdefault(key, [])
+        # A node contributes one probe hit per key however many of its
+        # values collapse to that key (existential semantics): drop the
+        # duplicate the builder would otherwise append back-to-back.
+        if bucket and bucket[-1][0] == seq:
+            return
+        bucket.append((seq, handle))
+        self._entries += 1
+
+    def probe(self, value) -> list[tuple[int, object]]:
+        """Entries whose key equals ``value`` (document order)."""
+        key = normalize_key(value)
+        if key is None:
+            return []
+        return self._buckets.get(key, [])
+
+    @property
+    def entries(self) -> int:
+        return self._entries
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def avg_bucket(self) -> float:
+        """Expected matches of one probe — the planner's cardinality stat."""
+        return self._entries / len(self._buckets) if self._buckets else 0.0
+
+    def size_bytes(self) -> int:
+        total = sys.getsizeof(self._buckets)
+        for key, bucket in self._buckets.items():
+            total += sys.getsizeof(key) + sys.getsizeof(bucket) + 16 * len(bucket)
+        return total
+
+    def summary(self) -> dict:
+        return {
+            "field": self.field.label,
+            "kind": "value",
+            "entries": self._entries,
+            "distinct_keys": self.distinct_keys,
+            "extent_size": self.extent_size,
+            "avg_bucket": round(self.avg_bucket, 2),
+        }
+
+
+class SortedNumericIndex:
+    """Sorted ``(key, node)`` pairs for range and inequality predicates."""
+
+    __slots__ = ("field", "extent_size", "nodes_empty", "nodes_multi",
+                 "_keys", "_seqs", "_handles", "_pending")
+
+    def __init__(self, field) -> None:
+        self.field = field
+        self.extent_size = 0
+        self.nodes_empty = 0            # extent nodes with no raw accessor value
+        self.nodes_multi = 0            # extent nodes with 2+ raw accessor values
+        self._pending: list[tuple[float, int, object]] | None = []
+        self._keys: list[float] = []
+        self._seqs: list[int] = []
+        self._handles: list = []
+
+    def add(self, raw_value, seq: int, handle) -> None:
+        key = normalize_key(raw_value)
+        if key is None or isinstance(key, str):
+            return                      # non-numeric: no ordering predicate matches
+        assert self._pending is not None, "index already frozen"
+        self._pending.append((key, seq, handle))
+
+    def freeze(self) -> None:
+        """Sort once after the build walk; probes are bisections thereafter."""
+        assert self._pending is not None
+        self._pending.sort(key=lambda entry: (entry[0], entry[1]))
+        self._keys = [entry[0] for entry in self._pending]
+        self._seqs = [entry[1] for entry in self._pending]
+        self._handles = [entry[2] for entry in self._pending]
+        self._pending = None
+
+    def _slice(self, op: str, bound: float) -> tuple[int, int]:
+        """Index interval of entries whose key satisfies ``key OP bound``."""
+        if op == "<":
+            return 0, bisect_left(self._keys, bound)
+        if op == "<=":
+            return 0, bisect_right(self._keys, bound)
+        if op == ">":
+            return bisect_right(self._keys, bound), len(self._keys)
+        if op == ">=":
+            return bisect_left(self._keys, bound), len(self._keys)
+        if op == "=":
+            return bisect_left(self._keys, bound), bisect_right(self._keys, bound)
+        raise ValueError(f"sorted index cannot answer op {op!r}")
+
+    def range(self, op: str, bound: float) -> list[tuple[int, object]]:
+        """Matching ``(seq, handle)`` pairs in key order (may repeat a node
+        once per matching value; callers deduplicate by seq)."""
+        start, stop = self._slice(op, bound)
+        return list(zip(self._seqs[start:stop], self._handles[start:stop]))
+
+    def count(self, op: str, bound: float) -> int:
+        """Exact matching-entry count — compile-time selectivity for free."""
+        start, stop = self._slice(op, bound)
+        return stop - start
+
+    def outer_compare(self, op: str, outer: float,
+                      scale: float = 1.0) -> list[tuple[int, object]]:
+        """Entries whose key ``v`` satisfies ``outer OP scale*v``.
+
+        The probe side of an index-backed sorted join (Q11/Q12's
+        ``$income > 5000 * $initial``).  The comparison bisects on the
+        *scaled* key so the float arithmetic is bit-identical to what a
+        per-query-built sorted join would compute — boundary values land on
+        the same side either way.  Requires ``scale > 0`` (monotone).
+        """
+        keys = self._keys
+        key_fn = None if scale == 1.0 else (lambda v: scale * v)
+        if op == ">":                   # outer > scale*v  ->  keep the prefix
+            start, stop = 0, bisect_left(keys, outer, key=key_fn)
+        elif op == ">=":
+            start, stop = 0, bisect_right(keys, outer, key=key_fn)
+        elif op == "<":
+            start, stop = bisect_right(keys, outer, key=key_fn), len(keys)
+        elif op == "<=":
+            start, stop = bisect_left(keys, outer, key=key_fn), len(keys)
+        else:
+            raise ValueError(f"sorted join cannot answer op {op!r}")
+        return list(zip(self._seqs[start:stop], self._handles[start:stop]))
+
+    @property
+    def entries(self) -> int:
+        return len(self._keys)
+
+    def bounds(self) -> tuple[float, float] | None:
+        if not self._keys:
+            return None
+        return (self._keys[0], self._keys[-1])
+
+    def size_bytes(self) -> int:
+        return (sys.getsizeof(self._keys) + sys.getsizeof(self._seqs)
+                + sys.getsizeof(self._handles) + 24 * len(self._keys))
+
+    def summary(self) -> dict:
+        bounds = self.bounds()
+        return {
+            "field": self.field.label,
+            "kind": "sorted",
+            "entries": self.entries,
+            "extent_size": self.extent_size,
+            "min": bounds[0] if bounds else None,
+            "max": bounds[1] if bounds else None,
+        }
+
+
+class PathIndex:
+    """Dictionary-encoded label paths mapped to node lists.
+
+    Every distinct root-to-node tag sequence gets a small integer id (the
+    dictionary encoding); the extent of path id ``p`` is the document-
+    ordered list of handles whose label path is ``p``.  This generalizes
+    System D's structural summary to every store architecture.
+    """
+
+    __slots__ = ("_ids", "_extents")
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple[str, ...], int] = {}
+        self._extents: list[list] = []
+
+    def add(self, path: tuple[str, ...], handle) -> None:
+        pid = self._ids.get(path)
+        if pid is None:
+            pid = len(self._extents)
+            self._ids[path] = pid
+            self._extents.append([])
+        self._extents[pid].append(handle)
+
+    def path_id(self, path: tuple[str, ...]) -> int | None:
+        return self._ids.get(path)
+
+    def nodes(self, path: tuple[str, ...]) -> list:
+        """The extent of ``path`` in document order ([] when absent)."""
+        pid = self._ids.get(path)
+        return self._extents[pid] if pid is not None else []
+
+    def count(self, path: tuple[str, ...]) -> int:
+        pid = self._ids.get(path)
+        return len(self._extents[pid]) if pid is not None else 0
+
+    @property
+    def distinct_paths(self) -> int:
+        return len(self._ids)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(len(extent) for extent in self._extents)
+
+    def paths(self) -> list[tuple[str, ...]]:
+        return list(self._ids)
+
+    def size_bytes(self) -> int:
+        total = sys.getsizeof(self._ids) + sys.getsizeof(self._extents)
+        for path, pid in self._ids.items():
+            total += sum(sys.getsizeof(tag) for tag in path)
+            total += sys.getsizeof(self._extents[pid]) + 8 * len(self._extents[pid])
+        return total
+
+    def summary(self) -> dict:
+        return {"distinct_paths": self.distinct_paths, "nodes": self.total_nodes}

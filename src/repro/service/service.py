@@ -12,10 +12,16 @@ serves queries against them from a bounded thread pool:
   (keyed on system + query text); results through a
   :class:`~repro.service.cache.ResultCache` (keyed additionally on the
   loaded document's content digest, so :meth:`reload_document` invalidates
-  exactly the stale entries).
+  exactly the stale entries).  Secondary indexes are per-document state
+  like cached results: a reload drops the superseded stores' index sets in
+  the same pass (see :meth:`reload_document`), and :meth:`index_stats`
+  reports what the serving stores built.
 * Closed-loop multi-client experiments come from :meth:`run_workload`, which
   drives a deterministic :class:`~repro.service.workload.WorkloadGenerator`
   stream with one thread per client, honouring per-request think times.
+
+See docs/SERVING.md for the full serving-layer guide (API, cache keying
+and invalidation semantics, and how to read ``serve-bench`` output).
 
 Plan reuse is safe because compiled plans are read-only after compilation
 (see :class:`repro.xquery.planner.CompiledQuery`) and the stores' read paths
@@ -112,21 +118,29 @@ class QueryService:
 
         Compiled plans are bound to the old store instances and every cached
         result to the old digest, so both caches shed exactly that state —
-        the invalidation contract the result cache exists for.
+        the invalidation contract the result cache exists for.  The
+        superseded stores' secondary indexes are dropped in the same pass:
+        per-document state (indexes, cached results) is invalidated
+        together, and the fresh stores rebuild their indexes at load.
 
         Reloading does not drain the pool: a query already executing keeps
         its reference to the old store and may finish (and briefly re-cache)
-        against the old digest.  Callers needing a hard cut-over should let
-        outstanding futures complete before reloading.
+        against the old digest; with the old indexes dropped, any
+        index-backed plan it carries degrades to its scan equivalent —
+        same results, no stale index reads.  Callers needing a hard
+        cut-over should let outstanding futures complete before reloading.
         """
         self._require_open()
         systems = tuple(self._admission)
-        old_digests = {store.document_digest() for store in self.stores.values()}
+        old_stores = list(self.stores.values())
+        old_digests = {store.document_digest() for store in old_stores}
         self.stores.clear()
         self.load_reports.clear()
         self.failed_loads.clear()
         self._load(document, systems)
         self.plan_cache.clear()
+        for store in old_stores:
+            store.drop_indexes()
         for digest in old_digests:
             if digest:
                 self.result_cache.invalidate_document(digest)
@@ -301,4 +315,12 @@ class QueryService:
         return {
             "plan_cache": self.plan_cache.stats.as_dict(),
             "result_cache": self.result_cache.stats.as_dict(),
+        }
+
+    def index_stats(self) -> dict:
+        """Per-system secondary-index summaries (what was built at load)."""
+        return {
+            name: store.indexes.summary()
+            for name, store in self.stores.items()
+            if store.indexes is not None
         }

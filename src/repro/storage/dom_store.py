@@ -24,9 +24,16 @@ DEFAULT_DOCUMENT_LIMIT = 25_000_000
 
 
 class DomStore(Store):
-    """Naive embedded DOM store (System G)."""
+    """Naive embedded DOM store (System G).
 
-    architecture = "embedded in-process DOM, no indexes (System G)"
+    "No indexes" describes the *architecture and its profile*: G's planner
+    never uses an access structure.  Like every store it still builds the
+    uniform secondary IndexSet at mark_loaded — that is what lets the
+    ablation benchmark and the probe==scan property tests compare both
+    access paths on one and the same loaded store.
+    """
+
+    architecture = "embedded in-process DOM, no native indexes (System G)"
 
     def __init__(self, document_limit: int = DEFAULT_DOCUMENT_LIMIT) -> None:
         super().__init__()

@@ -54,6 +54,7 @@ class Store(ABC):
 
     def __init__(self) -> None:
         self.stats = StoreStats()
+        self.indexes = None             # IndexSet, built at mark_loaded
         self._loaded = False
         self._document_digest: str | None = None
 
@@ -63,11 +64,49 @@ class Store(ABC):
     def load(self, text: str) -> None:
         """Bulkload a document (parse + convert, one completed transaction)."""
 
+    def index_spec(self):
+        """The secondary-index declarations built at load, or None for none.
+
+        The default is the benchmark's auction spec
+        (:data:`repro.index.spec.DEFAULT_AUCTION_SPEC`); on non-auction
+        documents its fields simply index empty extents, and the generic
+        path index still covers every walked label path.
+
+        The build is deliberately uniform across all seven systems even
+        though the scan-only profiles (F, G) never probe: *use* is the
+        optimizer profile's choice, exactly as System D's store carries an
+        ID index that an ablation profile may ignore — and the
+        indexed-vs-scan ablation plus the probe==scan property tests need
+        both access paths available on one and the same loaded store.
+        Subclasses wanting a different trade-off override this.
+        """
+        from repro.index.spec import DEFAULT_AUCTION_SPEC
+        return DEFAULT_AUCTION_SPEC
+
+    def drop_indexes(self) -> None:
+        """Invalidate the secondary indexes (document superseded).
+
+        Compiled plans carrying index-backed access paths degrade to their
+        scan equivalents when the indexes are gone — the evaluator checks
+        before every probe — so dropping is always safe, never wrong.
+        """
+        self.indexes = None
+
     def mark_loaded(self, text: str) -> None:
-        """Record a completed load: flips the loaded flag and remembers the
-        document's content digest (the invalidation key for result caches)."""
+        """Record a completed load: flips the loaded flag, remembers the
+        document's content digest (the invalidation key for result caches),
+        and builds the secondary indexes — index construction is part of
+        the completed transaction, exactly like Table 1's "conversion
+        effort".  Work counters accumulated while loading and indexing are
+        reset so post-load stats start from zero."""
         self._document_digest = document_digest(text)
         self._loaded = True
+        self.indexes = None
+        spec = self.index_spec()
+        if spec is not None:
+            from repro.index.builder import build_index_set
+            self.indexes = build_index_set(self, spec)
+        self.stats.reset()
 
     def document_digest(self) -> str | None:
         """Digest of the currently loaded document, or None before load."""

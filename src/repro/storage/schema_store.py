@@ -360,6 +360,11 @@ class SchemaStore(Store):
             spec = _spec_at(ENTITY_SPECS[node[1]], node[3])
             return spec.tag
         if kind == "fn":
+            if node[2] == 0:
+                # Fragment roots answer from the extracted tag column: the
+                # index builder (and any tag probe) must not force a CLOB
+                # parse just to learn the root's name.
+                return self._frag_tag[node[1]]
             return self._fragment(node[1]).nodes[node[2]].tag
         raise StorageError(f"bad handle {node!r}")
 

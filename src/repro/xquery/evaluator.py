@@ -122,8 +122,15 @@ class _Interpreter:
         plan = self.compiled.path_plans.get(id(node))
         if plan is not None and plan.kind == "id_lookup":
             return self._eval_id_lookup(node, plan)
+        if plan is not None and plan.kind in ("value_probe", "range_probe"):
+            handles = self._probe_handles(plan)
+            if handles is None:         # indexes dropped: degrade to the scan
+                return self._apply_steps([_DOC_ROOT], node.steps, 0)
+            return self._apply_steps_raw(handles, node.steps, plan.id_step + 1)
         if plan is not None and plan.kind == "path_index":
-            handles = self.store.nodes_at_path(plan.prefix) or []
+            handles = self._path_extent(plan)
+            if handles is None:         # indexes dropped: degrade to the scan
+                return self._apply_steps([_DOC_ROOT], node.steps, 0)
             return self._apply_steps(handles, node.steps, plan.prefix_len)
         if node.root is None:
             return self._apply_steps([_DOC_ROOT], node.steps, 0)
@@ -138,6 +145,36 @@ class _Interpreter:
                 raise QueryError(f"cannot apply a path step to atomic {item!r}")
             handles.append(item.handle)
         return self._apply_steps(handles, node.steps, 0)
+
+    def _path_extent(self, plan) -> list | None:
+        """The extent behind a ``path_index`` plan (None = unavailable)."""
+        if plan.source == "index":
+            indexes = self.store.indexes
+            if indexes is None:
+                return None
+            extent = indexes.path_extent(plan.prefix)
+            if extent is not None:
+                self.store.stats.index_lookups += 1
+            return extent
+        return self.store.nodes_at_path(plan.prefix) or []
+
+    def _probe_handles(self, plan) -> list | None:
+        """Qualifying extent handles of a value/range probe, in document
+        order (the probe answers the step predicate; None = unavailable)."""
+        indexes = self.store.indexes
+        if indexes is None:
+            return None
+        if plan.kind == "value_probe":
+            index = indexes.value_field(plan.prefix, plan.accessor)
+            if index is None:
+                return None
+            self.store.stats.index_lookups += 1
+            return [handle for _seq, handle in index.probe(plan.probe_value)]
+        index = indexes.sorted_field(plan.prefix, plan.accessor)
+        if index is None:
+            return None
+        self.store.stats.index_lookups += 1
+        return _doc_order_handles(index.range(plan.op, plan.bound))
 
     def _eval_id_lookup(self, node: Path, plan) -> list:
         handle = self.store.lookup_id(plan.id_value)
@@ -273,6 +310,11 @@ class _Interpreter:
     # -- FLWOR ---------------------------------------------------------------------
 
     def eval_flwor(self, node: FLWOR) -> list:
+        range_plan = self.compiled.range_plans.get(id(node))
+        if range_plan is not None:
+            probed = self._eval_range_flwor(node, range_plan)
+            if probed is not None:
+                return probed
         results: list = []
         ordered_rows: list[tuple] = []
         clauses = node.clauses
@@ -311,6 +353,27 @@ class _Interpreter:
                 results.extend(value)
         return results
 
+    def _eval_range_flwor(self, node: FLWOR, plan) -> list | None:
+        """Iterate only the bindings a sorted-index range probe qualifies;
+        the ``where`` clause is the probe, so it is never evaluated.
+        Returns None (degrade to the generic FLWOR) when the index is gone.
+        """
+        indexes = self.store.indexes
+        if indexes is None:
+            return None
+        index = indexes.sorted_field(plan.path, plan.accessor)
+        if index is None:
+            return None
+        self.store.stats.index_lookups += 1
+        clause = node.clauses[0]
+        results: list = []
+        previous = self.variables.get(clause.var)
+        for handle in _doc_order_handles(index.range(plan.op, plan.bound)):
+            self.variables[clause.var] = [NodeItem(handle)]
+            results.extend(self.eval(node.ret))
+        _restore(self.variables, clause.var, previous)
+        return results
+
     def _order_key(self, key_expr: Expr):
         values = atomize(self.eval(key_expr), self.navigator)
         if not values:
@@ -326,6 +389,10 @@ class _Interpreter:
         return self._sorted_probe(clause, plan)
 
     def _hash_probe(self, clause: LetClause, plan: JoinPlan) -> list:
+        if plan.index_kind == "value":
+            probed = self._indexed_hash_probe(plan)
+            if probed is not None:
+                return self._join_returns(clause, plan, probed)
         cache = self.join_cache.get(id(clause))
         if cache is None:
             table: dict = {}
@@ -348,7 +415,45 @@ class _Interpreter:
         matches.sort(key=lambda pair: pair[0])
         return self._join_returns(clause, plan, [item for _, item in matches])
 
+    def _indexed_hash_probe(self, plan: JoinPlan) -> list | None:
+        """Build-side rows matching the outer key, straight from the value
+        index (no per-query hash table).  None = index unavailable."""
+        indexes = self.store.indexes
+        if indexes is None:
+            return None
+        index = indexes.value_field(plan.index_path, plan.index_accessor)
+        if index is None:
+            return None
+        self.store.stats.index_lookups += 1
+        entries: list[tuple[int, object]] = []
+        for value in atomize(self.eval(plan.outer_key), self.navigator):
+            entries.extend(index.probe(value))
+        return [NodeItem(handle) for handle in _doc_order_handles(entries)]
+
+    def _indexed_sorted_probe(self, plan: JoinPlan) -> list | None:
+        """Build-side rows satisfying ``outer OP scale*key``, bisected from
+        the sorted index (no per-query sort).  None = index unavailable."""
+        indexes = self.store.indexes
+        if indexes is None:
+            return None
+        index = indexes.sorted_field(plan.index_path, plan.index_accessor)
+        if index is None:
+            return None
+        outer_values = atomize(self.eval(plan.outer_key), self.navigator)
+        if not outer_values:
+            return []
+        outer = try_number(outer_values[0])
+        if outer is None:
+            return []
+        self.store.stats.index_lookups += 1
+        entries = index.outer_compare(plan.op, outer, plan.index_scale)
+        return [NodeItem(handle) for _seq, handle in entries]
+
     def _sorted_probe(self, clause: LetClause, plan: JoinPlan) -> list:
+        if plan.index_kind == "sorted":
+            probed = self._indexed_sorted_probe(plan)
+            if probed is not None:
+                return self._join_returns(clause, plan, probed)
         cache = self.join_cache.get(id(clause))
         if cache is None:
             keys: list[float] = []
@@ -572,6 +677,19 @@ def _restore(variables: dict, name: str, previous) -> None:
 def _join_key(value):
     number = try_number(value)
     return number if number is not None else atomic_to_string(value)
+
+
+def _doc_order_handles(entries: list[tuple[int, object]]) -> list:
+    """Deduplicate index entries by build sequence and restore document
+    order (a node matches once however many of its values qualified)."""
+    seen: set[int] = set()
+    deduped: list[tuple[int, object]] = []
+    for seq, handle in entries:
+        if seq not in seen:
+            seen.add(seq)
+            deduped.append((seq, handle))
+    deduped.sort(key=lambda pair: pair[0])
+    return [handle for _seq, handle in deduped]
 
 
 def _normalize_order_columns(rows: list[tuple], descending: list[bool]) -> list[tuple]:

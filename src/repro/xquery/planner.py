@@ -40,7 +40,14 @@ from repro.xquery.parser import parse_query
 
 @dataclass(frozen=True, slots=True)
 class SystemProfile:
-    """Optimizer capabilities of one system (paper Section 7)."""
+    """Optimizer capabilities of one system (paper Section 7).
+
+    The index flags gate *real* access structures: ``use_id_index`` a
+    store-native ID lookup, ``use_value_index`` / ``use_sorted_index`` the
+    secondary hash and sorted-numeric indexes of :mod:`repro.index`, and
+    ``use_path_index`` a path extent — store-native where the mapping has
+    one (Systems B/D), the secondary path index otherwise.
+    """
 
     name: str
     optimizer: str = "heuristic"        # "cost-exhaustive" | "cost-greedy" | "heuristic" | "none"
@@ -48,22 +55,67 @@ class SystemProfile:
     inequality_join: str = "nlj"        # "nlj" | "sorted"
     use_id_index: bool = True
     use_path_index: bool = False
+    use_value_index: bool = False       # secondary hash index on typed values
+    use_sorted_index: bool = False      # secondary sorted index for ranges
 
 
 @dataclass(slots=True)
 class PathPlan:
-    """Access-path choice for one Path node."""
+    """Access-path choice for one Path node.
 
-    kind: str                           # "steps" | "id_lookup" | "path_index"
+    ``value_probe`` / ``range_probe`` resolve a step predicate through a
+    secondary index: the extent of ``prefix`` is probed on ``accessor``
+    (equality against ``probe_value``, or ``accessor-value op bound``) and
+    evaluation resumes at the step after ``id_step``.  ``est_rows`` vs
+    ``scan_rows`` records the cardinality comparison that won the probe —
+    the scan-vs-probe cost choice, made from index statistics.
+    """
+
+    kind: str          # "steps" | "id_lookup" | "path_index" | "value_probe" | "range_probe"
     id_value: str | None = None
     id_step: int = 0
     prefix: tuple[str, ...] = ()
     prefix_len: int = 0
+    source: str = "store"               # path_index backing: "store" | "index"
+    accessor: tuple[str, ...] = ()
+    probe_value: object = None          # value_probe: the literal key
+    op: str = "="                       # range_probe: accessor-value OP bound
+    bound: float = 0.0
+    est_rows: int = -1
+    scan_rows: int = -1
+
+
+@dataclass(slots=True)
+class RangePlan:
+    """An index-resolved FLWOR ``where`` range (Q5's shape).
+
+    Applies to ``for $v in /abs/path where $v/acc OP literal``: the sorted
+    index on ``(path, accessor)`` yields exactly the qualifying bindings,
+    so the evaluator iterates the probe result (restored to document
+    order) and never evaluates the predicate.
+    """
+
+    var: str
+    path: tuple[str, ...]
+    accessor: tuple[str, ...]
+    op: str                             # normalized: accessor-value OP bound
+    bound: float
+    est_rows: int = 0
+    scan_rows: int = 0
 
 
 @dataclass(slots=True)
 class JoinPlan:
-    """Decorrelation of a correlated let (hash or sorted probe)."""
+    """Decorrelation of a correlated let (hash or sorted probe).
+
+    When ``index_kind`` is set, the build side is served by a secondary
+    index over ``(index_path, index_accessor)`` instead of being
+    materialized per query: ``"value"`` probes the hash index with each
+    outer key, ``"sorted"`` bisects the sorted index with the outer bound
+    (``index_scale`` folds a literal multiplier like Q11/Q12's ``5000 *``
+    into the probe).  The evaluator falls back to the per-query build when
+    the store's indexes have been dropped.
+    """
 
     strategy: str                       # "hash" | "sorted"
     op: str                             # normalized: outer_key OP inner_key
@@ -72,6 +124,10 @@ class JoinPlan:
     inner_key: Expr
     outer_key: Expr
     where_residual: Expr | None = None
+    index_kind: str | None = None       # None | "value" | "sorted"
+    index_path: tuple[str, ...] = ()
+    index_accessor: tuple[str, ...] = ()
+    index_scale: float = 1.0
 
 
 @dataclass(slots=True, eq=False)
@@ -93,6 +149,7 @@ class CompiledQuery:
     profile: SystemProfile
     path_plans: dict[int, PathPlan] = field(default_factory=dict)
     join_plans: dict[int, JoinPlan] = field(default_factory=dict)
+    range_plans: dict[int, RangePlan] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
     metadata_accesses: int = 0
     plans_considered: int = 0
@@ -104,6 +161,7 @@ def compile_query(text: str, store: Store, profile: SystemProfile) -> CompiledQu
     compiled = CompiledQuery(query, store, profile)
     _resolve_paths(compiled)
     _plan_joins(compiled)
+    _plan_ranges(compiled)
     _enumerate_plans(compiled)
     _validate_tags(compiled)
     return compiled
@@ -158,11 +216,23 @@ def _resolve_paths(compiled: CompiledQuery) -> None:
             if id_step is not None:
                 index, value = id_step
                 plan = PathPlan("id_lookup", id_value=value, id_step=index)
-        # Path index: absolute child-only prefixes on stores with extents.
+        # Secondary-index probes: an equality or range predicate on an
+        # indexed field of the prefix extent, chosen over the scan when the
+        # index's cardinality statistics say the probe reads fewer rows.
+        if plan.kind == "steps" and (profile.use_value_index or profile.use_sorted_index):
+            probe = _match_probe_plan(compiled, node)
+            if probe is not None:
+                plan = probe
+        # Path index: absolute child-only prefixes, served by the store's
+        # native extent when it has one, the secondary path index otherwise.
         if plan.kind == "steps" and profile.use_path_index and _is_absolute(node):
             prefix, length = _absolute_prefix(node)
-            if length >= 2 and store.nodes_at_path(prefix) is not None:
-                plan = PathPlan("path_index", prefix=prefix, prefix_len=length)
+            if length >= 2:
+                if store.nodes_at_path(prefix) is not None:
+                    plan = PathPlan("path_index", prefix=prefix, prefix_len=length)
+                elif store.indexes is not None and store.indexes.covers_path(prefix):
+                    plan = PathPlan("path_index", prefix=prefix, prefix_len=length,
+                                    source="index")
         compiled.path_plans[id(node)] = plan
 
     if catalog:
@@ -234,6 +304,170 @@ def _is_id_attribute(expr: Expr) -> bool:
     )
 
 
+# -- secondary-index probe matching ---------------------------------------------------
+
+
+def _steps_accessor(steps: list[Step]) -> tuple[str, ...] | None:
+    """An index accessor for a run of steps, or None when not index-shaped.
+
+    Child steps must be named and predicate-free; an ``attribute`` or
+    ``text`` step may only appear last.  The result mirrors
+    :class:`repro.index.spec.FieldSpec` accessors (``('buyer', '@person')``,
+    ``('price', 'text()')``).
+    """
+    accessor: list[str] = []
+    for position, step in enumerate(steps):
+        last = position == len(steps) - 1
+        if step.predicates:
+            return None
+        if step.axis == "child" and step.name is not None:
+            accessor.append(step.name)
+        elif step.axis == "attribute" and step.name is not None and last:
+            accessor.append("@" + step.name)
+        elif step.axis == "text" and last:
+            accessor.append("text()")
+        else:
+            return None
+    return tuple(accessor) if accessor else None
+
+
+def _context_accessor(expr: Expr) -> tuple[str, ...] | None:
+    """Accessor of a predicate expression relative to the context item."""
+    if not isinstance(expr, Path) or not isinstance(expr.root, ContextItem):
+        return None
+    return _steps_accessor(expr.steps)
+
+
+_CARDINALITY_FNS = ("exactly-one", "zero-or-one", "one-or-more")
+
+
+def _strip_cardinality(expr: Expr) -> tuple[Expr, tuple[str, ...]]:
+    """Peel ``exactly-one()`` / ``zero-or-one()`` / ``one-or-more()``
+    wrappers, remembering which were stripped: they raise at runtime when
+    the sequence cardinality is wrong, so an index may only stand in for
+    them when :func:`_cardinality_ok` proves they never would."""
+    wrappers: list[str] = []
+    while (isinstance(expr, FunctionCall)
+           and expr.name in _CARDINALITY_FNS
+           and len(expr.args) == 1):
+        wrappers.append(expr.name)
+        expr = expr.args[0]
+    return expr, tuple(wrappers)
+
+
+def _cardinality_ok(index, wrappers: tuple[str, ...], single_value: bool) -> bool:
+    """Whether an index probe is observationally equal to evaluating the
+    wrapped accessor on every extent node.
+
+    ``wrappers`` raise where the probe would silently skip (a missing
+    value) or silently enumerate (a duplicate value); ``single_value``
+    marks expressions that consume only the first value (an arithmetic
+    over the accessor) where the index would enumerate all of them.  The
+    build-time raw-cardinality counters decide both from the actual
+    document.
+    """
+    for name in wrappers:
+        if name == "exactly-one" and (index.nodes_empty or index.nodes_multi):
+            return False
+        if name == "zero-or-one" and index.nodes_multi:
+            return False
+        if name == "one-or-more" and index.nodes_empty:
+            return False
+    if single_value and index.nodes_multi:
+        return False
+    return True
+
+
+def _var_accessor(expr: Expr, var: str):
+    """``(accessor, wrappers)`` of an expression relative to ``$var``."""
+    expr, wrappers = _strip_cardinality(expr)
+    if not isinstance(expr, Path):
+        return None
+    if not (isinstance(expr.root, VarRef) and expr.root.name == var):
+        return None
+    accessor = _steps_accessor(expr.steps)
+    return None if accessor is None else (accessor, wrappers)
+
+
+def _literal_number(value) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    number = float(value)
+    return None if number != number else number
+
+
+def _predicate_key(predicate: Expr):
+    """Match ``accessor OP literal`` (either side); returns the probe triple
+    with the operator normalized so the accessor is on the left."""
+    if not isinstance(predicate, Comparison):
+        return None
+    sides = (
+        (predicate.left, predicate.right, predicate.op),
+        (predicate.right, predicate.left, _flip(predicate.op)),
+    )
+    for expr, literal, op in sides:
+        if not isinstance(literal, Literal):
+            continue
+        accessor = _context_accessor(expr)
+        if accessor is None:
+            continue
+        if op == "=":
+            return accessor, op, literal.value
+        if op in ("<", "<=", ">", ">="):
+            bound = _literal_number(literal.value)
+            if bound is not None:
+                return accessor, op, bound
+    return None
+
+
+def _match_probe_plan(compiled: CompiledQuery, path: Path) -> PathPlan | None:
+    """A value/range probe for the first indexable step predicate, if the
+    index statistics make the probe cheaper than scanning the extent."""
+    store = compiled.store
+    profile = compiled.profile
+    indexes = store.indexes
+    if indexes is None or not _is_absolute(path):
+        return None
+    prefix: list[str] = []
+    for position, step in enumerate(path.steps):
+        if step.axis != "child" or step.name is None:
+            return None
+        prefix.append(step.name)
+        if not step.predicates:
+            continue
+        if len(step.predicates) != 1:
+            return None                 # positional/conjunctive mixes: scan
+        matched = _predicate_key(step.predicates[0])
+        if matched is None:
+            return None
+        accessor, op, key = matched
+        extent = tuple(prefix)
+        if op == "=" and profile.use_value_index:
+            index = indexes.value_field(extent, accessor)
+            if index is None:
+                return None
+            est = max(1, round(index.avg_bucket))
+            if est >= index.extent_size:
+                return None             # probe reads no fewer rows than the scan
+            return PathPlan(
+                "value_probe", id_step=position, prefix=extent,
+                prefix_len=len(extent), source="index", accessor=accessor,
+                probe_value=key, est_rows=est, scan_rows=index.extent_size)
+        if op != "=" and profile.use_sorted_index:
+            index = indexes.sorted_field(extent, accessor)
+            if index is None:
+                return None
+            rows = index.count(op, key)
+            if index.extent_size and rows >= index.extent_size:
+                return None             # unselective: the probe IS the scan
+            return PathPlan(
+                "range_probe", id_step=position, prefix=extent,
+                prefix_len=len(extent), source="index", accessor=accessor,
+                op=op, bound=key, est_rows=rows, scan_rows=index.extent_size)
+        return None
+    return None
+
+
 # -- join planning --------------------------------------------------------------------
 
 
@@ -263,6 +497,7 @@ def _plan_joins_in(compiled: CompiledQuery, expr: Expr, loop_vars: set[str],
                     if join.strategy == "sorted" and compiled.profile.inequality_join != "sorted":
                         join.strategy = "nlj"
                     if join.strategy != "nlj":
+                        _attach_index_backing(compiled, join)
                         compiled.join_plans[id(clause)] = join
                         budget[0] -= 1
                 _plan_joins_in(compiled, clause.expr, inner_loops, budget)
@@ -346,6 +581,131 @@ def _match_correlated_let(clause: LetClause, loop_vars: set[str]) -> JoinPlan | 
 
 def _flip(op: str) -> str:
     return {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+
+
+def _scaled_var_accessor(expr: Expr, var: str):
+    """Match ``$var``-rooted accessors optionally scaled by a positive
+    literal multiplier (Q11/Q12's ``5000 * exactly-one($i/text())``).
+
+    Returns ``(accessor, scale, wrappers, single_value)``; an arithmetic
+    consumes only the accessor's first value, so ``single_value`` is True
+    whenever a scale (or any wrapper) is involved.
+    """
+    expr, outer = _strip_cardinality(expr)
+    if isinstance(expr, Arithmetic) and expr.op == "*":
+        for literal, operand in ((expr.left, expr.right), (expr.right, expr.left)):
+            if isinstance(literal, Literal):
+                scale = _literal_number(literal.value)
+                matched = _var_accessor(operand, var)
+                if scale is not None and scale > 0 and matched is not None:
+                    accessor, wrappers = matched
+                    return accessor, scale, outer + wrappers, True
+        return None
+    matched = _var_accessor(expr, var)
+    if matched is None:
+        return None
+    accessor, wrappers = matched
+    return accessor, 1.0, outer + wrappers, bool(outer + wrappers)
+
+
+def _join_base_extent(join: JoinPlan) -> tuple[str, ...] | None:
+    """The label path of the join's build side when it is a full absolute
+    predicate-free extent (the precondition for index backing)."""
+    base = join.inner_base
+    if not isinstance(base, Path) or not _is_absolute(base):
+        return None
+    prefix, length = _absolute_prefix(base)
+    return prefix if length == len(base.steps) else None
+
+
+def _attach_index_backing(compiled: CompiledQuery, join: JoinPlan) -> None:
+    """Serve the join's build side from a secondary index when one covers
+    the inner key — a probe replaces the per-query build/sort."""
+    store = compiled.store
+    profile = compiled.profile
+    indexes = store.indexes
+    if indexes is None:
+        return
+    extent = _join_base_extent(join)
+    if extent is None:
+        return
+    if join.strategy == "hash" and profile.use_value_index:
+        matched = _var_accessor(join.inner_key, join.inner_var)
+        if matched is None:
+            return
+        accessor, wrappers = matched
+        index = indexes.value_field(extent, accessor)
+        if index is None or (index.distinct_keys <= 1 and index.extent_size > 1):
+            return                      # degenerate key: build wins
+        if not _cardinality_ok(index, wrappers, bool(wrappers)):
+            return
+        join.index_kind = "value"
+        join.index_path = extent
+        join.index_accessor = accessor
+    elif join.strategy == "sorted" and profile.use_sorted_index:
+        scaled = _scaled_var_accessor(join.inner_key, join.inner_var)
+        if scaled is None:
+            return
+        accessor, scale, wrappers, single_value = scaled
+        index = indexes.sorted_field(extent, accessor)
+        if index is None or not _cardinality_ok(index, wrappers, single_value):
+            return
+        join.index_kind = "sorted"
+        join.index_path = extent
+        join.index_accessor = accessor
+        join.index_scale = scale
+
+
+# -- range planning (FLWOR where-clauses answered from the sorted index) ----------------
+
+
+def _plan_ranges(compiled: CompiledQuery) -> None:
+    """Attach a :class:`RangePlan` to every ``for $v in /abs/path where
+    $v/acc OP literal`` FLWOR the sorted index covers selectively."""
+    profile = compiled.profile
+    store = compiled.store
+    indexes = store.indexes
+    if not profile.use_sorted_index or indexes is None:
+        return
+    for node in walk(compiled.query):
+        if not isinstance(node, FLWOR) or node.where is None or node.order:
+            continue
+        if len(node.clauses) != 1 or not isinstance(node.clauses[0], ForClause):
+            continue
+        clause = node.clauses[0]
+        base = clause.sequence
+        if not isinstance(base, Path) or not _is_absolute(base):
+            continue
+        prefix, length = _absolute_prefix(base)
+        if length != len(base.steps):
+            continue
+        condition = node.where
+        if not isinstance(condition, Comparison):
+            continue
+        matched = None
+        for expr, literal, op in (
+            (condition.left, condition.right, condition.op),
+            (condition.right, condition.left, _flip(condition.op)),
+        ):
+            if not isinstance(literal, Literal) or op not in ("<", "<=", ">", ">="):
+                continue
+            bound = _literal_number(literal.value)
+            var_match = _var_accessor(expr, clause.var)
+            if bound is not None and var_match is not None:
+                matched = (var_match[0], var_match[1], op, bound)
+                break
+        if matched is None:
+            continue
+        accessor, wrappers, op, bound = matched
+        index = indexes.sorted_field(prefix, accessor)
+        if index is None or not _cardinality_ok(index, wrappers, bool(wrappers)):
+            continue
+        rows = index.count(op, bound)
+        if index.extent_size and rows >= index.extent_size:
+            continue                    # every row qualifies: scan is no worse
+        compiled.range_plans[id(node)] = RangePlan(
+            var=clause.var, path=prefix, accessor=accessor,
+            op=op, bound=bound, est_rows=rows, scan_rows=index.extent_size)
 
 
 # -- plan enumeration (the cost-based systems' search space) ----------------------------

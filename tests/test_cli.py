@@ -44,6 +44,23 @@ class TestCli:
         assert main(["bench", "-f", "0.0005", "--table", "2"]) == 0
         assert "Compile share" in capsys.readouterr().out
 
+    def test_index_report(self, tmp_path, capsys):
+        report = tmp_path / "index.json"
+        assert main(["index", "-f", "0.0005", "-s", "DF", "--json",
+                     str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "System D" in out and "System F" in out
+        assert "value" in out and "sorted" in out and "label paths" in out
+        import json
+        snapshot = json.loads(report.read_text())
+        person = next(e for e in snapshot["systems"]["D"]["value"]
+                      if e["field"] == "site/people/person :: @id")
+        assert person["entries"] > 0
+        assert person["entries"] == person["distinct_keys"]
+
+    def test_index_rejects_unknown_system(self, capsys):
+        assert main(["index", "-f", "0.0005", "-s", "DZ"]) == 2
+
     def test_serve_bench(self, tmp_path, capsys):
         report = tmp_path / "serve.json"
         assert main(["serve-bench", "-f", "0.0005", "-s", "D", "-c", "2",

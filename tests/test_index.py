@@ -1,0 +1,367 @@
+"""The secondary-index subsystem: build correctness, probe/scan equivalence,
+planner access-path choices, and per-document invalidation.
+
+The central property (the contract everything else builds on): **every
+indexed probe returns exactly the node set a full scan returns**, on all
+seven store architectures, for both the tiny and the small document.  The
+scan oracle below never touches an index — it walks the store's navigation
+API directly — so an index that lied about an extent or a bucket would be
+caught here before it could corrupt a query result.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmark.queries import query_text
+from repro.benchmark.systems import SYSTEMS, get_profile, make_store
+from repro.index import extract_values, normalize_key
+from repro.service import QueryService
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import SystemProfile, compile_query
+
+ALL_SYSTEMS = tuple(sorted(SYSTEMS))
+INDEXED_SYSTEMS = tuple(s for s in ALL_SYSTEMS
+                        if get_profile(s).use_value_index
+                        or get_profile(s).use_sorted_index)
+
+
+def _scan_extent(store, path):
+    """The extent of a label path via navigation only (the oracle)."""
+    root = store.root()
+    if store.tag(root) != path[0]:
+        return []
+    nodes = [root]
+    for tag in path[1:]:
+        nodes = [child for node in nodes
+                 for child in store.children_by_tag(node, tag)]
+    return nodes
+
+
+def _scan_value_matches(store, extent, accessor, raw):
+    """Extent nodes any of whose accessor values equals ``raw`` under
+    runtime-casting comparison semantics."""
+    key = normalize_key(raw)
+    return [
+        node for node in extent
+        if any(normalize_key(value) == key and normalize_key(value) is not None
+               for value in extract_values(store, node, accessor))
+    ]
+
+
+_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _scan_range_matches(store, extent, accessor, op, bound):
+    """Extent nodes any of whose accessor values satisfies ``value OP
+    bound`` numerically (non-castable values never match, as at runtime)."""
+    compare = _OPS[op]
+    matched = []
+    for node in extent:
+        for value in extract_values(store, node, accessor):
+            key = normalize_key(value)
+            if isinstance(key, float) and compare(key, bound):
+                matched.append(node)
+                break
+    return matched
+
+
+def _dedupe_doc_order(entries):
+    seen = set()
+    out = []
+    for seq, handle in sorted(entries, key=lambda entry: entry[0]):
+        if seq not in seen:
+            seen.add(seq)
+            out.append(handle)
+    return out
+
+
+@pytest.fixture(scope="module")
+def tiny_stores(tiny_text):
+    """All seven systems loaded with the tiny document."""
+    stores = {}
+    for name in SYSTEMS:
+        store = make_store(name)
+        store.load(tiny_text)
+        stores[name] = store
+    return stores
+
+
+@pytest.fixture(params=["tiny", "small"], scope="module")
+def store_set(request, tiny_stores, loaded_stores):
+    """Each document size in turn; every test below runs on both."""
+    return tiny_stores if request.param == "tiny" else loaded_stores
+
+
+# -- build ----------------------------------------------------------------------------
+
+
+class TestBuild:
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_every_store_builds_indexes_at_load(self, store_set, system):
+        indexes = store_set[system].indexes
+        assert indexes is not None
+        assert indexes.nodes_walked > 0
+        assert indexes.values and indexes.sorteds and indexes.paths is not None
+
+    def test_extents_identical_across_architectures(self, store_set):
+        """Same spec + same document => same index cardinalities on every
+        physical mapping (the builder is store-agnostic)."""
+        summaries = {name: store.indexes.summary()
+                     for name, store in store_set.items()}
+        reference = summaries["G"]
+        for name, summary in summaries.items():
+            assert summary["nodes_walked"] == reference["nodes_walked"], name
+            for mine, theirs in zip(summary["value"], reference["value"]):
+                assert (mine["entries"], mine["distinct_keys"]) == \
+                       (theirs["entries"], theirs["distinct_keys"]), name
+            for mine, theirs in zip(summary["sorted"], reference["sorted"]):
+                assert mine["entries"] == theirs["entries"], name
+
+    def test_schema_store_build_parses_no_fragments(self, small_text):
+        """The stop-tag walk must keep System C's CLOBs unparsed.  The
+        stats counter is reset at the end of mark_loaded, so the observable
+        guard is the fragment buffer pool: any parse during the build would
+        have populated it."""
+        from repro.storage.schema_store import SchemaStore
+        store = SchemaStore()
+        store.load(small_text)
+        assert store.indexes is not None
+        assert len(store._frag_xml) > 0        # there were fragments to tempt it
+        assert store._frag_cache == {}         # ...and none was parsed
+
+    def test_person_id_extent_matches_document(self, loaded_stores,
+                                               small_document):
+        persons = small_document.root.find("people").find_all("person")
+        for name, store in loaded_stores.items():
+            index = store.indexes.value_field(
+                ("site", "people", "person"), ("@id",))
+            assert index.extent_size == len(persons), name
+            assert index.distinct_keys == len(persons), name
+
+
+# -- the probe == scan property -------------------------------------------------------
+
+
+class TestProbeEqualsScan:
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_value_probe_returns_exact_scan_set(self, store_set, system):
+        """Every key of every value index: probe == scan, node for node."""
+        store = store_set[system]
+        for (path, accessor), index in store.indexes.values.items():
+            extent = _scan_extent(store, path)
+            assert index.extent_size == len(extent), (path, accessor)
+            raws = {raw for node in extent
+                    for raw in extract_values(store, node, accessor)}
+            for raw in raws:
+                probed = [handle for _seq, handle in index.probe(raw)]
+                assert probed == _scan_value_matches(store, extent, accessor, raw), \
+                    (path, accessor, raw)
+        # A key that exists nowhere probes empty.
+        index = store.indexes.value_field(("site", "people", "person"), ("@id",))
+        assert index.probe("no-such-person") == []
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    @given(bound=st.floats(min_value=-10.0, max_value=200000.0,
+                           allow_nan=False, allow_infinity=False),
+           op=st.sampled_from(sorted(_OPS)))
+    @settings(max_examples=25, deadline=None)
+    def test_sorted_range_returns_exact_scan_set(self, store_set, system,
+                                                 bound, op):
+        """Any bound, any inequality: range probe == numeric scan filter."""
+        store = store_set[system]
+        for (path, accessor), index in store.indexes.sorteds.items():
+            extent = _scan_extent(store, path)
+            probed = _dedupe_doc_order(index.range(op, bound))
+            assert probed == _scan_range_matches(store, extent, accessor, op, bound), \
+                (path, accessor, op, bound)
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_path_extents_return_exact_scan_set(self, store_set, system):
+        """Every dictionary-encoded path: extent == navigation walk."""
+        store = store_set[system]
+        indexes = store.indexes
+        for path in indexes.paths.paths():
+            if not indexes.covers_path(path):
+                continue
+            assert indexes.path_extent(path) == _scan_extent(store, path), path
+
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_uncovered_paths_are_refused_not_guessed(self, store_set, system):
+        """Paths through a stop tag are outside the walk: the index must
+        say "not covered" rather than return a wrong empty extent."""
+        indexes = store_set[system].indexes
+        fragment_interior = ("site", "regions", "europe", "item",
+                            "description", "parlist", "listitem")
+        assert not indexes.covers_path(fragment_interior)
+        assert indexes.path_extent(fragment_interior) is None
+        # ...while a merely-absent path under covered territory is an
+        # honest empty extent.
+        assert indexes.covers_path(("site", "people", "bogus")) is True
+        assert indexes.path_extent(("site", "people", "bogus")) == []
+
+
+# -- planner choices ------------------------------------------------------------------
+
+
+def _scan_profile(system: str) -> SystemProfile:
+    from dataclasses import replace
+    profile = get_profile(system)
+    return replace(profile, name=profile.name + "-scan",
+                   use_id_index=False, use_path_index=False,
+                   use_value_index=False, use_sorted_index=False)
+
+
+class TestPlannerChoices:
+    def test_q1_value_probe_on_e(self, loaded_stores):
+        compiled = compile_query(query_text(1), loaded_stores["E"], get_profile("E"))
+        plans = [p for p in compiled.path_plans.values() if p.kind == "value_probe"]
+        assert len(plans) == 1
+        assert plans[0].prefix == ("site", "people", "person")
+        assert plans[0].accessor == ("@id",)
+        assert plans[0].est_rows < plans[0].scan_rows
+
+    def test_q5_range_plan_with_cost_stats(self, loaded_stores):
+        compiled = compile_query(query_text(5), loaded_stores["D"], get_profile("D"))
+        assert len(compiled.range_plans) == 1
+        plan = next(iter(compiled.range_plans.values()))
+        assert plan.path == ("site", "closed_auctions", "closed_auction")
+        assert plan.accessor == ("price", "text()")
+        assert plan.op == ">=" and plan.bound == 40.0
+        assert plan.est_rows < plan.scan_rows
+
+    def test_q8_hash_join_is_index_backed(self, loaded_stores):
+        for system in ("A", "D"):
+            compiled = compile_query(query_text(8), loaded_stores[system],
+                                     get_profile(system))
+            joins = list(compiled.join_plans.values())
+            assert len(joins) == 1
+            assert joins[0].strategy == "hash"
+            assert joins[0].index_kind == "value"
+            assert joins[0].index_accessor == ("buyer", "@person")
+
+    def test_q12_sorted_join_served_from_index_on_d(self, loaded_stores):
+        compiled = compile_query(query_text(12), loaded_stores["D"], get_profile("D"))
+        joins = [j for j in compiled.join_plans.values() if j.strategy == "sorted"]
+        assert len(joins) == 1
+        assert joins[0].index_kind == "sorted"
+        assert joins[0].index_scale == 5000.0
+        assert joins[0].index_path == ("site", "open_auctions", "open_auction",
+                                       "initial")
+
+    def test_q20_income_predicates_become_range_probes(self, loaded_stores):
+        compiled = compile_query(query_text(20), loaded_stores["D"], get_profile("D"))
+        probes = [p for p in compiled.path_plans.values() if p.kind == "range_probe"]
+        assert {(p.op, p.bound) for p in probes} == {(">=", 100000.0), ("<", 30000.0)}
+
+    def test_exactly_one_over_optional_field_is_not_index_backed(self, loaded_stores):
+        """exactly-one() raises on profiles without @income; an index probe
+        would silently skip them, so the planner must refuse the rewrite
+        (the raw-cardinality counters prove the wrapper can raise here)."""
+        from repro.errors import QueryError
+        query = ('for $f in document("auction.xml")/site/people/person/profile '
+                 'where exactly-one($f/@income) > 5000 return $f/@income')
+        store = loaded_stores["D"]
+        income = store.indexes.sorted_field(
+            ("site", "people", "person", "profile"), ("@income",))
+        assert income.nodes_empty > 0      # the document that makes it unsafe
+        compiled = compile_query(query, store, get_profile("D"))
+        assert not compiled.range_plans
+        with pytest.raises(QueryError, match="exactly-one"):
+            evaluate(compiled)
+        with pytest.raises(QueryError, match="exactly-one"):
+            evaluate(compile_query(query, store, _scan_profile("D")))
+
+    def test_safe_cardinality_wrapper_keeps_index_backing(self, loaded_stores):
+        """Q12's exactly-one($i/text()) over open_auction/initial is provably
+        single-valued, so the sorted join stays index-backed."""
+        store = loaded_stores["D"]
+        initial = store.indexes.sorted_field(
+            ("site", "open_auctions", "open_auction", "initial"), ("text()",))
+        assert initial.nodes_empty == 0 and initial.nodes_multi == 0
+        compiled = compile_query(query_text(12), store, get_profile("D"))
+        assert any(j.index_kind == "sorted" for j in compiled.join_plans.values())
+
+    def test_scan_profiles_plan_no_probes(self, loaded_stores):
+        for system in ("D", "E"):
+            compiled = compile_query(query_text(1), loaded_stores[system],
+                                     _scan_profile(system))
+            kinds = {p.kind for p in compiled.path_plans.values()}
+            assert kinds == {"steps"}
+            assert not compiled.range_plans
+
+    def test_scan_only_systems_never_probe(self, loaded_stores):
+        for system in ("F", "G"):
+            for query in (1, 5, 20):
+                compiled = compile_query(query_text(query), loaded_stores[system],
+                                         get_profile(system))
+                assert {p.kind for p in compiled.path_plans.values()} == {"steps"}
+                assert not compiled.range_plans
+
+
+# -- end-to-end equivalence: indexed plans == scan plans ------------------------------
+
+
+class TestIndexedExecutionMatchesScan:
+    @pytest.mark.parametrize("system", INDEXED_SYSTEMS)
+    @pytest.mark.parametrize("query", (1, 2, 5, 8, 12, 20))
+    def test_same_results_with_and_without_indexes(self, loaded_stores,
+                                                   system, query):
+        store = loaded_stores[system]
+        indexed = evaluate(compile_query(query_text(query), store,
+                                         get_profile(system)))
+        scanned = evaluate(compile_query(query_text(query), store,
+                                         _scan_profile(system)))
+        assert indexed.serialize() == scanned.serialize()
+
+    def test_probes_count_as_index_lookups(self, loaded_stores):
+        store = loaded_stores["E"]
+        compiled = compile_query(query_text(1), store, get_profile("E"))
+        before = store.stats.index_lookups
+        evaluate(compiled)
+        assert store.stats.index_lookups > before
+
+
+# -- invalidation ---------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_dropped_indexes_degrade_to_scan_results(self, small_text):
+        """A compiled plan survives index invalidation: the evaluator falls
+        back to the scan and the results stay identical."""
+        store = make_store("E")
+        store.load(small_text)
+        profile = get_profile("E")
+        plans = {q: compile_query(query_text(q), store, profile)
+                 for q in (1, 2, 5, 8)}
+        with_indexes = {q: evaluate(c).serialize() for q, c in plans.items()}
+        store.drop_indexes()
+        assert store.indexes is None
+        without = {q: evaluate(c).serialize() for q, c in plans.items()}
+        assert with_indexes == without
+
+    def test_service_reload_invalidates_indexes_with_results(self, tiny_text,
+                                                             small_text):
+        with QueryService(tiny_text, ("D",), max_workers=2) as service:
+            first = service.execute("D", 1)
+            old_store = service.stores["D"]
+            old_indexes = old_store.indexes
+            assert old_indexes is not None
+            assert "D" in service.index_stats()
+            service.reload_document(small_text)
+            # Superseded per-document state is gone as one unit: the old
+            # store's indexes and the old digest's cached results.
+            assert old_store.indexes is None
+            assert service.result_cache.stats.invalidations >= 1
+            fresh = service.stores["D"]
+            assert fresh.indexes is not None
+            assert fresh.indexes is not old_indexes
+            again = service.execute("D", 1)
+            assert again.result_cache_hit is False
+            assert len(again.result) == len(first.result)
