@@ -1,0 +1,295 @@
+"""Update latency and index-maintenance ablation (the update subsystem).
+
+XMark prices bulkload and read-only queries; this bench prices the
+workload the paper scoped out — document mutations — and the question the
+index-maintenance literature (Mahboubi & Darmont) says a benchmark must
+answer before an index is worth anything: *what does keeping it current
+cost?*
+
+Per system, the same deterministic operation script (register_person,
+place_bid, close_auction, delete_item — one of each plus an extra bid)
+runs against three identically-loaded store instances:
+
+* **incremental** — secondary indexes maintained by per-node deltas;
+* **rebuild**     — the whole IndexSet reconstructed after every operation;
+* **no-index**    — indexes dropped up front (plans degrade to scans).
+
+Reported per operation: the physical mutation time and the index-
+maintenance time, separately (the engine accounts them apart).  After the
+script, post-update Q1/Q5/Q8 run on every variant — the read-side price of
+each maintenance policy — and the results are verified in-run against a
+scratch store freshly loaded from the incremental store's serialized
+document (the differential oracle), so every number reported describes a
+correct store.
+
+Acceptance (exit status 1 when not met): for every system that builds
+indexes, incremental maintenance is strictly cheaper than the full rebuild
+on every single operation of the script.
+
+Runs two ways, like the sibling benches:
+
+* under pytest-benchmark (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_update_maintenance.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON document
+  (CI's update-maintenance smoke step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import pytest
+
+from repro.benchmark.queries import query_text
+from repro.benchmark.systems import SYSTEMS, get_profile, make_store, parse_system_letters
+from repro.errors import BenchmarkError, XMarkError
+from repro.update import UpdateStream, apply_update, serialize_store
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import compile_query
+
+POST_UPDATE_QUERIES = (1, 5, 8)
+OP_SCRIPT = ("register_person", "place_bid", "close_auction",
+             "place_bid", "delete_item")
+DEFAULT_SYSTEMS = "ABCDEFG"
+BENCH_SCALE = 0.005
+TINY_SCALE = 0.001
+
+
+def build_script(text: str) -> list:
+    """The shared operation script, generated once against a reference
+    store so every system replays the identical logical updates."""
+    reference = make_store("D")
+    reference.load(text)
+    stream = UpdateStream(reference)
+    operations = []
+    for kind in OP_SCRIPT:
+        op = stream.next_op(kind)
+        stream.note_applied(op)
+        operations.append(op)
+    return operations
+
+
+def run_query(store, system: str, query: int):
+    compiled = compile_query(query_text(query), store, get_profile(system))
+    return evaluate(compiled)
+
+
+def time_query(store, system: str, query: int, rounds: int) -> float:
+    compiled = compile_query(query_text(query), store, get_profile(system))
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        evaluate(compiled)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_system(system: str, text: str, operations: list, rounds: int) -> dict:
+    """The full three-variant measurement for one system."""
+    variants = {}
+    for variant in ("incremental", "rebuild", "noindex"):
+        store = make_store(system)
+        store.load(text)
+        if variant == "noindex":
+            store.drop_indexes()
+        variants[variant] = store
+
+    ops = []
+    for op in operations:
+        cell = {"op": op.kind}
+        for variant, store in variants.items():
+            mode = "rebuild" if variant == "rebuild" else "incremental"
+            changes = apply_update(store, op, maintenance_mode=mode)
+            cell[f"{variant}_mutate_ms"] = round(changes.mutate_seconds * 1e3, 4)
+            cell[f"{variant}_index_ms"] = round(changes.index_seconds * 1e3, 4)
+        ops.append(cell)
+
+    # In-run verification: all three variants answer identically, and
+    # identically to a scratch store freshly loaded from the serialized
+    # post-update document (the differential oracle).
+    oracle_text = serialize_store(variants["incremental"])
+    scratch = make_store(system)
+    scratch.load(oracle_text)
+    queries = {}
+    for query in POST_UPDATE_QUERIES:
+        expected = run_query(scratch, system, query).canonical()
+        for variant, store in variants.items():
+            actual = run_query(store, system, query).canonical()
+            if actual != expected:
+                raise AssertionError(
+                    f"Q{query} on System {system} ({variant}) diverged from "
+                    "the scratch reload oracle")
+        queries[f"q{query}"] = {
+            variant: round(time_query(store, system, query, rounds) * 1e3, 4)
+            for variant, store in variants.items()
+        }
+        queries[f"q{query}"]["result_size"] = len(
+            run_query(variants["incremental"], system, query))
+
+    return {
+        "system": system,
+        "operations": ops,
+        "post_update_queries": queries,
+        "index_summary": variants["incremental"].indexes.summary()
+        if variants["incremental"].indexes else None,
+        "oracle_verified": True,
+    }
+
+
+def check_acceptance(results: list[dict]) -> list[str]:
+    """Incremental maintenance strictly cheaper than the full rebuild for
+    every single operation, on every system that builds indexes."""
+    failures = []
+    for result in results:
+        if result.get("skipped"):
+            continue
+        if result["index_summary"] is None:
+            continue
+        for cell in result["operations"]:
+            if not cell["incremental_index_ms"] < cell["rebuild_index_ms"]:
+                failures.append(
+                    f"{cell['op']} on {result['system']}: incremental "
+                    f"{cell['incremental_index_ms']} ms not cheaper than "
+                    f"rebuild {cell['rebuild_index_ms']} ms")
+    return failures
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.mark.parametrize("mode", ("incremental", "rebuild"))
+def bench_update_op(benchmark, bench_text, mode):
+    """One place_bid on System D under each maintenance policy."""
+    operations = build_script(bench_text)
+    bid = next(op for op in operations if op.kind == "place_bid")
+
+    def setup():
+        store = make_store("D")
+        store.load(bench_text)
+        return (store,), {}
+
+    def apply(store):
+        return apply_update(store, bid, maintenance_mode=mode)
+
+    changes = benchmark.pedantic(apply, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["index_ms"] = round(changes.index_seconds * 1e3, 4)
+
+
+def bench_update_maintenance_shape(benchmark, bench_text):
+    """One-shot direction check: incremental beats rebuild on System D."""
+    operations = build_script(bench_text)
+    result = benchmark.pedantic(
+        lambda: run_system("D", bench_text, operations, rounds=3),
+        rounds=1, iterations=1)
+    failures = check_acceptance([result])
+    assert not failures, failures
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def _records(result: dict, seconds: float) -> list[dict]:
+    name = f"update_maintenance[{result['system']}]"
+    return [{
+        "group": "update-maintenance",
+        "name": name,
+        "fullname": f"bench_update_maintenance.py::{name}",
+        "params": {"system": result["system"]},
+        "stats": {"min": seconds, "max": seconds, "mean": seconds,
+                  "stddev": 0.0, "rounds": 1, "iterations": 1},
+        "extra_info": {
+            "operations": json.dumps(result["operations"]),
+            "post_update_queries": json.dumps(result["post_update_queries"]),
+            "oracle_verified": result["oracle_verified"],
+        },
+    }]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="update latency + incremental-vs-rebuild index maintenance")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: small document, fewer rounds")
+    parser.add_argument("--factor", type=float, default=None,
+                        help="document scaling factor (default 0.005; --tiny: 0.001)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="query timing rounds, best-of (default 5; --tiny: 3)")
+    parser.add_argument("--systems", default=DEFAULT_SYSTEMS,
+                        help=f"system letters (default {DEFAULT_SYSTEMS})")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (
+        TINY_SCALE if args.tiny else BENCH_SCALE)
+    rounds = args.rounds if args.rounds is not None else (3 if args.tiny else 5)
+    try:
+        systems = parse_system_letters(args.systems)
+    except BenchmarkError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    from repro.xmlgen.generator import generate_string
+    text = generate_string(factor)
+    operations = build_script(text)
+    print("operation script: " + ", ".join(op.kind for op in operations),
+          file=sys.stderr)
+
+    records: list[dict] = []
+    results: list[dict] = []
+    for system in systems:
+        started = time.perf_counter()
+        try:
+            result = run_system(system, text, operations, rounds)
+        except XMarkError as exc:       # System G's capacity limit, notably
+            print(f"  system {system} skipped: {exc}", file=sys.stderr)
+            results.append({"system": system, "skipped": str(exc)})
+            continue
+        results.append(result)
+        records.extend(_records(result, time.perf_counter() - started))
+        incremental = sum(c["incremental_index_ms"] for c in result["operations"])
+        rebuild = sum(c["rebuild_index_ms"] for c in result["operations"])
+        mutate = sum(c["incremental_mutate_ms"] for c in result["operations"])
+        print(f"  {system}  mutate {mutate:8.3f} ms   index upkeep: "
+              f"incremental {incremental:8.3f} ms vs rebuild {rebuild:8.3f} ms "
+              f"({rebuild / incremental:6.1f}x)" if incremental > 0 else
+              f"  {system}  mutate {mutate:8.3f} ms (no index upkeep)",
+              file=sys.stderr)
+
+    failures = check_acceptance(results)
+    report = {
+        "machine_info": {"python_version": platform.python_version(),
+                         "machine": platform.machine()},
+        "commit_info": {},
+        "benchmarks": records,
+        "version": "update-maintenance-1",
+        "config": {"factor": factor, "rounds": rounds,
+                   "systems": list(systems),
+                   "op_script": list(OP_SCRIPT),
+                   "post_update_queries": list(POST_UPDATE_QUERIES)},
+        "acceptance": {"ok": not failures, "failures": failures},
+    }
+    output = json.dumps(report, indent=2)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    else:
+        print(output)
+    if failures:
+        print("ACCEPTANCE NOT MET: incremental index maintenance must be "
+              "strictly cheaper than a full rebuild for every single-op "
+              "update on every system that builds indexes:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,6 +65,33 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--json", dest="json_path", default=None,
                        help="also write the summaries to this file")
 
+    update = commands.add_parser(
+        "update",
+        help="apply a deterministic update workload and report maintenance cost",
+        description="Load the document into the chosen systems, apply a "
+                    "seeded stream of typed update operations "
+                    "(register_person / place_bid / close_auction / "
+                    "delete_item) through the update engine, and report "
+                    "per-operation mutation and index-maintenance cost.  "
+                    "All chosen systems receive the identical operations; "
+                    "with two or more systems the run serializes every "
+                    "document afterwards and exits non-zero if they "
+                    "diverge.")
+    update.add_argument("-f", "--factor", type=float, default=0.005,
+                        help="document scaling factor (default 0.005)")
+    update.add_argument("-s", "--systems", default="D",
+                        help="system letters to update, e.g. 'D' or 'BD' "
+                             "(default D)")
+    update.add_argument("-n", "--operations", type=int, default=10,
+                        help="number of operations to apply (default 10)")
+    update.add_argument("--seed", type=int, default=None,
+                        help="update stream seed (default: the built-in seed)")
+    update.add_argument("--maintenance", choices=("incremental", "rebuild"),
+                        default="incremental",
+                        help="index maintenance mode (default incremental)")
+    update.add_argument("--json", dest="json_path", default=None,
+                        help="also write the per-op report to this file")
+
     serve = commands.add_parser(
         "serve-bench",
         help="run a concurrent multi-client workload through the query service",
@@ -156,6 +183,75 @@ def _index_report(args) -> int:
     return 0
 
 
+def _update_report(args) -> int:
+    from repro.benchmark.systems import make_store, parse_system_letters
+    from repro.errors import BenchmarkError, XMarkError
+    from repro.update import UpdateStream, apply_update, serialize_store
+    from repro.update.stream import DEFAULT_UPDATE_SEED
+
+    try:
+        systems = parse_system_letters(args.systems)
+    except BenchmarkError as exc:
+        print(f"update: {exc}", file=sys.stderr)
+        return 2
+    text = generate_string(args.factor)
+    stores = {}
+    for system in systems:
+        store = make_store(system)
+        try:
+            store.load(text)
+        except XMarkError as exc:
+            print(f"system {system} failed to load: {exc}", file=sys.stderr)
+            continue
+        store.index_maintenance = args.maintenance
+        stores[system] = store
+    if not stores:
+        return 1
+
+    seed = args.seed if args.seed is not None else DEFAULT_UPDATE_SEED
+    stream = UpdateStream(next(iter(stores.values())), seed)
+    report = []
+    for number in range(args.operations):
+        op = stream.next_op()
+        stream.note_applied(op)
+        row = {"op": op.token(), "systems": {}}
+        for system, store in stores.items():
+            changes = apply_update(store, op)
+            row["systems"][system] = {
+                "mutate_ms": round(changes.mutate_seconds * 1000.0, 3),
+                "index_ms": round(changes.index_seconds * 1000.0, 3),
+                "nodes_indexed": changes.nodes_indexed,
+            }
+        report.append(row)
+        if hasattr(op, "person"):
+            shown = f"{op.kind}:{op.person.attributes.get('id', '?')}"
+        else:
+            shown = ":".join(op.token().split(":", 3)[:2])
+        costs = "  ".join(
+            f"{system} {cells['mutate_ms'] + cells['index_ms']:7.3f} ms"
+            for system, cells in row["systems"].items())
+        print(f"  #{number + 1:<3d} {shown:<42s} {costs}")
+
+    digest = next(iter(stores.values())).document_digest()
+    print(f"applied {len(report)} operation(s) under {args.maintenance} "
+          f"maintenance; digest {digest}")
+    # The digest is a hash chain over (load, op tokens) and cannot detect a
+    # store mis-applying an op — serialize and compare the actual documents.
+    if len(stores) > 1:
+        texts = {serialize_store(store) for store in stores.values()}
+        if len(texts) != 1:
+            print("update: serialized documents diverged", file=sys.stderr)
+            return 1
+        print("serialized documents identical across systems")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump({"factor": args.factor, "seed": seed,
+                       "maintenance": args.maintenance,
+                       "operations": report}, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
 def _serve_bench(args) -> int:
     from repro.benchmark.systems import parse_system_letters
     from repro.errors import BenchmarkError
@@ -240,6 +336,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "index":
         return _index_report(args)
+
+    if args.command == "update":
+        return _update_report(args)
 
     if args.command == "serve-bench":
         return _serve_bench(args)

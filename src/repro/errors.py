@@ -65,3 +65,7 @@ class RelationalError(XMarkError):
 
 class BenchmarkError(XMarkError):
     """Raised by the benchmark harness (unknown system, missing query)."""
+
+
+class UpdateError(XMarkError):
+    """Raised by the update engine (bad target, schema-invalid write)."""

@@ -25,6 +25,10 @@ The planner (:mod:`repro.xquery.planner`) consults the per-field cardinality
 statistics to choose scan vs probe; the evaluator executes the probe
 operators; the service layer drops a store's ``IndexSet`` together with its
 cached results when a document is reloaded.
+
+Under document *updates* the set stays current by per-node deltas
+(:mod:`repro.index.maintenance`, driven by :mod:`repro.update.engine`);
+the wholesale rebuild stays available as the ablation baseline.
 """
 
 from repro.index.builder import IndexSet, build_index_set, extract_values

@@ -52,7 +52,8 @@ class IndexSet:
     """Every secondary index built for one loaded document on one store."""
 
     __slots__ = ("spec", "values", "sorteds", "paths", "build_seconds",
-                 "nodes_walked")
+                 "nodes_walked", "next_seq", "deltas_applied",
+                 "maintenance_seconds")
 
     def __init__(self, spec: IndexSpec) -> None:
         self.spec = spec
@@ -61,6 +62,12 @@ class IndexSet:
         self.paths: PathIndex | None = PathIndex() if spec.build_path_index else None
         self.build_seconds = 0.0
         self.nodes_walked = 0
+        # Incremental-maintenance state: the build walk's seq counter keeps
+        # running so per-node deltas get fresh, monotone document-order-
+        # consistent sequence numbers (see repro.index.maintenance).
+        self.next_seq = 0
+        self.deltas_applied = 0
+        self.maintenance_seconds = 0.0
 
     # -- lookup ------------------------------------------------------------------
 
@@ -102,6 +109,8 @@ class IndexSet:
         return {
             "build_ms": round(self.build_seconds * 1000.0, 3),
             "nodes_walked": self.nodes_walked,
+            "deltas_applied": self.deltas_applied,
+            "maintenance_ms": round(self.maintenance_seconds * 1000.0, 3),
             "size_bytes": self.size_bytes(),
             "value": [self.values[key].summary() for key in sorted(self.values)],
             "sorted": [self.sorteds[key].summary() for key in sorted(self.sorteds)],
@@ -155,5 +164,6 @@ def build_index_set(store, spec: IndexSpec) -> IndexSet:
     for index in index_set.sorteds.values():
         index.freeze()
     index_set.nodes_walked = seq
+    index_set.next_seq = seq
     index_set.build_seconds = time.perf_counter() - started
     return index_set

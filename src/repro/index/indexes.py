@@ -11,7 +11,7 @@ asking the store for a document position.
 from __future__ import annotations
 
 import sys
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left, bisect_right, insort
 
 
 def normalize_key(value) -> float | str | None:
@@ -74,6 +74,56 @@ class ValueIndex:
         if key is None:
             return []
         return self._buckets.get(key, [])
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def insert(self, raw_value, seq: int, handle) -> None:
+        """Add one entry at its seq position (per-node update delta).
+
+        Unlike the build-time :meth:`add` (which only ever appends), an
+        update may land anywhere in a bucket's seq order, so the entry is
+        insorted; a duplicate ``(seq, *)`` entry (two raw values of one
+        node collapsing to the same key) is dropped exactly like at build.
+        """
+        key = normalize_key(raw_value)
+        if key is None:
+            return
+        bucket = self._buckets.setdefault(key, [])
+        position = bisect_left(bucket, seq, key=lambda entry: entry[0])
+        if position < len(bucket) and bucket[position][0] == seq:
+            return
+        bucket.insert(position, (seq, handle))
+        self._entries += 1
+
+    def remove(self, raw_value, handle) -> None:
+        """Drop the entry ``raw_value`` contributed for ``handle``.
+
+        Missing entries are ignored (the value may have been un-indexable,
+        e.g. NaN-casting, in which case :meth:`add` never stored it).
+        """
+        key = normalize_key(raw_value)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        for position, (_seq, entry_handle) in enumerate(bucket):
+            if entry_handle == handle:
+                del bucket[position]
+                self._entries -= 1
+                break
+        if not bucket:
+            del self._buckets[key]
+
+    def seq_of(self, raw_value, handle) -> int | None:
+        """The build/maintenance seq under which ``handle`` is bucketed."""
+        key = normalize_key(raw_value)
+        if key is None:
+            return None
+        for seq, entry_handle in self._buckets.get(key, ()):
+            if entry_handle == handle:
+                return seq
+        return None
 
     @property
     def entries(self) -> int:
@@ -186,6 +236,48 @@ class SortedNumericIndex:
             raise ValueError(f"sorted join cannot answer op {op!r}")
         return list(zip(self._seqs[start:stop], self._handles[start:stop]))
 
+    # -- incremental maintenance -------------------------------------------------
+
+    def insert(self, raw_value, seq: int, handle) -> None:
+        """Splice one entry into the frozen arrays at its (key, seq) slot."""
+        key = normalize_key(raw_value)
+        if key is None or isinstance(key, str):
+            return
+        assert self._pending is None, "freeze the index before maintaining it"
+        position = bisect_left(self._keys, key)
+        while position < len(self._keys) and self._keys[position] == key \
+                and self._seqs[position] < seq:
+            position += 1
+        self._keys.insert(position, key)
+        self._seqs.insert(position, seq)
+        self._handles.insert(position, handle)
+
+    def remove(self, raw_value, handle) -> None:
+        """Drop the entry ``raw_value`` contributed for ``handle``."""
+        key = normalize_key(raw_value)
+        if key is None or isinstance(key, str):
+            return
+        start = bisect_left(self._keys, key)
+        stop = bisect_right(self._keys, key)
+        for position in range(start, stop):
+            if self._handles[position] == handle:
+                del self._keys[position]
+                del self._seqs[position]
+                del self._handles[position]
+                return
+
+    def seq_of(self, raw_value, handle) -> int | None:
+        """The seq under which ``handle`` is stored for ``raw_value``."""
+        key = normalize_key(raw_value)
+        if key is None or isinstance(key, str):
+            return None
+        start = bisect_left(self._keys, key)
+        stop = bisect_right(self._keys, key)
+        for position in range(start, stop):
+            if self._handles[position] == handle:
+                return self._seqs[position]
+        return None
+
     @property
     def entries(self) -> int:
         return len(self._keys)
@@ -245,6 +337,33 @@ class PathIndex:
     def count(self, path: tuple[str, ...]) -> int:
         pid = self._ids.get(path)
         return len(self._extents[pid]) if pid is not None else 0
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def insert(self, path: tuple[str, ...], handle, position_key) -> None:
+        """Splice ``handle`` into its path extent at document order.
+
+        ``position_key`` maps a handle to a sortable document-order key
+        (normally the store's ``doc_position``); the extent stays ordered
+        so :meth:`nodes` keeps its document-order contract under updates.
+        """
+        pid = self._ids.get(path)
+        if pid is None:
+            self.add(path, handle)
+            return
+        extent = self._extents[pid]
+        position = bisect_left(extent, position_key(handle), key=position_key)
+        extent.insert(position, handle)
+
+    def remove(self, path: tuple[str, ...], handle) -> None:
+        """Drop ``handle`` from its path extent (ignored when absent)."""
+        pid = self._ids.get(path)
+        if pid is None:
+            return
+        try:
+            self._extents[pid].remove(handle)
+        except ValueError:
+            pass
 
     @property
     def distinct_paths(self) -> int:

@@ -32,6 +32,27 @@ class HashIndex:
         for row_id, value in self.table.scan_column(self.column_name):
             self._insert(value, row_id)
 
+    def insert(self, value, row_id: int) -> None:
+        """Add one entry (incremental maintenance after a tuple insert)."""
+        self._insert(value, row_id)
+
+    def remove(self, value, row_id: int) -> None:
+        """Drop one entry (incremental maintenance after a tuple delete).
+
+        Missing entries are ignored: a deleted row may never have been
+        indexed (NULL-keyed rows are still bucketed under None here, but a
+        caller reconstructing the key from a tombstoned row must not fail).
+        """
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row_id)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[value]
+
     def lookup(self, value) -> list[int]:
         """Row ids whose column equals ``value`` (empty list if none)."""
         return self._buckets.get(value, [])

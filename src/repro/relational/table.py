@@ -100,6 +100,18 @@ class Table:
         """One cell."""
         return self.column(column)[row_id]
 
+    def set(self, row_id: int, column_name: str, value) -> None:
+        """Update one cell in place (a tuple update; coerced like append)."""
+        for column in self.columns:
+            if column.name == column_name:
+                coerced = column.type.coerce(value)
+                if coerced is None and not column.nullable:
+                    raise RelationalError(
+                        f"table {self.name!r}: column {column_name!r} is not nullable")
+                self._data[column_name][row_id] = coerced
+                return
+        raise RelationalError(f"table {self.name!r} has no column {column_name!r}")
+
     def row(self, row_id: int) -> tuple:
         """One full row as a tuple in declared column order."""
         return tuple(self._data[column.name][row_id] for column in self.columns)

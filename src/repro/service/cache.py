@@ -147,3 +147,27 @@ class ResultCache(LRUCache):
     def invalidate_document(self, digest: str) -> int:
         """Evict every result computed against ``digest`` (document changed)."""
         return self.invalidate_where(lambda key: key[2] == digest)
+
+    def rekey_document(self, system: str, old_digest: str, new_digest: str,
+                       keep: Callable[[str], bool]) -> tuple[int, int]:
+        """Re-home one system's entries after an in-place document update.
+
+        An update bumps the document digest, which would orphan *every*
+        cached result under the old key; entries whose query the update
+        provably cannot affect (``keep(query_text)`` is True) are moved to
+        the new digest instead of dropped, which is what makes the
+        invalidation path-selective.  Returns ``(kept, dropped)``.
+        """
+        kept = dropped = 0
+        with self._lock:
+            stale = [key for key in self._entries
+                     if key[0] == system and key[2] == old_digest]
+            for key in stale:
+                value = self._entries.pop(key)
+                if keep(key[1]):
+                    self._entries[(system, key[1], new_digest)] = value
+                    kept += 1
+                else:
+                    dropped += 1
+            self.stats.invalidations += dropped
+        return kept, dropped

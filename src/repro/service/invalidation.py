@@ -1,0 +1,84 @@
+"""Path-selective result-cache invalidation.
+
+Dropping every cached result on every write would make the result cache
+worthless under a mixed read/write workload; re-checking every cached
+result would make writes O(cache).  The middle ground is a *footprint
+test*: from the query text, a :class:`QueryFootprint` records which tags
+and attributes the query can possibly touch; from an applied update, the
+:class:`~repro.update.engine.ChangeSet` records which regions changed.  A
+cached result must be dropped only when the two can overlap:
+
+* **direct**: the query names a tag/attribute inside a changed region
+  (every node a query *navigates* is named by a step, so a changed node
+  the query could visit implies a token intersection);
+* **subtree-consumed**: the query binds or returns an element strictly
+  *above* the change (its string value or reconstructed subtree includes
+  the change even though no changed tag is named).  Only the *terminal*
+  step of a path expression can be consumed this way — interior steps are
+  pure navigation — so the test compares the changed nodes' ancestor tags
+  against the query's terminal tags, not against all of them.
+
+Anything the analysis cannot see through (a wildcard step) makes the
+footprint ``broad``: such queries invalidate on every write.  The test is
+conservative by construction — it may drop a result that would not have
+changed, never the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.update.engine import ChangeSet
+from repro.xquery.ast import Path, walk
+from repro.xquery.parser import parse_query
+
+
+@dataclass(frozen=True, slots=True)
+class QueryFootprint:
+    """What one query can possibly touch, from its text alone."""
+
+    tokens: frozenset[str]              # element tags and "@attr" names
+    terminals: frozenset[str]           # tags of subtree-consuming steps
+    broad: bool                         # wildcard step: assume everything
+
+
+@lru_cache(maxsize=512)
+def query_footprint(text: str) -> QueryFootprint:
+    """Compute (and memoize) the footprint of one query text."""
+    tokens: set[str] = set()
+    terminals: set[str] = set()
+    broad = False
+    try:
+        query = parse_query(text)
+    except Exception:
+        return QueryFootprint(frozenset(), frozenset(), True)
+    for node in walk(query):
+        if not isinstance(node, Path) or not node.steps:
+            continue
+        for step in node.steps:
+            if step.axis in ("child", "descendant"):
+                if step.name is None:
+                    broad = True
+                else:
+                    tokens.add(step.name)
+            elif step.axis == "attribute":
+                if step.name is None:
+                    broad = True
+                else:
+                    tokens.add("@" + step.name)
+        last = node.steps[-1]
+        if last.axis in ("child", "descendant") and last.name is not None:
+            terminals.add(last.name)
+    return QueryFootprint(frozenset(tokens), frozenset(terminals), broad)
+
+
+def affected(footprint: QueryFootprint, changes: ChangeSet) -> bool:
+    """Whether a cached result with this footprint may be stale."""
+    if footprint.broad:
+        return True
+    if footprint.tokens & changes.changed_tokens:
+        return True
+    if footprint.terminals & changes.ancestor_tags:
+        return True
+    return False

@@ -34,16 +34,21 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.benchmark.queries import QUERIES
 from repro.benchmark.systems import get_profile, make_store
 from repro.errors import BenchmarkError
 from repro.service.cache import PlanCache, ResultCache
+from repro.service.invalidation import affected, query_footprint
 from repro.service.metrics import ServiceMetrics
 from repro.service.workload import ClientRequest, WorkloadGenerator, WorkloadSpec
 from repro.storage.bulkload import BulkloadReport, bulkload
-from repro.storage.interface import Store
+from repro.storage.interface import Store, document_digest
+from repro.update.engine import ChangeSet, apply_update as engine_apply_update
+from repro.update.ops import UpdateOp
+from repro.update.stream import UpdateStream
 from repro.xquery.evaluator import QueryResult, evaluate
 from repro.xquery.planner import CompiledQuery, compile_query
 
@@ -100,6 +105,9 @@ class QueryService:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="xmark-query")
         self._closed = False
+        self.updates_applied = 0
+        self._update_lock = threading.RLock()   # writers serialize globally
+        self._update_stream: UpdateStream | None = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -129,21 +137,109 @@ class QueryService:
         index-backed plan it carries degrades to its scan equivalent —
         same results, no stale index reads.  Callers needing a hard
         cut-over should let outstanding futures complete before reloading.
+
+        Reloading the *same* content is a no-op: when every serving store's
+        digest already equals the new text's digest there is no stale state
+        to shed, so stores, plans, results, and indexes all survive.
+
+        Reloads serialize with in-place updates (the update lock): a
+        reload racing :meth:`apply_update` could otherwise swap the store
+        set mid-write and fork the serving systems' document lineages.
         """
         self._require_open()
-        systems = tuple(self._admission)
-        old_stores = list(self.stores.values())
-        old_digests = {store.document_digest() for store in old_stores}
-        self.stores.clear()
-        self.load_reports.clear()
-        self.failed_loads.clear()
-        self._load(document, systems)
-        self.plan_cache.clear()
-        for store in old_stores:
-            store.drop_indexes()
-        for digest in old_digests:
-            if digest:
-                self.result_cache.invalidate_document(digest)
+        with self._update_lock:
+            new_digest = document_digest(document)
+            if (self.stores and not self.failed_loads
+                    and all(store.document_digest() == new_digest
+                            for store in self.stores.values())):
+                return
+            systems = tuple(self._admission)
+            old_stores = list(self.stores.values())
+            old_digests = {store.document_digest() for store in old_stores}
+            self.stores.clear()
+            self.load_reports.clear()
+            self.failed_loads.clear()
+            self._load(document, systems)
+            self.plan_cache.clear()
+            self._update_stream = None
+            for store in old_stores:
+                store.drop_indexes()
+            for digest in old_digests:
+                if digest:
+                    self.result_cache.invalidate_document(digest)
+
+    # -- the write path ------------------------------------------------------------
+
+    @contextmanager
+    def _exclusive(self, system: str):
+        """Drain and hold every admission permit of one system.
+
+        Readers hold one permit for the duration of their execution, so
+        holding all of them is a write lock: no reader can observe a
+        half-applied document, and the writer waits for in-flight reads.
+        """
+        gate = self._admission[system]
+        acquired = 0
+        try:
+            for _ in range(self.per_system_limit):
+                gate.acquire()
+                acquired += 1
+            yield
+        finally:
+            for _ in range(acquired):
+                gate.release()
+
+    def apply_update(self, op: UpdateOp, *,
+                     maintenance: str | None = None) -> dict:
+        """Apply one update operation to every serving store.
+
+        Per system, the write runs under that system's drained admission
+        gate (readers never see a torn document), the document digest
+        advances along the operation chain, and the result cache is
+        re-keyed path-selectively: entries whose query the change footprint
+        cannot affect stay cached under the new digest, the rest are
+        dropped.  Compiled plans survive — they resolve index probes
+        through the store at execution time, so a maintained (or rebuilt,
+        or dropped) IndexSet never leaves them wrong, only differently
+        fast.  Returns a per-system summary of what the write cost.
+
+        Writers serialize globally (the update lock): interleaved writers
+        could otherwise reach the serving systems in different orders and
+        fork their document lineages.
+        """
+        self._require_open()
+        summary: dict[str, dict] = {}
+        changes: ChangeSet | None = None
+        with self._update_lock:
+            for name, store in self.stores.items():
+                old_digest = store.document_digest() or ""
+                with self._exclusive(name):
+                    changes = engine_apply_update(store, op,
+                                                  maintenance_mode=maintenance)
+                kept, dropped = self.result_cache.rekey_document(
+                    name, old_digest, changes.digest or "",
+                    lambda text: not affected(query_footprint(text), changes))
+                summary[name] = {
+                    "maintenance": changes.maintenance,
+                    "mutate_ms": round(changes.mutate_seconds * 1000.0, 3),
+                    "index_ms": round(changes.index_seconds * 1000.0, 3),
+                    "nodes_indexed": changes.nodes_indexed,
+                    "results_kept": kept,
+                    "results_dropped": dropped,
+                }
+            self.updates_applied += 1
+        return {"op": op.token(), "systems": summary}
+
+    def apply_next_update(self, *, maintenance: str | None = None) -> dict:
+        """Generate and apply the next operation of the service's
+        deterministic update stream (the mixed workload's write slot)."""
+        with self._update_lock:
+            if self._update_stream is None:
+                first = next(iter(self.stores))
+                self._update_stream = UpdateStream(self.stores[first])
+            op = self._update_stream.next_op()
+            self._update_stream.note_applied(op)
+            return self.apply_update(op)
 
     def close(self) -> None:
         if not self._closed:
@@ -282,13 +378,19 @@ class QueryService:
         result_baseline = self.result_cache.stats.copy()
         streams = generator.streams()
         failures: list[BaseException] = []
+        update_seconds: list[float] = []
 
         def drive(stream: list[ClientRequest]) -> None:
             for request in stream:
                 if request.think_seconds > 0:
                     time.sleep(request.think_seconds)
                 try:
-                    self.submit(request.system, request.query).result()
+                    if request.kind == "update":
+                        started = time.perf_counter()
+                        self.apply_next_update()
+                        update_seconds.append(time.perf_counter() - started)
+                    else:
+                        self.submit(request.system, request.query).result()
                 except BaseException as exc:  # surfaced after the run
                     failures.append(exc)
                     return
@@ -303,6 +405,14 @@ class QueryService:
             raise failures[0]
         snapshot = self.metrics.snapshot()
         snapshot["clients"] = generator.spec.clients
+        snapshot["updates"] = {
+            "count": len(update_seconds),
+            "mean_ms": round(
+                sum(update_seconds) / len(update_seconds) * 1000.0, 3)
+            if update_seconds else 0.0,
+            "max_ms": round(max(update_seconds) * 1000.0, 3)
+            if update_seconds else 0.0,
+        }
         # Cache counters are service-lifetime; report this window's deltas so
         # hit rates describe the same interval as the latency/qps numbers.
         snapshot["plan_cache"] = self.plan_cache.stats.since(plan_baseline).as_dict()

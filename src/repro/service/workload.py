@@ -47,6 +47,9 @@ class ClientRequest:
     system: str
     query: int
     think_seconds: float
+    #: "query" or "update": update slots carry no query; the service draws
+    #: the concrete operation from its deterministic update stream.
+    kind: str = "query"
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +63,9 @@ class WorkloadSpec:
     query_weights: tuple[float, ...] | None = None   # overrides the Zipf model
     zipf_exponent: float = 1.0
     think_mean_seconds: float = 0.0
+    #: Fraction of requests that are document updates instead of queries
+    #: (0.0 keeps the workload read-only, the pre-update behaviour).
+    write_ratio: float = 0.0
     seed: int = DEFAULT_WORKLOAD_SEED
 
     def __post_init__(self) -> None:
@@ -81,6 +87,9 @@ class WorkloadSpec:
         if self.think_mean_seconds < 0:
             raise BenchmarkError(
                 f"think time must be non-negative, got {self.think_mean_seconds}")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise BenchmarkError(
+                f"write ratio must be within [0, 1], got {self.write_ratio}")
 
     @property
     def total_requests(self) -> int:
@@ -121,7 +130,13 @@ class WorkloadGenerator:
             system = source.choice(spec.systems)
             think = (source.exponential(spec.think_mean_seconds)
                      if spec.think_mean_seconds > 0 else 0.0)
-            requests.append(ClientRequest(client, seq, system, query, think))
+            # The write slots are part of the deterministic stream: the
+            # query draw above is consumed either way so a 0.0 ratio
+            # reproduces the read-only streams bit for bit.
+            kind = "query"
+            if spec.write_ratio > 0 and source.boolean(spec.write_ratio):
+                kind = "update"
+            requests.append(ClientRequest(client, seq, system, query, think, kind))
         return requests
 
     def streams(self) -> list[list[ClientRequest]]:

@@ -39,6 +39,7 @@ class DomStore(Store):
         super().__init__()
         self._document: Document | None = None
         self._positions: dict[int, int] = {}
+        self._positions_stale = False
         self._source_bytes = 0
         self._document_limit = document_limit
 
@@ -51,6 +52,10 @@ class DomStore(Store):
             )
         self._document = parse(text)
         self._source_bytes = len(text)
+        self._renumber()
+        self.mark_loaded(text)
+
+    def _renumber(self) -> None:
         # Document-order numbering for the << comparisons (Q4); the id() of a
         # DOM node is stable for the life of the tree we hold.
         self._positions.clear()
@@ -62,7 +67,7 @@ class DomStore(Store):
                 self._positions[id(node)] = order
                 order += 1
                 stack.extend(reversed(list(node.child_elements())))
-        self.mark_loaded(text)
+        self._positions_stale = False
 
     def size_bytes(self) -> int:
         self.require_loaded()
@@ -130,7 +135,65 @@ class DomStore(Store):
         ]
 
     def doc_position(self, node: Element) -> int:
+        if self._positions_stale:
+            self._renumber()
         return self._positions[id(node)]
 
     def build_dom(self, node: Element) -> Element:
         return node.copy()
+
+    # -- mutation: direct DOM pointer splices -----------------------------------
+
+    def insert_child(self, parent: Element, element: Element,
+                     index: int | None = None) -> Element:
+        self.require_loaded()
+        node = element.copy()
+        node.parent = parent
+        parent.children.insert(_content_slot(parent, index), node)
+        self._positions_stale = True
+        return node
+
+    def remove_node(self, node: Element) -> None:
+        self.require_loaded()
+        if node.parent is None:
+            raise StorageError("cannot remove the document root")
+        node.parent.children.remove(node)
+        node.parent = None
+        self._positions_stale = True
+
+    def set_text(self, node: Element, text: str) -> None:
+        self.require_loaded()
+        replaced = False
+        rebuilt: list[Element | Text] = []
+        for child in node.children:
+            if isinstance(child, Text):
+                if text and not replaced:
+                    run = Text(text)
+                    run.parent = node
+                    rebuilt.append(run)
+                    replaced = True
+            else:
+                rebuilt.append(child)
+        if text and not replaced:
+            run = Text(text)
+            run.parent = node
+            rebuilt.append(run)
+        node.children = rebuilt
+
+    def set_attribute(self, node: Element, name: str, value: str) -> None:
+        self.require_loaded()
+        node.attributes[name] = value
+
+
+def _content_slot(parent: Element, index: int | None) -> int:
+    """The children-list position placing a new node before the ``index``-th
+    element child (None: after every existing child)."""
+    if index is None:
+        return len(parent.children)
+    seen = 0
+    for slot, child in enumerate(parent.children):
+        if isinstance(child, Element):
+            if seen == index:
+                return slot
+            seen += 1
+    return len(parent.children)

@@ -23,9 +23,11 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 
+from repro.errors import StorageError
 from repro.relational.catalog import Catalog
 from repro.relational.table import Column, ColumnType
-from repro.storage.interface import Store
+from repro.storage.interface import Store, rank_by_walk
+from repro.xmlio.dom import Element, Text
 from repro.xmlio.events import Characters, EndElement, StartElement
 from repro.xmlio.parser import iterparse
 
@@ -48,6 +50,24 @@ def _attr_table_name(path: Path, attr: str) -> str:
     return _table_name(path) + "/@" + attr
 
 
+_ELEM_COLUMNS = [
+    Column("pre", _INT, nullable=False),
+    Column("post", _INT, nullable=False),
+    Column("parent", _INT),
+    Column("pos", _INT, nullable=False),
+]
+_TEXT_COLUMNS = [
+    Column("pre", _INT, nullable=False),
+    Column("parent", _INT, nullable=False),
+    Column("pos", _INT, nullable=False),
+    Column("value", _STR, nullable=False),
+]
+_ATTR_COLUMNS = [
+    Column("parent", _INT, nullable=False),
+    Column("value", _STR, nullable=False),
+]
+
+
 class FragmentStore(Store):
     """One relation per distinct path (System B)."""
 
@@ -63,6 +83,10 @@ class FragmentStore(Store):
         self._id_index: dict[str, Handle] = {}
         self._root_path: Path = ()
         self._text_tables_below: dict[Path, list[str]] = {}
+        self._next_pre = 0                      # pre allocator for inserted tuples
+        self._mutated = False                   # pre order == doc order until then
+        self._order: dict[Handle, int] | None = None
+        self._dead_rows: dict[str, set[int]] = {}
 
     # -- bulkload -----------------------------------------------------------------
 
@@ -75,22 +99,9 @@ class FragmentStore(Store):
         self._id_index = {}
         self._text_tables_below = {}
 
-        elem_columns = [
-            Column("pre", _INT, nullable=False),
-            Column("post", _INT, nullable=False),
-            Column("parent", _INT),
-            Column("pos", _INT, nullable=False),
-        ]
-        text_columns = [
-            Column("pre", _INT, nullable=False),
-            Column("parent", _INT, nullable=False),
-            Column("pos", _INT, nullable=False),
-            Column("value", _STR, nullable=False),
-        ]
-        attr_columns = [
-            Column("parent", _INT, nullable=False),
-            Column("value", _STR, nullable=False),
-        ]
+        elem_columns = _ELEM_COLUMNS
+        text_columns = _TEXT_COLUMNS
+        attr_columns = _ATTR_COLUMNS
 
         sequence = 0
         stack: list[tuple[Path, int, int]] = []  # (path, pre, next slot)
@@ -161,6 +172,10 @@ class FragmentStore(Store):
                 if prefix in below:
                     below[prefix].append(name)
         self._text_tables_below = {path: sorted(names) for path, names in below.items()}
+        self._next_pre = sequence
+        self._mutated = False
+        self._order = None
+        self._dead_rows = {}
         self.mark_loaded(text)
 
     def _register_path(self, path: Path, parent_path: Path) -> None:
@@ -232,12 +247,28 @@ class FragmentStore(Store):
         rows = self._rows_for_parent(child_path, pre)
         self.stats.table_lookups += len(rows)
         pres = table.column("pre")
+        if self._mutated:
+            # Row order is append order, not sibling order, once tuples
+            # have been inserted: restore it from the pos column.
+            poss = table.column("pos")
+            rows = sorted(rows, key=poss.__getitem__)
+            return [(child_path, pres[row]) for row in rows]
         return [(child_path, pres[row]) for row in sorted(rows)]
 
     def descendants_by_tag(self, node: Handle, tag: str) -> list[Handle]:
+        if self._mutated:
+            # Inserted pres break the per-table pre intervals: navigate.
+            found: list[Handle] = []
+            stack = [child for child in reversed(self.children(node))]
+            while stack:
+                current = stack.pop()
+                if current[0][-1] == tag:
+                    found.append(current)
+                stack.extend(reversed(self.children(current)))
+            return found
         path, pre = node
         post = self._post_of(node)
-        found: list[Handle] = []
+        found = []
         for descendant_path in self.paths_extending(path, tag):
             table = self.catalog.table(_table_name(descendant_path))
             pres = table.column("pre")
@@ -305,6 +336,16 @@ class FragmentStore(Store):
         return [values[row] for row in rows]
 
     def string_value(self, node: Handle) -> str:
+        if self._mutated:
+            parts: list[str] = []
+            stack: list = [node]
+            while stack:
+                current = stack.pop()
+                if isinstance(current, str):
+                    parts.append(current)
+                else:
+                    stack.extend(reversed(self.content(current)))
+            return "".join(parts)
         path, pre = node
         post = self._post_of(node)
         collected: list[tuple[int, str]] = []
@@ -345,7 +386,11 @@ class FragmentStore(Store):
         return table.get(self._row_of(node), "pos")
 
     def doc_position(self, node: Handle) -> int:
-        return node[1]
+        if not self._mutated:
+            return node[1]
+        if self._order is None:
+            self._order = rank_by_walk(self)
+        return self._order[node]
 
     # -- capabilities ------------------------------------------------------------------
 
@@ -358,12 +403,206 @@ class FragmentStore(Store):
 
     def nodes_at_path(self, path: Path) -> list[Handle] | None:
         """A path extent is exactly one table scan in this mapping."""
-        if not self.catalog.has_table(_table_name(path)):
+        name = _table_name(path)
+        if not self.catalog.has_table(name):
             return []
-        table = self.catalog.table(_table_name(path))
+        table = self.catalog.table(name)
         pres = table.column("pre")
         self.stats.table_lookups += len(pres)
-        return [(path, pre) for pre in pres]
+        dead = self._dead_rows.get(name)
+        handles = [(path, pre) for row, pre in enumerate(pres)
+                   if not dead or row not in dead]
+        if self._mutated:
+            handles.sort(key=self.doc_position)
+        return handles
 
     def known_tags(self) -> frozenset[str]:
         return frozenset(self._paths_by_tag)
+
+    # -- mutation: tuple inserts/deletes across the per-path relations ------------------
+
+    def _note_mutation(self) -> None:
+        self._mutated = True
+        self._order = None
+
+    def _ensure_elem_table(self, path: Path, parent_path: Path):
+        name = _table_name(path)
+        if not self.catalog.has_table(name):
+            self.catalog.ensure_table(name, _ELEM_COLUMNS)
+            self._register_path(path, parent_path)
+            self.catalog.create_hash_index(name, "parent")
+            self.catalog.create_hash_index(name, "pre")
+            self._text_tables_below.setdefault(path, [])
+        return self.catalog.table(name)
+
+    def _ensure_text_table(self, path: Path):
+        name = _text_table_name(path)
+        if not self.catalog.has_table(name):
+            self.catalog.ensure_table(name, _TEXT_COLUMNS)
+            self.catalog.create_hash_index(name, "parent")
+            self._text_paths.add(path)
+            for depth in range(1, len(path) + 1):
+                prefix = path[:depth]
+                tables = self._text_tables_below.setdefault(prefix, [])
+                if name not in tables:
+                    tables.append(name)
+                    tables.sort()
+        return self.catalog.table(name)
+
+    def _ensure_attr_table(self, path: Path, attr: str):
+        name = _attr_table_name(path, attr)
+        if not self.catalog.has_table(name):
+            self.catalog.ensure_table(name, _ATTR_COLUMNS)
+            self.catalog.create_hash_index(name, "parent")
+        if attr not in self._attr_map.setdefault(path, []):
+            self._attr_map[path].append(attr)
+        return self.catalog.table(name)
+
+    def _content_pos(self, node: Handle, index: int | None) -> int:
+        """The pos value for a new child at element ``index``, shifting the
+        pos of every following sibling tuple across all child relations."""
+        path, pre = node
+        children = self.children(node)
+        if index is None or index >= len(children):
+            highest = -1
+            for child in children:
+                highest = max(highest, self._pos_of(child))
+            if path in self._text_paths:
+                table = self.catalog.table(_text_table_name(path))
+                index_obj = self.catalog.hash_index(_text_table_name(path), "parent")
+                for row in index_obj.lookup(pre) if index_obj else []:
+                    highest = max(highest, table.get(row, "pos"))
+            return highest + 1
+        target = self._pos_of(children[index])
+        for tag in self._children_map.get(path, ()):
+            child_path = path + (tag,)
+            table = self.catalog.table(_table_name(child_path))
+            index_obj = self.catalog.hash_index(_table_name(child_path), "parent")
+            for row in index_obj.lookup(pre) if index_obj else []:
+                pos = table.get(row, "pos")
+                if pos >= target:
+                    table.set(row, "pos", pos + 1)
+        if path in self._text_paths:
+            table = self.catalog.table(_text_table_name(path))
+            index_obj = self.catalog.hash_index(_text_table_name(path), "parent")
+            for row in index_obj.lookup(pre) if index_obj else []:
+                pos = table.get(row, "pos")
+                if pos >= target:
+                    table.set(row, "pos", pos + 1)
+        return target
+
+    def insert_child(self, parent: Handle, element: Element,
+                     index: int | None = None) -> Handle:
+        self.require_loaded()
+        pos = self._content_pos(parent, index)
+        handle = self._insert_subtree(element, parent[0], parent[1], pos)
+        self._note_mutation()
+        return handle
+
+    def _insert_subtree(self, element: Element, parent_path: Path,
+                        parent_pre: int | None, pos: int) -> Handle:
+        path = parent_path + (element.tag,)
+        table = self._ensure_elem_table(path, parent_path)
+        pre = self._next_pre
+        self._next_pre += 1
+        row = table.append(pre=pre, post=pre, parent=parent_pre, pos=pos)
+        self.catalog.hash_index(_table_name(path), "parent").insert(parent_pre, row)
+        self.catalog.hash_index(_table_name(path), "pre").insert(pre, row)
+        for name, value in element.attributes.items():
+            attr_table = self._ensure_attr_table(path, name)
+            attr_row = attr_table.append(parent=pre, value=value)
+            self.catalog.hash_index(_attr_table_name(path, name), "parent").insert(
+                pre, attr_row)
+            if name == "id":
+                self._id_index[value] = (path, pre)
+        slot = 0
+        for child in element.children:
+            if isinstance(child, Text):
+                text_table = self._ensure_text_table(path)
+                text_pre = self._next_pre
+                self._next_pre += 1
+                text_row = text_table.append(pre=text_pre, parent=pre, pos=slot,
+                                             value=child.value)
+                self.catalog.hash_index(_text_table_name(path), "parent").insert(
+                    pre, text_row)
+            else:
+                self._insert_subtree(child, path, pre, slot)
+            slot += 1
+        return (path, pre)
+
+    def remove_node(self, node: Handle) -> None:
+        self.require_loaded()
+        if len(node[0]) <= 1:
+            raise StorageError("cannot remove the document root")
+        doomed = [node]
+        stack = list(self.children(node))
+        while stack:
+            current = stack.pop()
+            doomed.append(current)
+            stack.extend(self.children(current))
+        for path, pre in doomed:
+            name = _table_name(path)
+            table = self.catalog.table(name)
+            row = self.catalog.hash_index(name, "pre").unique(pre)
+            self.catalog.hash_index(name, "pre").remove(pre, row)
+            self.catalog.hash_index(name, "parent").remove(
+                table.get(row, "parent"), row)
+            self._dead_rows.setdefault(name, set()).add(row)
+            for attr in self._attr_map.get(path, ()):
+                attr_name = _attr_table_name(path, attr)
+                attr_index = self.catalog.hash_index(attr_name, "parent")
+                for attr_row in list(attr_index.lookup(pre)) if attr_index else []:
+                    value = self.catalog.table(attr_name).get(attr_row, "value")
+                    if attr == "id" and self._id_index.get(value) == (path, pre):
+                        del self._id_index[value]
+                    attr_index.remove(pre, attr_row)
+            if path in self._text_paths:
+                text_name = _text_table_name(path)
+                text_index = self.catalog.hash_index(text_name, "parent")
+                for text_row in list(text_index.lookup(pre)) if text_index else []:
+                    text_index.remove(pre, text_row)
+        self._note_mutation()
+
+    def set_text(self, node: Handle, text: str) -> None:
+        self.require_loaded()
+        path, pre = node
+        if path in self._text_paths:
+            text_name = _text_table_name(path)
+            table = self.catalog.table(text_name)
+            text_index = self.catalog.hash_index(text_name, "parent")
+            rows = sorted(text_index.lookup(pre),
+                          key=table.column("pos").__getitem__) if text_index else []
+        else:
+            rows = []
+        if rows:
+            if text:
+                table.set(rows[0], "value", text)
+                extra = rows[1:]
+            else:
+                extra = rows
+            for row in extra:
+                text_index.remove(pre, row)
+        elif text:
+            pos = self._content_pos(node, None)
+            table = self._ensure_text_table(path)
+            text_pre = self._next_pre
+            self._next_pre += 1
+            row = table.append(pre=text_pre, parent=pre, pos=pos, value=text)
+            self.catalog.hash_index(_text_table_name(path), "parent").insert(pre, row)
+        self._note_mutation()
+
+    def set_attribute(self, node: Handle, name: str, value: str) -> None:
+        self.require_loaded()
+        path, pre = node
+        table = self._ensure_attr_table(path, name)
+        attr_index = self.catalog.hash_index(_attr_table_name(path, name), "parent")
+        rows = attr_index.lookup(pre) if attr_index else []
+        if rows:
+            table.set(rows[0], "value", value)
+        else:
+            row = table.append(parent=pre, value=value)
+            self.catalog.hash_index(_attr_table_name(path, name), "parent").insert(
+                pre, row)
+        if name == "id":
+            self._id_index[value] = (path, pre)
+        self._note_mutation()

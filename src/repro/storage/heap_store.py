@@ -22,9 +22,11 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 
+from repro.errors import StorageError
 from repro.relational.catalog import Catalog
 from repro.relational.table import Column, ColumnType
-from repro.storage.interface import Store
+from repro.storage.interface import Store, rank_by_walk
+from repro.xmlio.dom import Element, Text
 from repro.xmlio.events import Characters, EndElement, StartElement
 from repro.xmlio.parser import iterparse
 
@@ -49,6 +51,9 @@ class HeapStore(Store):
         self._tag_index = None
         self._id_index: dict[str, int] = {}
         self._row_by_pre: dict[int, int] = {}
+        self._next_pre = 0                      # pre allocator for inserted tuples
+        self._mutated = False                   # pre order == doc order until then
+        self._order: dict[int, int] | None = None
 
     # -- bulkload -----------------------------------------------------------------
 
@@ -119,6 +124,9 @@ class HeapStore(Store):
             if names[row] == "id":
                 self._id_index[values[row]] = parents[row]
         self.catalog.analyze()
+        self._next_pre = sequence
+        self._mutated = False
+        self._order = None
         self.mark_loaded(text)
 
     def size_bytes(self) -> int:
@@ -140,6 +148,11 @@ class HeapStore(Store):
         rows = self._children_index.lookup(node)
         self.stats.table_lookups += len(rows)
         pres = self._nodes.column("pre")
+        if self._mutated:
+            # Bucket order is append order, not sibling order, once tuples
+            # have been inserted: restore it from the pos column.
+            poss = self._nodes.column("pos")
+            rows = sorted(rows, key=poss.__getitem__)
         return [pres[row] for row in rows]
 
     def children_by_tag(self, node: int, tag: str) -> list[int]:
@@ -148,9 +161,23 @@ class HeapStore(Store):
         self.stats.table_lookups += len(rows)
         pres = self._nodes.column("pre")
         tags = self._nodes.column("tag")
+        if self._mutated:
+            poss = self._nodes.column("pos")
+            rows = sorted(rows, key=poss.__getitem__)
         return [pres[row] for row in rows if tags[row] == tag]
 
     def descendants_by_tag(self, node: int, tag: str) -> list[int]:
+        if self._mutated:
+            # Inserted pres break the pre/post interval encoding: navigate.
+            tags = self._nodes.column("tag")
+            found: list[int] = []
+            stack = list(reversed(self.children(node)))
+            while stack:
+                current = stack.pop()
+                if tags[self._row_by_pre[current]] == tag:
+                    found.append(current)
+                stack.extend(reversed(self.children(current)))
+            return found
         # B-tree on (tag, pre): probe the tag extent, bisect the pre interval.
         self.stats.index_lookups += 1
         rows = self._tag_index.lookup(tag)
@@ -193,6 +220,19 @@ class HeapStore(Store):
         return [values[row] for row in rows]
 
     def string_value(self, node: int) -> str:
+        if self._mutated:
+            # The text heap interleaves inserted runs out of pre order:
+            # reassemble through content() like the update literature's
+            # declustered-CLOB case.
+            parts: list[str] = []
+            stack: list = [node]
+            while stack:
+                current = stack.pop()
+                if isinstance(current, str):
+                    parts.append(current)
+                else:
+                    stack.extend(reversed(self.content(current)))
+            return "".join(parts)
         # Texts are stored in document order: bisect the subtree interval.
         self.stats.index_lookups += 1
         text_pres = self._texts.column("pre")
@@ -220,7 +260,11 @@ class HeapStore(Store):
         return [part for _, part in merged]
 
     def doc_position(self, node: int) -> int:
-        return node
+        if not self._mutated:
+            return node
+        if self._order is None:
+            self._order = rank_by_walk(self)
+        return self._order[node]
 
     # -- capabilities ------------------------------------------------------------------
 
@@ -238,4 +282,131 @@ class HeapStore(Store):
         rows = self._tag_index.lookup(tag)
         pres = self._nodes.column("pre")
         self.stats.table_lookups += len(rows)
-        return [pres[row] for row in rows]
+        extent = [pres[row] for row in rows]
+        if self._mutated:
+            extent.sort(key=self.doc_position)
+        return extent
+
+    # -- mutation: tuple inserts/deletes with index and stats touches ------------------
+
+    def _note_mutation(self) -> None:
+        self._mutated = True
+        self._order = None
+
+    def _content_pos(self, parent: int, index: int | None) -> int:
+        """The pos value for a new child at element ``index``, shifting the
+        pos of every following sibling tuple (elements and text runs) up."""
+        child_rows = sorted(self._children_index.lookup(parent),
+                            key=self._nodes.column("pos").__getitem__)
+        if index is None or index >= len(child_rows):
+            text_rows = self._texts_index.lookup(parent)
+            highest = -1
+            for row in child_rows:
+                highest = max(highest, self._nodes.get(row, "pos"))
+            for row in text_rows:
+                highest = max(highest, self._texts.get(row, "pos"))
+            return highest + 1
+        target = self._nodes.get(child_rows[index], "pos")
+        for row in self._children_index.lookup(parent):
+            pos = self._nodes.get(row, "pos")
+            if pos >= target:
+                self._nodes.set(row, "pos", pos + 1)
+        for row in self._texts_index.lookup(parent):
+            pos = self._texts.get(row, "pos")
+            if pos >= target:
+                self._texts.set(row, "pos", pos + 1)
+        return target
+
+    def insert_child(self, parent: int, element: Element,
+                     index: int | None = None) -> int:
+        self.require_loaded()
+        pos = self._content_pos(parent, index)
+        root_pre = self._insert_subtree(element, parent, pos)
+        self._note_mutation()
+        return root_pre
+
+    def _insert_subtree(self, element: Element, parent_pre: int, pos: int) -> int:
+        pre = self._next_pre
+        self._next_pre += 1
+        row = self._nodes.append(pre=pre, post=pre, parent=parent_pre,
+                                 tag=element.tag, pos=pos)
+        self._row_by_pre[pre] = row
+        self._children_index.insert(parent_pre, row)
+        self._tag_index.insert(element.tag, row)
+        for name, value in element.attributes.items():
+            attr_row = self._attrs.append(parent=pre, name=name, value=value)
+            self._attrs_index.insert(pre, attr_row)
+            if name == "id":
+                self._id_index[value] = pre
+        slot = 0
+        for child in element.children:
+            if isinstance(child, Text):
+                text_pre = self._next_pre
+                self._next_pre += 1
+                text_row = self._texts.append(pre=text_pre, parent=pre,
+                                              pos=slot, value=child.value)
+                self._texts_index.insert(pre, text_row)
+            else:
+                self._insert_subtree(child, pre, slot)
+            slot += 1
+        return pre
+
+    def remove_node(self, node: int) -> None:
+        self.require_loaded()
+        row = self._row_by_pre.get(node)
+        if row is None:
+            raise StorageError(f"no tuple for handle {node!r}")
+        if self._nodes.get(row, "parent") is None:
+            raise StorageError("cannot remove the document root")
+        doomed = [node]
+        stack = list(self.children(node))
+        while stack:
+            current = stack.pop()
+            doomed.append(current)
+            stack.extend(self.children(current))
+        names = self._attrs.column("name")
+        values = self._attrs.column("value")
+        for pre in doomed:
+            node_row = self._row_by_pre.pop(pre)
+            self._children_index.remove(self._nodes.get(node_row, "parent"), node_row)
+            self._tag_index.remove(self._nodes.get(node_row, "tag"), node_row)
+            for attr_row in list(self._attrs_index.lookup(pre)):
+                if names[attr_row] == "id" and self._id_index.get(values[attr_row]) == pre:
+                    del self._id_index[values[attr_row]]
+                self._attrs_index.remove(pre, attr_row)
+            for text_row in list(self._texts_index.lookup(pre)):
+                self._texts_index.remove(pre, text_row)
+        self._note_mutation()
+
+    def set_text(self, node: int, text: str) -> None:
+        self.require_loaded()
+        text_rows = sorted(self._texts_index.lookup(node),
+                           key=self._texts.column("pos").__getitem__)
+        if text_rows:
+            if text:
+                self._texts.set(text_rows[0], "value", text)
+                extra = text_rows[1:]
+            else:
+                extra = text_rows
+            for row in extra:
+                self._texts_index.remove(node, row)
+        elif text:
+            pos = self._content_pos(node, None)
+            text_pre = self._next_pre
+            self._next_pre += 1
+            row = self._texts.append(pre=text_pre, parent=node, pos=pos, value=text)
+            self._texts_index.insert(node, row)
+        self._note_mutation()
+
+    def set_attribute(self, node: int, name: str, value: str) -> None:
+        self.require_loaded()
+        names = self._attrs.column("name")
+        for row in self._attrs_index.lookup(node):
+            if names[row] == name:
+                self._attrs.set(row, "value", value)
+                break
+        else:
+            row = self._attrs.append(parent=node, name=name, value=value)
+            self._attrs_index.insert(node, row)
+        if name == "id":
+            self._id_index[value] = node

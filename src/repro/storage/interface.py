@@ -57,6 +57,11 @@ class Store(ABC):
         self.indexes = None             # IndexSet, built at mark_loaded
         self._loaded = False
         self._document_digest: str | None = None
+        #: How the secondary indexes are kept current under document
+        #: mutations: "incremental" applies per-node deltas, "rebuild"
+        #: reconstructs the whole IndexSet after every update (the ablation
+        #: baseline priced by benchmarks/bench_update_maintenance.py).
+        self.index_maintenance: str = "incremental"
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -110,6 +115,21 @@ class Store(ABC):
 
     def document_digest(self) -> str | None:
         """Digest of the currently loaded document, or None before load."""
+        return self._document_digest
+
+    def advance_digest(self, op_token: str) -> str:
+        """Chain the document digest over one applied update.
+
+        Re-serializing the whole store per write would make the digest an
+        O(document) cost; instead the digest evolves as a hash chain over
+        the canonical operation tokens.  Two stores holding the same
+        document lineage (same load, same update sequence) therefore agree
+        on the digest without ever comparing texts, which is exactly what
+        the result cache keys need.
+        """
+        self._document_digest = hashlib.sha256(
+            f"{self._document_digest or ''}|{op_token}".encode("utf-8")
+        ).hexdigest()[:16]
         return self._document_digest
 
     def require_loaded(self) -> None:
@@ -201,6 +221,55 @@ class Store(ABC):
         non-existing tags)."""
         return None
 
+    def order_key(self, node: Handle):
+        """A document-order key that is cheap even mid-write.
+
+        ``doc_position`` may lazily relabel the whole store after a
+        mutation (an O(document) pass); index maintenance instead bisects
+        extents on this key, which the default computes locally from the
+        sibling chain.  Stores whose ``doc_position`` is cheap without
+        relabeling override this to return it directly.
+        """
+        return sibling_order_key(self, node)
+
+    # -- mutation ----------------------------------------------------------------------
+    #
+    # The physical write surface.  Each architecture implements these with
+    # its own strategy (DOM pointer splice, array append + lazy relabeling,
+    # tuple insert/delete with index touches, schema-directed shredding);
+    # see docs/UPDATES.md.  They mutate ONLY the physical mapping: callers
+    # are responsible for the logical bookkeeping (secondary-index deltas,
+    # digest chaining, cache invalidation) — `repro.update.engine` is the
+    # supported write path that does all three, exactly like `bulkload` is
+    # the supported load path over `load()`.
+
+    def insert_child(self, parent: Handle, element: Element, index: int | None = None) -> Handle:
+        """Splice a detached DOM subtree in as a child element of ``parent``.
+
+        ``index`` positions the new node among the *element* children of
+        ``parent`` (None appends after every existing child).  Returns the
+        handle of the inserted subtree's root.  The store takes its own
+        copy/representation of ``element``; the argument is not captured.
+        """
+        raise StorageError(f"{type(self).__name__} does not support insert_child")
+
+    def remove_node(self, node: Handle) -> None:
+        """Detach the subtree rooted at ``node`` from the document.
+
+        Handles into the removed subtree become invalid; removing the
+        document root is an error.
+        """
+        raise StorageError(f"{type(self).__name__} does not support remove_node")
+
+    def set_text(self, node: Handle, text: str) -> None:
+        """Replace the direct text runs of ``node`` with the single run
+        ``text`` (an empty string leaves the node without text)."""
+        raise StorageError(f"{type(self).__name__} does not support set_text")
+
+    def set_attribute(self, node: Handle, name: str, value: str) -> None:
+        """Set (create or overwrite) one attribute of ``node``."""
+        raise StorageError(f"{type(self).__name__} does not support set_attribute")
+
     # -- reconstruction ----------------------------------------------------------------
 
     def build_dom(self, node: Handle) -> Element:
@@ -218,3 +287,55 @@ class Store(ABC):
             else:
                 element.append(self.build_dom(part))
         return element
+
+
+def sibling_order_key(store: Store, node: Handle) -> tuple[int, ...]:
+    """A document-order key computed locally, without global relabeling.
+
+    The tuple of sibling positions along the root-to-node chain sorts in
+    document order for any two nodes of one store.  Cost is
+    O(depth x fanout) per call — the point: index maintenance can bisect a
+    path extent with O(log n) such keys instead of forcing the store's
+    O(document) rank relabel inside the write path.
+    """
+    key: list[int] = []
+    current = node
+    while True:
+        parent = store.parent(current)
+        if parent is None:
+            break
+        key.append(store.children(parent).index(current))
+        current = parent
+    key.reverse()
+    return tuple(key)
+
+
+def rank_by_walk(store: Store) -> dict:
+    """Document-order ranks recomputed from the pointer structure.
+
+    Shared by the relational stores, whose dense pre numbering stops
+    encoding document order once tuples have been inserted: one O(n)
+    navigation walk per mutation batch, cached by the store until the
+    next write.
+    """
+    order: dict = {}
+    rank = 0
+    stack = [store.root()]
+    while stack:
+        node = stack.pop()
+        order[node] = rank
+        rank += 1
+        stack.extend(reversed(store.children(node)))
+    return order
+
+
+def store_document_text(store: Store) -> str:
+    """Serialize the store's current document back to XML text.
+
+    Reconstructs through the navigation API, so it reflects the document as
+    the store would answer queries over it — the oracle the differential
+    update tests load into a fresh store.
+    """
+    from repro.xmlio.serialize import serialize
+    store.require_loaded()
+    return serialize(store.build_dom(store.root()))

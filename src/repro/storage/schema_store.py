@@ -91,6 +91,8 @@ class SchemaStore(Store):
         self._parent_indexes: dict[str, object] = {}
         self._locations: dict[str, list[tuple]] = {}
         self._child_maps: dict[tuple, dict] = {}
+        self._next_ord = 0                      # ord allocator for inserted entities
+        self._dead: dict[str, set[int]] = {}    # tombstoned rows per table
 
     # ------------------------------------------------------------------ load --
 
@@ -154,6 +156,8 @@ class SchemaStore(Store):
                             self._id_index[value] = ("e", spec.table, row)
         self._compute_locations()
         self.catalog.analyze()
+        self._next_ord = counter
+        self._dead = {}
         self.mark_loaded(text)
 
     def _compute_locations(self) -> None:
@@ -368,13 +372,20 @@ class SchemaStore(Store):
             return self._fragment(node[1]).nodes[node[2]].tag
         raise StorageError(f"bad handle {node!r}")
 
+    def _live_rows(self, table_name: str):
+        dead = self._dead.get(table_name)
+        size = len(self._tables[table_name])
+        if not dead:
+            return range(size)
+        return (row for row in range(size) if row not in dead)
+
     def _table_rows(self, table_name: str, region: str | None) -> list[int]:
         table = self._tables[table_name]
         self.stats.table_lookups += len(table)
         if region is None:
-            return list(range(len(table)))
+            return list(self._live_rows(table_name))
         regions = table.column("region")
-        return [row for row in range(len(table)) if regions[row] == region]
+        return [row for row in self._live_rows(table_name) if regions[row] == region]
 
     def _nested_rows(self, table_name: str, owner_ord: int) -> list[int]:
         index = self._parent_indexes[table_name]
@@ -578,7 +589,7 @@ class SchemaStore(Store):
             if region is not None and not (kind == "row" and table_name == "item"):
                 return None
             table = self._tables[table_name]
-            rows = range(len(table))
+            rows = self._live_rows(table_name)
             self.stats.table_lookups += len(table)
             if region is not None:
                 regions = table.column("region")
@@ -778,25 +789,52 @@ class SchemaStore(Store):
             ]
         return list(self.children(node))
 
+    #: Container holding each top-level entity table (items carry a region).
+    _TABLE_CONTAINER = {
+        "category": "categories", "edge": "catgraph", "person": "people",
+        "open_auction": "open_auctions", "closed_auction": "closed_auctions",
+    }
+
+    def _rank_of(self, table: str, row: int) -> int:
+        """The containing top-level container's ord — the leading component
+        of every entity's document position.  Ords allocated for inserted
+        entities exceed every load-time ord, so prefixing the (fixed)
+        container rank keeps cross-container document order correct while
+        appends within a container sort by ord as before."""
+        table_obj = self._tables[table]
+        if table_obj.has_column("parent"):
+            owner = self._entity_by_ord(table_obj.get(row, "parent"))
+            return self._rank_of(owner[1], owner[2])
+        if table == "item":
+            return self._container_ord[table_obj.get(row, "region")]
+        return self._container_ord[self._TABLE_CONTAINER[table]]
+
     def doc_position(self, node):
         kind = node[0]
         if kind == "t":
             return (self._container_ord.get(node[1], 0),)
         if kind == "e":
             table = self._tables[node[1]]
+            rank = self._rank_of(node[1], node[2])
             if table.has_column("parent"):
                 owner_ord = table.get(node[2], "parent")
                 owner_table = self._owner_table(node[1])
                 spec_idx = self._nested_spec_idx[(owner_table, node[1])]
-                return (owner_ord, spec_idx, table.get(node[2], "pos"))
-            return (table.get(node[2], "ord"),)
+                return (rank, owner_ord, spec_idx, table.get(node[2], "pos"))
+            return (rank, table.get(node[2], "ord"))
         if kind in ("s", "w", "l"):
             base = self.doc_position(("e", node[1], node[2]))
             return base + node[3]
         if kind == "fn":
             owner = self._frag_owner[node[1]]
-            return owner + (node[2],)
+            entity = self._entity_by_ord(owner[0])
+            rank = self._rank_of(entity[1], entity[2]) if entity is not None else 0
+            return (rank,) + owner + (node[2],)
         raise StorageError(f"bad handle {node!r}")
+
+    def order_key(self, node):
+        """Ord-based positions are cheap here — no relabeling to avoid."""
+        return self.doc_position(node)
 
     def _owner_table(self, nested_table: str) -> str:
         for (owner, nested), _ in self._nested_spec_idx.items():
@@ -826,6 +864,156 @@ class SchemaStore(Store):
 
     def entity_handle(self, table: str, row: int):
         return ("e", table, row)
+
+    # -- mutation: schema-directed shredding and cascaded tuple deletes -------------
+    #
+    # A DTD-derived mapping can only take writes the derived schema has a
+    # place for: whole entities (person, bidder, closed_auction, ...) are
+    # shredded into their relations exactly like at bulkload — appended at
+    # their set's end, which is the only position the schema can express —
+    # and scalar writes update inlined columns.  Anything else (a new
+    # element kind, a mid-set insert) raises, which is the honest behaviour
+    # of a schema-bound store.
+
+    def _allocate_ord(self) -> int:
+        self._next_ord += 1
+        return self._next_ord
+
+    def _index_new_rows(self, snapshot: dict[str, int]) -> None:
+        """Register every row appended since ``snapshot`` with the table's
+        hash indexes and the ID index (the per-tuple index touches)."""
+        for table_name, old_size in snapshot.items():
+            table = self._tables[table_name]
+            if len(table) == old_size:
+                continue
+            spec = ENTITY_SPECS[table_name]
+            ord_index = self.catalog.hash_index(table_name, "ord")
+            parent_index = self._parent_indexes.get(table_name)
+            region_index = (self.catalog.hash_index(table_name, "region")
+                            if table.has_column("region") else None)
+            for row in range(old_size, len(table)):
+                ord_index.insert(table.get(row, "ord"), row)
+                if parent_index is not None:
+                    parent_index.insert(table.get(row, "parent"), row)
+                if region_index is not None:
+                    region_index.insert(table.get(row, "region"), row)
+                for attr, column in spec.attr_columns:
+                    if attr == "id":
+                        value = table.get(row, column)
+                        if value is not None:
+                            self._id_index[value] = ("e", table_name, row)
+
+    def insert_child(self, parent, element, index: int | None = None):
+        self.require_loaded()
+        snapshot = {name: len(table) for name, table in self._tables.items()}
+        kind = parent[0]
+        if kind == "t":
+            entry = CONTAINER_CONTENTS.get(parent[1])
+            if entry is None or TABLE_OF_TAG.get(element.tag) != entry[0]:
+                raise StorageError(
+                    f"the derived schema has no place for <{element.tag}> "
+                    f"under <{parent[1]}>")
+            table_name = entry[0]
+            extra = {"region": parent[1]} if entry[1] else None
+            self._shred_entity(element, ENTITY_SPECS[table_name],
+                               self._allocate_ord, extra=extra)
+        elif kind in ("e", "w"):
+            if kind == "w":
+                spec = _spec_at(ENTITY_SPECS[parent[1]], parent[3])
+                nested = spec.nested
+            else:
+                entry = self._child_map(parent[1], ()).get(element.tag)
+                if entry is None or not isinstance(entry[1], Nested):
+                    raise StorageError(
+                        f"the derived schema has no set-valued place for "
+                        f"<{element.tag}> under <{self.tag(parent)}>")
+                nested = entry[1]
+            if ENTITY_SPECS[nested.table].tag != element.tag:
+                raise StorageError(
+                    f"<{element.tag}> does not match the nested set "
+                    f"<{ENTITY_SPECS[nested.table].tag}>")
+            owner_ord = self._ord_of(parent[1], parent[2])
+            existing = self._nested_rows(nested.table, owner_ord)
+            table = self._tables[nested.table]
+            next_pos = (max(table.get(row, "pos") for row in existing) + 1
+                        if existing else 0)
+            self._shred_entity(element, ENTITY_SPECS[nested.table],
+                               self._allocate_ord,
+                               parent_ord=owner_ord, pos=next_pos)
+        else:
+            raise StorageError(
+                f"the inlined schema cannot insert under handle {parent!r}")
+        self._index_new_rows(snapshot)
+        root_table = (entry[0] if kind == "t" else nested.table)
+        return ("e", root_table, snapshot[root_table])
+
+    def _nested_tables_of(self, table_name: str) -> list[str]:
+        return [nested for owner, nested in self._nested_spec_idx
+                if owner == table_name]
+
+    def remove_node(self, node) -> None:
+        self.require_loaded()
+        if node[0] != "e":
+            raise StorageError(
+                f"the inlined schema only removes whole entities, not {node!r}")
+        doomed: list[tuple[str, int]] = []
+        stack = [(node[1], node[2])]
+        while stack:
+            table_name, row = stack.pop()
+            doomed.append((table_name, row))
+            owner_ord = self._ord_of(table_name, row)
+            for nested in self._nested_tables_of(table_name):
+                stack.extend((nested, nested_row)
+                             for nested_row in self._nested_rows(nested, owner_ord))
+        for table_name, row in doomed:
+            table = self._tables[table_name]
+            spec = ENTITY_SPECS[table_name]
+            self.catalog.hash_index(table_name, "ord").remove(
+                table.get(row, "ord"), row)
+            parent_index = self._parent_indexes.get(table_name)
+            if parent_index is not None:
+                parent_index.remove(table.get(row, "parent"), row)
+            if table.has_column("region"):
+                region_index = self.catalog.hash_index(table_name, "region")
+                if region_index is not None:
+                    region_index.remove(table.get(row, "region"), row)
+            for attr, column in spec.attr_columns:
+                if attr == "id":
+                    value = table.get(row, column)
+                    if value is not None and \
+                            self._id_index.get(value) == ("e", table_name, row):
+                        del self._id_index[value]
+            self._dead.setdefault(table_name, set()).add(row)
+
+    def set_text(self, node, text: str) -> None:
+        self.require_loaded()
+        if node[0] != "l":
+            raise StorageError(
+                f"the inlined schema only retexts leaf columns, not {node!r}")
+        spec = _spec_at(ENTITY_SPECS[node[1]], node[3])
+        if not isinstance(spec, Leaf):
+            raise StorageError(f"handle {node!r} is not an inlined PCDATA leaf")
+        self._tables[node[1]].set(node[2], spec.column, text)
+
+    def set_attribute(self, node, name: str, value: str) -> None:
+        self.require_loaded()
+        kind = node[0]
+        if kind == "e":
+            attr_columns = ENTITY_SPECS[node[1]].attr_columns
+        elif kind in ("s", "l"):
+            attr_columns = getattr(
+                _spec_at(ENTITY_SPECS[node[1]], node[3]), "attr_columns", ())
+        else:
+            raise StorageError(
+                f"the inlined schema cannot set attributes on {node!r}")
+        for attr, column in attr_columns:
+            if attr == name:
+                self._tables[node[1]].set(node[2], column, value)
+                if kind == "e" and attr == "id":
+                    self._id_index[value] = ("e", node[1], node[2])
+                return
+        raise StorageError(
+            f"the derived schema has no column for @{name} on {self.tag(node)!r}")
 
 
 def _columns_below(struct: Struct):

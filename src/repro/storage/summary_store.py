@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import sys
 from array import array
+from bisect import bisect_left
 
 from repro.storage.structural_summary import StructuralSummary
 from repro.storage.tree_store import TreeStore
@@ -101,6 +102,19 @@ class SummaryStore(TreeStore):
         entries = summary.paths_through(prefix, tag)
         if not entries:
             return []
+        if not self._sequential:
+            # The summary extents stay current under updates (per-node
+            # deltas), but id intervals no longer encode containment:
+            # restrict via the lazy rank labels instead.
+            self._ensure_order()
+            order = self._order
+            low, high = order[node], self._stop[node]
+            result = sorted(
+                (n for entry in entries for n in entry.nodes
+                 if low < order[n] <= high),
+                key=order.__getitem__)
+            self.stats.nodes_visited += len(result)
+            return result
         if len(entries) == 1:
             nodes = entries[0].nodes
         else:
@@ -138,3 +152,75 @@ class SummaryStore(TreeStore):
 
     def has_id_index(self) -> bool:
         return True
+
+    # -- mutation hooks: summary extents and the ID index take deltas ------------
+
+    _maintains_child_lists = False      # children derive from content
+
+    def _seal_content(self, parts: list) -> tuple:
+        return tuple(parts)
+
+    def _splice_content(self, parent: int, slot: int, node_id: int) -> None:
+        parts = list(self._content[parent])
+        parts.insert(slot, node_id)
+        self._content[parent] = tuple(parts)
+
+    def _unsplice_content(self, parent: int, node_id: int) -> None:
+        parts = list(self._content[parent])
+        parts.remove(node_id)
+        self._content[parent] = tuple(parts)
+
+    def _sibling_key(self, node: int) -> tuple[int, ...]:
+        """Locally-computed document-order key (no O(n) rank relabel)."""
+        key: list[int] = []
+        current = node
+        while True:
+            parent = self._parents[current]
+            if parent < 0:
+                break
+            key.append(self._child_ids(parent).index(current))
+            current = parent
+        key.reverse()
+        return tuple(key)
+
+    def _after_insert(self, new_ids: list[int]) -> None:
+        for node in new_ids:
+            path = self._path_of(node)
+            entry = self._summary.entry(path)
+            if entry is None:
+                self._summary.add(path, node)
+            else:
+                nodes = entry.nodes
+                if not isinstance(nodes, list):   # thaw the compacted extent
+                    nodes = list(nodes)
+                    entry.nodes = nodes
+                position = bisect_left(nodes, self._sibling_key(node),
+                                       key=self._sibling_key)
+                nodes.insert(position, node)
+            attrs = self._attrs[node]
+            if attrs:
+                identifier = attrs.get("id")
+                if identifier is not None:
+                    self._id_index[identifier] = node
+
+    def _after_remove(self, removed: list[tuple[int, tuple[str, ...]]]) -> None:
+        for node, path in removed:
+            entry = self._summary.entry(path)
+            if entry is not None:
+                nodes = entry.nodes
+                if not isinstance(nodes, list):
+                    nodes = list(nodes)
+                    entry.nodes = nodes
+                try:
+                    nodes.remove(node)
+                except ValueError:
+                    pass
+            attrs = self._attrs[node]
+            if attrs:
+                identifier = attrs.get("id")
+                if identifier is not None and self._id_index.get(identifier) == node:
+                    del self._id_index[identifier]
+
+    def _after_set_attribute(self, node: int, name: str, value: str) -> None:
+        if name == "id":
+            self._id_index[value] = node

@@ -1,0 +1,377 @@
+"""The update engine: one operation, one store, full bookkeeping.
+
+:func:`apply_update` is to the mutation surface what ``bulkload`` is to
+``load()`` — the supported entry point that keeps every derived structure
+consistent with the physical change:
+
+1. resolves the operation's targets by ID through the navigation API (so
+   the same operation means the same nodes on every architecture);
+2. applies the physical mutations through the store's
+   ``insert_child`` / ``remove_node`` / ``set_text`` surface;
+3. maintains the secondary indexes — per-node deltas when the store's
+   ``index_maintenance`` is ``"incremental"`` (snapshotting removal
+   entries *before* the physical removal, because handles die with their
+   subtree), a wholesale :func:`repro.index.maintenance.rebuild` when it
+   is ``"rebuild"``, nothing when the indexes are dropped;
+4. advances the store's document digest along the operation-token hash
+   chain (stores sharing a lineage agree on the digest without comparing
+   texts);
+5. returns a :class:`ChangeSet` carrying the change footprint — the tag /
+   attribute tokens of the touched regions and the ancestor tags above
+   them — which the service's result cache uses for path-selective
+   invalidation.
+
+Mutation and maintenance wall time are accounted separately
+(``mutate_seconds`` vs ``index_seconds``): that split is exactly what
+benchmarks/bench_update_maintenance.py prices.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.errors import UpdateError
+from repro.index import maintenance
+from repro.schema.auction import REGIONS, auction_dtd
+from repro.storage.interface import Store, store_document_text
+from repro.update.ops import (
+    CloseAuction, DeleteItem, PlaceBid, RegisterPerson, UpdateOp,
+)
+from repro.xmlio.dom import Element
+
+
+def serialize_store(store: Store) -> str:
+    """The store's current document as XML text (the differential oracle)."""
+    return store_document_text(store)
+
+
+@dataclass(slots=True)
+class ChangeSet:
+    """What one applied operation changed, and what it cost.
+
+    Every operation of the set changes the document (inserts or removals
+    at minimum — only the *scalar* sub-writes inside an op can no-op), so
+    an applied ChangeSet always carries an advanced digest.
+    """
+
+    op_token: str
+    #: Tags and ``@attribute`` names of every inserted/removed/rewritten
+    #: region (the *direct* footprint a query must mention to be affected).
+    changed_tokens: frozenset[str] = frozenset()
+    #: Tags strictly above the change points: a query is also affected when
+    #: it binds/returns one of these (it consumes the changed subtree).
+    ancestor_tags: frozenset[str] = frozenset()
+    digest: str | None = None
+    maintenance: str = "none"           # "incremental" | "rebuild" | "none"
+    mutate_seconds: float = 0.0
+    index_seconds: float = 0.0
+    nodes_indexed: int = 0
+    removed_roots: list[str] = field(default_factory=list)
+
+
+@lru_cache(maxsize=None)
+def dtd_reachable_tokens(tag: str) -> frozenset[str]:
+    """Every tag and ``@attribute`` token reachable below ``tag`` per the
+    auction DTD — the static footprint of removing one such subtree."""
+    dtd = auction_dtd()
+    tokens: set[str] = set()
+    seen: set[str] = set()
+    stack = [tag]
+    while stack:
+        current = stack.pop()
+        if current in seen or current not in dtd:
+            continue
+        seen.add(current)
+        tokens.add(current)
+        declaration = dtd.element(current)
+        tokens.update("@" + attr.name for attr in declaration.attributes)
+        stack.extend(declaration.content.allowed_tags())
+    return frozenset(tokens)
+
+
+def element_tokens(element: Element) -> frozenset[str]:
+    """The tag and ``@attribute`` tokens of a concrete DOM subtree."""
+    tokens: set[str] = set()
+    stack = [element]
+    while stack:
+        current = stack.pop()
+        tokens.add(current.tag)
+        tokens.update("@" + name for name in current.attributes)
+        stack.extend(current.child_elements())
+    return frozenset(tokens)
+
+
+class _Application:
+    """One operation being applied to one store, with timed bookkeeping."""
+
+    def __init__(self, store: Store, mode: str) -> None:
+        self.store = store
+        self.incremental = mode == "incremental" and store.indexes is not None
+        self.mutate_seconds = 0.0
+        self.index_seconds = 0.0
+        self.nodes_indexed = 0
+        self.tokens: set[str] = set()
+        self.ancestors: set[str] = set()
+        self.removed_roots: list[str] = []
+
+    # -- timed primitives -------------------------------------------------------
+
+    def insert(self, parent, parent_path: tuple[str, ...], element: Element):
+        started = time.perf_counter()
+        handle = self.store.insert_child(parent, element)
+        self.mutate_seconds += time.perf_counter() - started
+        self._index_insertion(handle, parent_path + (element.tag,))
+        self.tokens |= element_tokens(element)
+        self.ancestors.update(parent_path)
+        return handle
+
+    def insert_at(self, parent, parent_path: tuple[str, ...], element: Element,
+                  index: int):
+        started = time.perf_counter()
+        handle = self.store.insert_child(parent, element, index)
+        self.mutate_seconds += time.perf_counter() - started
+        self._index_insertion(handle, parent_path + (element.tag,))
+        self.tokens |= element_tokens(element)
+        self.ancestors.update(parent_path)
+        return handle
+
+    def _index_insertion(self, handle, path: tuple[str, ...]) -> None:
+        if not self.incremental:
+            return
+        started = time.perf_counter()
+        self.nodes_indexed += maintenance.apply_insertion(
+            self.store, self.store.indexes, handle, path)
+        self.index_seconds += time.perf_counter() - started
+
+    def remove(self, node, path: tuple[str, ...]) -> None:
+        plan = None
+        if self.incremental:
+            started = time.perf_counter()
+            plan = maintenance.plan_removal(self.store, self.store.indexes,
+                                            node, path)
+            self.index_seconds += time.perf_counter() - started
+        started = time.perf_counter()
+        self.store.remove_node(node)
+        self.mutate_seconds += time.perf_counter() - started
+        if plan is not None:
+            started = time.perf_counter()
+            self.nodes_indexed += maintenance.apply_removal(
+                self.store.indexes, plan)
+            self.index_seconds += time.perf_counter() - started
+        self.tokens |= dtd_reachable_tokens(path[-1])
+        self.ancestors.update(path[:-1])
+        self.removed_roots.append(path[-1])
+
+    def set_text(self, node, path: tuple[str, ...], text: str) -> bool:
+        if self.store.string_value(node) == text:
+            return False                # a no-op write changes nothing
+        plan = None
+        if self.incremental:
+            started = time.perf_counter()
+            plan = maintenance.plan_value_change(
+                self.store, self.store.indexes, node, path, "text")
+            self.index_seconds += time.perf_counter() - started
+        started = time.perf_counter()
+        self.store.set_text(node, text)
+        self.mutate_seconds += time.perf_counter() - started
+        if plan is not None:
+            started = time.perf_counter()
+            self.nodes_indexed += maintenance.apply_value_change(
+                self.store, self.store.indexes, plan)
+            self.index_seconds += time.perf_counter() - started
+        self.tokens.add(path[-1])
+        self.ancestors.update(path[:-1])
+        return True
+
+    # -- navigation helpers -----------------------------------------------------
+
+    def child(self, node, tag: str):
+        found = self.store.children_by_tag(node, tag)
+        if not found:
+            raise UpdateError(f"expected a <{tag}> child and found none")
+        return found[0]
+
+    def find_by_id(self, container_path: tuple[str, ...], identifier: str):
+        """The entity with @id ``identifier`` under ``container_path``."""
+        store = self.store
+        handle = store.lookup_id(identifier)
+        if handle is not None:
+            if store.tag(handle) == container_path[-1]:
+                return handle
+            return None
+        node = store.root()
+        for tag in container_path[1:-1]:
+            candidates = store.children_by_tag(node, tag)
+            if not candidates:
+                return None
+            node = candidates[0]
+        for candidate in store.children_by_tag(node, container_path[-1]):
+            if store.attribute(candidate, "id") == identifier:
+                return candidate
+        return None
+
+
+_OPEN_PATH = ("site", "open_auctions", "open_auction")
+_CLOSED_PATH = ("site", "closed_auctions", "closed_auction")
+_PERSON_PATH = ("site", "people", "person")
+_WATCH_PATH = ("site", "people", "person", "watches", "watch")
+
+
+def _find_watches(store: Store, auction_id: str) -> list:
+    """Handles of every ``watch`` referencing ``auction_id``."""
+    return _find_watches_of(store, {auction_id})[auction_id]
+
+
+def _close_auction(app: _Application, op: CloseAuction) -> None:
+    store = app.store
+    auction = app.find_by_id(_OPEN_PATH, op.auction_id)
+    if auction is None:
+        raise UpdateError(f"no open auction with id {op.auction_id!r}")
+    bidders = store.children_by_tag(auction, "bidder")
+    if not bidders:
+        raise UpdateError(
+            f"open auction {op.auction_id!r} has no bidder to buy it")
+    buyer = store.attribute(app.child(bidders[-1], "personref"), "person")
+    seller = store.attribute(app.child(auction, "seller"), "person")
+    item = store.attribute(app.child(auction, "itemref"), "item")
+    price = store.string_value(app.child(auction, "current"))
+    quantity = store.string_value(app.child(auction, "quantity"))
+    auction_type = store.string_value(app.child(auction, "type"))
+    annotation = store.build_dom(app.child(auction, "annotation"))
+
+    closed = Element("closed_auction")
+    closed.append(Element("seller", {"person": seller}))
+    closed.append(Element("buyer", {"person": buyer}))
+    closed.append(Element("itemref", {"item": item}))
+    for tag, text in (("price", price), ("date", op.date),
+                      ("quantity", quantity), ("type", auction_type)):
+        leaf = closed.append(Element(tag))
+        leaf.append_text(text)
+    closed.append(annotation)
+
+    watches = _find_watches(store, op.auction_id)
+    root = store.root()
+    closed_container = store.children_by_tag(root, "closed_auctions")[0]
+    app.insert(closed_container, _CLOSED_PATH[:-1], closed)
+    for watch in watches:
+        app.remove(watch, _WATCH_PATH)
+    app.remove(auction, _OPEN_PATH)
+
+
+def _find_watches_of(store: Store, auction_ids: set) -> dict:
+    """``auction id -> watch handles`` for a set of auctions, one walk."""
+    root = store.root()
+    people = store.children_by_tag(root, "people")[0]
+    found: dict = {identifier: [] for identifier in auction_ids}
+    for person in store.children_by_tag(people, "person"):
+        for watches in store.children_by_tag(person, "watches"):
+            for watch in store.children_by_tag(watches, "watch"):
+                target = store.attribute(watch, "open_auction")
+                if target in found:
+                    found[target].append(watch)
+    return found
+
+
+def _delete_item(app: _Application, op: DeleteItem) -> None:
+    store = app.store
+    root = store.root()
+    regions = store.children_by_tag(root, "regions")[0]
+    item = None
+    item_path: tuple[str, ...] = ()
+    for region in REGIONS:
+        container = store.children_by_tag(regions, region)
+        for candidate in store.children_by_tag(container[0], "item") if container else ():
+            if store.attribute(candidate, "id") == op.item_id:
+                item = candidate
+                item_path = ("site", "regions", region, "item")
+                break
+        if item is not None:
+            break
+    if item is None:
+        raise UpdateError(f"no item with id {op.item_id!r}")
+
+    open_container = store.children_by_tag(root, "open_auctions")[0]
+    doomed_open = []
+    for auction in store.children_by_tag(open_container, "open_auction"):
+        itemref = store.children_by_tag(auction, "itemref")
+        if itemref and store.attribute(itemref[0], "item") == op.item_id:
+            doomed_open.append(auction)
+    closed_container = store.children_by_tag(root, "closed_auctions")[0]
+    doomed_closed = []
+    for auction in store.children_by_tag(closed_container, "closed_auction"):
+        itemref = store.children_by_tag(auction, "itemref")
+        if itemref and store.attribute(itemref[0], "item") == op.item_id:
+            doomed_closed.append(auction)
+
+    doomed_ids = {store.attribute(auction, "id") for auction in doomed_open}
+    watches_by_auction = (_find_watches_of(store, doomed_ids)
+                          if doomed_open else {})
+    for auction in doomed_open:
+        for watch in watches_by_auction.get(store.attribute(auction, "id"), ()):
+            app.remove(watch, _WATCH_PATH)
+        app.remove(auction, _OPEN_PATH)
+    for auction in doomed_closed:
+        app.remove(auction, _CLOSED_PATH)
+    app.remove(item, item_path)
+
+
+def apply_update(store: Store, op: UpdateOp, *,
+                 maintenance_mode: str | None = None) -> ChangeSet:
+    """Apply one operation to one store with full logical bookkeeping.
+
+    ``maintenance_mode`` overrides the store's ``index_maintenance``
+    setting for this call (the benchmark's ablation knob).
+    """
+    store.require_loaded()
+    mode = maintenance_mode or store.index_maintenance
+    if mode not in ("incremental", "rebuild"):
+        raise UpdateError(f"unknown maintenance mode {mode!r}")
+    app = _Application(store, mode)
+
+    if isinstance(op, RegisterPerson):
+        identifier = op.person.attributes.get("id")
+        if not identifier:
+            raise UpdateError("RegisterPerson needs a person with an @id")
+        if app.find_by_id(_PERSON_PATH, identifier) is not None:
+            raise UpdateError(f"person id {identifier!r} already registered")
+        people = store.children_by_tag(store.root(), "people")[0]
+        app.insert(people, _PERSON_PATH[:-1], op.person)
+    elif isinstance(op, PlaceBid):
+        auction = app.find_by_id(_OPEN_PATH, op.auction_id)
+        if auction is None:
+            raise UpdateError(f"no open auction with id {op.auction_id!r}")
+        current = app.child(auction, "current")
+        slot = store.children(auction).index(current)
+        app.insert_at(auction, _OPEN_PATH, op.bidder_element(), slot)
+        amount = float(store.string_value(current)) + op.increase
+        app.set_text(current, _OPEN_PATH + ("current",), f"{amount:.2f}")
+    elif isinstance(op, CloseAuction):
+        _close_auction(app, op)
+    elif isinstance(op, DeleteItem):
+        _delete_item(app, op)
+    else:
+        raise UpdateError(f"unknown update operation {op!r}")
+
+    rebuilt = "none"
+    if store.indexes is not None:
+        if mode == "rebuild":
+            started = time.perf_counter()
+            maintenance.rebuild(store)
+            app.index_seconds += time.perf_counter() - started
+            rebuilt = "rebuild"
+        elif app.incremental:
+            rebuilt = "incremental"
+
+    return ChangeSet(
+        op_token=op.token(),
+        digest=store.advance_digest(op.token()),
+        changed_tokens=frozenset(app.tokens),
+        ancestor_tags=frozenset(app.ancestors),
+        maintenance=rebuilt,
+        mutate_seconds=app.mutate_seconds,
+        index_seconds=app.index_seconds,
+        nodes_indexed=app.nodes_indexed,
+        removed_roots=app.removed_roots,
+    )

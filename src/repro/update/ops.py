@@ -1,0 +1,110 @@
+"""The typed update operations, grounded in the auction DTD.
+
+Each operation is a plain value object carrying *every* parameter of the
+change, so applying the same operation to two stores produces the same
+logical document — the property the differential tests assert.  Target
+resolution happens at apply time by ID; content construction happens here,
+as detached DOM subtrees the stores copy into their own representations.
+
+The operation set mirrors what the auction site's write traffic would be:
+
+* ``RegisterPerson`` — a new ``<person>`` appended to ``people``;
+* ``PlaceBid`` — a new ``<bidder>`` appended after the existing bidders of
+  an open auction (the DTD puts all bidders before ``current``) plus the
+  ``current`` amount raised by the increase;
+* ``CloseAuction`` — the open auction is transformed into a
+  ``<closed_auction>`` (price from ``current``, buyer from the last
+  bidder, annotation carried over) appended to ``closed_auctions``; the
+  ``watch`` elements referencing the auction are removed so no IDREF
+  dangles;
+* ``DeleteItem`` — the item and every auction referencing it are removed
+  (again cascading into watches) — the retirement path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlio.dom import Element
+from repro.xmlio.serialize import serialize
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterPerson:
+    """Append a fully-formed ``<person>`` subtree to ``people``.
+
+    The subtree must be DTD-valid and carry a document-unique ``id``; use
+    :meth:`repro.update.stream.UpdateStream.build_person` for generated
+    ones in the house style of the document generator.
+    """
+
+    person: Element
+
+    @property
+    def kind(self) -> str:
+        return "register_person"
+
+    def token(self) -> str:
+        return f"register_person:{serialize(self.person)}"
+
+
+@dataclass(frozen=True, slots=True)
+class PlaceBid:
+    """Add a bid to an open auction and raise its ``current`` amount."""
+
+    auction_id: str
+    person_id: str
+    increase: float
+    date: str
+    time: str
+
+    @property
+    def kind(self) -> str:
+        return "place_bid"
+
+    def token(self) -> str:
+        return (f"place_bid:{self.auction_id}:{self.person_id}:"
+                f"{self.increase:.2f}:{self.date}:{self.time}")
+
+    def bidder_element(self) -> Element:
+        bidder = Element("bidder")
+        date = bidder.append(Element("date"))
+        date.append_text(self.date)
+        time = bidder.append(Element("time"))
+        time.append_text(self.time)
+        bidder.append(Element("personref", {"person": self.person_id}))
+        increase = bidder.append(Element("increase"))
+        increase.append_text(f"{self.increase:.2f}")
+        return bidder
+
+
+@dataclass(frozen=True, slots=True)
+class CloseAuction:
+    """Move an open auction (with at least one bidder) to ``closed_auctions``."""
+
+    auction_id: str
+    date: str
+
+    @property
+    def kind(self) -> str:
+        return "close_auction"
+
+    def token(self) -> str:
+        return f"close_auction:{self.auction_id}:{self.date}"
+
+
+@dataclass(frozen=True, slots=True)
+class DeleteItem:
+    """Remove an item and cascade over the auctions that reference it."""
+
+    item_id: str
+
+    @property
+    def kind(self) -> str:
+        return "delete_item"
+
+    def token(self) -> str:
+        return f"delete_item:{self.item_id}"
+
+
+UpdateOp = RegisterPerson | PlaceBid | CloseAuction | DeleteItem

@@ -1,0 +1,228 @@
+"""Deterministic update generation on the benchmark's replayable streams.
+
+XMark's generator owes its reproducibility to seeded substreams; the update
+workload follows the same discipline: an :class:`UpdateStream` seeded with
+``(seed, document-state)`` always emits the identical operation sequence.
+The stream keeps its own view of the evolving document (who exists, which
+auctions still run, which bidder counts make an auction closeable) so that
+generation never rescans the store — it reads the document once at
+construction and plays forward from there.
+
+Generated persons follow the document generator's house style (same text
+generator, same optional-element probabilities) so a grown document stays
+statistically recognisable as an XMark document.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import UpdateError
+from repro.rng.streams import StreamFamily
+from repro.storage.interface import Store
+from repro.text.generator import TextGenerator
+from repro.update.ops import (
+    CloseAuction, DeleteItem, PlaceBid, RegisterPerson, UpdateOp,
+)
+from repro.xmlio.dom import Element
+
+DEFAULT_UPDATE_SEED = 20100603          # XWeB's refresh function, HAL 2010.
+
+#: Operation mix: heavy on bids (the site's hot write), with a steady
+#: trickle of registrations, closings, and retirements.
+DEFAULT_OP_WEIGHTS: dict[str, float] = {
+    "place_bid": 0.5,
+    "register_person": 0.25,
+    "close_auction": 0.15,
+    "delete_item": 0.1,
+}
+
+_SUFFIX = re.compile(r"(\d+)$")
+
+
+def _leaf(tag: str, text: str) -> Element:
+    element = Element(tag)
+    element.append_text(text)
+    return element
+
+
+class UpdateStream:
+    """Replayable operation sequences against one document lineage."""
+
+    def __init__(self, store: Store, seed: int = DEFAULT_UPDATE_SEED,
+                 weights: dict[str, float] | None = None) -> None:
+        self._family = StreamFamily(seed)
+        self._source = self._family.stream("updates")
+        self._text = TextGenerator()
+        self._weights = dict(weights or DEFAULT_OP_WEIGHTS)
+        self._generated = 0
+        self._scan(store)
+
+    # -- document-state bookkeeping ------------------------------------------------
+
+    def _scan(self, store: Store) -> None:
+        root = store.root()
+        people = store.children_by_tag(root, "people")[0]
+        self.person_ids = [store.attribute(p, "id")
+                           for p in store.children_by_tag(people, "person")]
+        categories = store.children_by_tag(root, "categories")[0]
+        self.category_ids = [store.attribute(c, "id")
+                             for c in store.children_by_tag(categories, "category")]
+        open_container = store.children_by_tag(root, "open_auctions")[0]
+        self.open_bidders: dict[str, int] = {}
+        self._open_by_item: dict[str, list[str]] = {}
+        for auction in store.children_by_tag(open_container, "open_auction"):
+            identifier = store.attribute(auction, "id")
+            self.open_bidders[identifier] = len(
+                store.children_by_tag(auction, "bidder"))
+            itemref = store.children_by_tag(auction, "itemref")
+            if itemref:
+                item = store.attribute(itemref[0], "item")
+                self._open_by_item.setdefault(item, []).append(identifier)
+        regions = store.children_by_tag(root, "regions")[0]
+        self.item_ids = [
+            store.attribute(item, "id")
+            for region in store.children(regions)
+            for item in store.children_by_tag(region, "item")
+        ]
+        self._next_person = 1 + max(
+            (int(match.group(1)) for value in self.person_ids
+             if value and (match := _SUFFIX.search(value))), default=-1)
+
+    def note_applied(self, op: UpdateOp) -> None:
+        """Advance the stream's document view past an applied operation."""
+        if isinstance(op, RegisterPerson):
+            self.person_ids.append(op.person.attributes["id"])
+        elif isinstance(op, PlaceBid):
+            self.open_bidders[op.auction_id] = \
+                self.open_bidders.get(op.auction_id, 0) + 1
+        elif isinstance(op, CloseAuction):
+            self.open_bidders.pop(op.auction_id, None)
+            for auctions in self._open_by_item.values():
+                if op.auction_id in auctions:
+                    auctions.remove(op.auction_id)
+        elif isinstance(op, DeleteItem):
+            if op.item_id in self.item_ids:
+                self.item_ids.remove(op.item_id)
+            for auction in self._open_by_item.pop(op.item_id, ()):
+                self.open_bidders.pop(auction, None)
+
+    # -- generation ------------------------------------------------------------------
+
+    def _eligible(self, kind: str) -> bool:
+        if kind == "register_person":
+            return True
+        if kind == "place_bid":
+            return bool(self.open_bidders) and bool(self.person_ids)
+        if kind == "close_auction":
+            return any(count > 0 for count in self.open_bidders.values())
+        if kind == "delete_item":
+            return bool(self.item_ids)
+        return False
+
+    def next_op(self, kind: str | None = None) -> UpdateOp:
+        """The next operation (optionally of a forced kind).
+
+        The operation is generated against the stream's current view;
+        callers must :meth:`note_applied` it (or use :meth:`apply_next`)
+        before asking for the next one.
+        """
+        source = self._source
+        if kind is None:
+            kinds = [k for k in self._weights if self._eligible(k)]
+            if not kinds:
+                raise UpdateError("no update operation is applicable")
+            total = sum(self._weights[k] for k in kinds)
+            draw = source.uniform(0.0, total)
+            for candidate in kinds:
+                draw -= self._weights[candidate]
+                if draw <= 0:
+                    kind = candidate
+                    break
+            else:
+                kind = kinds[-1]
+        elif not self._eligible(kind):
+            raise UpdateError(f"no eligible target for {kind!r}")
+
+        if kind == "register_person":
+            return RegisterPerson(self.build_person())
+        if kind == "place_bid":
+            auctions = sorted(self.open_bidders)
+            return PlaceBid(
+                auction_id=auctions[source.uniform_int(0, len(auctions) - 1)],
+                person_id=self.person_ids[
+                    source.uniform_int(0, len(self.person_ids) - 1)],
+                increase=round(source.exponential(6.0) + 1.5, 2),
+                date=self._text.date(source),
+                time=self._text.time(source),
+            )
+        if kind == "close_auction":
+            closeable = sorted(identifier for identifier, count
+                               in self.open_bidders.items() if count > 0)
+            return CloseAuction(
+                auction_id=closeable[source.uniform_int(0, len(closeable) - 1)],
+                date=self._text.date(source),
+            )
+        if kind == "delete_item":
+            return DeleteItem(
+                item_id=self.item_ids[
+                    source.uniform_int(0, len(self.item_ids) - 1)])
+        raise UpdateError(f"unknown operation kind {kind!r}")
+
+    def build_person(self) -> Element:
+        """A generated ``<person>`` in the document generator's style."""
+        index = self._next_person
+        self._next_person += 1
+        source = self._family.substream("update/person", index)
+        person = Element("person", {"id": f"person{index}"})
+        name = self._text.person_name(source)
+        person.append(_leaf("name", name))
+        person.append(_leaf("emailaddress", self._text.email(source, name)))
+        if source.boolean(0.55):
+            person.append(_leaf("phone", self._text.phone(source)))
+        if source.boolean(0.6):
+            address = person.append(Element("address"))
+            address.append(_leaf("street", self._text.street(source)))
+            address.append(_leaf("city", self._text.city(source)))
+            address.append(_leaf("country", self._text.country(source)))
+            if source.boolean(0.25):
+                address.append(_leaf("province", self._text.province(source)))
+            address.append(_leaf("zipcode", self._text.zipcode(source)))
+        if source.boolean(0.5):
+            person.append(_leaf("homepage", self._text.homepage(source, name)))
+        if source.boolean(0.4):
+            person.append(_leaf("creditcard", self._text.creditcard(source)))
+        if source.boolean(0.8):
+            attributes: dict[str, str] = {}
+            if source.boolean(0.88):
+                income = max(9_876.0, source.normal(60_000.0, 30_000.0))
+                attributes["income"] = f"{income:.2f}"
+            profile = person.append(Element("profile", attributes))
+            if self.category_ids:
+                for _ in range(source.uniform_int(0, 3)):
+                    category = self.category_ids[
+                        source.uniform_int(0, len(self.category_ids) - 1)]
+                    profile.append(Element("interest", {"category": category}))
+            if source.boolean(0.6):
+                profile.append(_leaf("education", self._text.education(source)))
+            if source.boolean(0.7):
+                profile.append(_leaf("gender", self._text.gender(source)))
+            profile.append(_leaf("business", "Yes" if source.boolean(0.3) else "No"))
+            if source.boolean(0.4):
+                profile.append(_leaf("age", str(source.uniform_int(18, 70))))
+        if source.boolean(0.45) and self.open_bidders:
+            watches = person.append(Element("watches"))
+            auctions = sorted(self.open_bidders)
+            for _ in range(source.uniform_int(1, 3)):
+                target = auctions[source.uniform_int(0, len(auctions) - 1)]
+                watches.append(Element("watch", {"open_auction": target}))
+        return person
+
+    def sequence(self, count: int) -> list[UpdateOp]:
+        """Generate ``count`` operations, advancing the view after each."""
+        operations = []
+        for _ in range(count):
+            op = self.next_op()
+            self.note_applied(op)
+            operations.append(op)
+        return operations

@@ -61,6 +61,23 @@ class TestCli:
     def test_index_rejects_unknown_system(self, capsys):
         assert main(["index", "-f", "0.0005", "-s", "DZ"]) == 2
 
+    def test_update_command(self, tmp_path, capsys):
+        report = tmp_path / "update.json"
+        assert main(["update", "-f", "0.0005", "-s", "DG", "-n", "4",
+                     "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "applied 4 operation(s)" in out
+        assert "serialized documents identical across systems" in out
+        import json
+        snapshot = json.loads(report.read_text())
+        assert snapshot["maintenance"] == "incremental"
+        assert len(snapshot["operations"]) == 4
+        for row in snapshot["operations"]:
+            assert set(row["systems"]) == {"D", "G"}
+
+    def test_update_rejects_unknown_system(self, capsys):
+        assert main(["update", "-f", "0.0005", "-s", "DZ"]) == 2
+
     def test_serve_bench(self, tmp_path, capsys):
         report = tmp_path / "serve.json"
         assert main(["serve-bench", "-f", "0.0005", "-s", "D", "-c", "2",

@@ -330,3 +330,144 @@ class TestConcurrentReads:
         store.string_value(root)
         assert store._text_tables_below == scratch_before, \
             "string_value must not mutate shared state"
+
+
+PERSON_LISTING = """
+for $p in document("auction.xml")/site/people/person
+return $p/name/text()
+"""
+
+
+class TestServiceWritePath:
+    """The write path: exclusion, selective invalidation, reload no-op."""
+
+    def test_concurrent_readers_never_observe_a_torn_document(self, tiny_text):
+        """8 reader threads against a store taking writes: every observed
+        result must be one of the documents the update chain produced —
+        a person count within the applied range, every name non-empty —
+        never a half-spliced state."""
+        from repro.update import RegisterPerson, UpdateStream
+
+        with QueryService(tiny_text, ("D",), max_workers=8,
+                          result_cache_size=0) as svc:
+            store = svc.store("D")
+            stream = UpdateStream(store)
+            base_count = len(store.children_by_tag(
+                store.children_by_tag(store.root(), "people")[0], "person"))
+            updates = 6
+            stop = threading.Event()
+            violations: list[str] = []
+
+            def read_loop() -> None:
+                while not stop.is_set():
+                    outcome = svc.execute("D", PERSON_LISTING)
+                    names = outcome.result.items
+                    if not (base_count <= len(names) <= base_count + updates):
+                        violations.append(f"saw {len(names)} persons")
+                        return
+                    if any(not str(name).strip() for name in names):
+                        violations.append("saw a person with an empty name")
+                        return
+
+            readers = [threading.Thread(target=read_loop, daemon=True)
+                       for _ in range(8)]
+            for reader in readers:
+                reader.start()
+            for _ in range(updates):
+                svc.apply_update(RegisterPerson(stream.build_person()))
+            stop.set()
+            for reader in readers:
+                reader.join(timeout=30)
+            assert not violations, violations
+            final = svc.execute("D", PERSON_LISTING)
+            assert len(final.result.items) == base_count + updates
+
+    def test_result_cache_invalidation_is_path_selective(self, tiny_text):
+        """A person insert drops person-touching results and keeps the
+        open-auction results cached under the advanced digest."""
+        from repro.update import RegisterPerson, UpdateStream
+
+        with QueryService(tiny_text, ("D",), max_workers=2) as svc:
+            stream = UpdateStream(svc.store("D"))
+            svc.execute("D", 1)     # person exact-match
+            svc.execute("D", 2)     # open-auction ordered access
+            svc.execute("D", 5)     # closed-auction range
+            summary = svc.apply_update(RegisterPerson(stream.build_person()))
+            cell = summary["systems"]["D"]
+            assert cell["results_kept"] >= 2, cell
+            assert cell["results_dropped"] >= 1, cell
+            q2 = svc.execute("D", 2)
+            assert q2.result_cache_hit, \
+                "untouched Q2 must stay cached across the write"
+            q5 = svc.execute("D", 5)
+            assert q5.result_cache_hit, \
+                "untouched Q5 must stay cached across the write"
+            q1 = svc.execute("D", 1)
+            assert not q1.result_cache_hit, \
+                "Q1 touches persons and must have been invalidated"
+
+    def test_write_invalidation_is_per_system(self, tiny_text):
+        """Both serving systems advance together; each keeps its own
+        untouched entries."""
+        from repro.update import RegisterPerson, UpdateStream
+
+        with QueryService(tiny_text, ("C", "D"), max_workers=2) as svc:
+            stream = UpdateStream(svc.store("D"))
+            svc.execute("C", 2)
+            svc.execute("D", 2)
+            svc.apply_update(RegisterPerson(stream.build_person()))
+            assert svc.execute("C", 2).result_cache_hit
+            assert svc.execute("D", 2).result_cache_hit
+            assert svc.store("C").document_digest() == \
+                svc.store("D").document_digest()
+
+    def test_reload_with_unchanged_content_is_a_noop(self, tiny_text):
+        """Regression: reloading identical content must not drop stores,
+        plans, results, or indexes."""
+        with QueryService(tiny_text, ("D",), max_workers=2) as svc:
+            store_before = svc.store("D")
+            outcome = svc.execute("D", 1)
+            assert not outcome.result_cache_hit
+            indexes_before = store_before.indexes
+            svc.reload_document(tiny_text)
+            assert svc.store("D") is store_before
+            assert store_before.indexes is indexes_before
+            assert svc.execute("D", 1).result_cache_hit
+            assert svc.plan_cache.stats.invalidations == 0
+
+    def test_reload_with_changed_content_still_invalidates(
+            self, tiny_text, small_text):
+        with QueryService(tiny_text, ("D",), max_workers=2) as svc:
+            store_before = svc.store("D")
+            svc.execute("D", 1)
+            svc.reload_document(small_text)
+            assert svc.store("D") is not store_before
+            assert store_before.indexes is None
+            assert not svc.execute("D", 1).result_cache_hit
+
+    def test_mixed_read_write_workload(self, tiny_text):
+        """A write-ratio workload completes with every update applied and
+        the serving stores still in lockstep."""
+        from repro.update import serialize_store
+
+        spec = WorkloadSpec(clients=4, requests_per_client=8,
+                            systems=("C", "D"), write_ratio=0.3,
+                            queries=(1, 2, 5, 17, 20), seed=7)
+        kinds = [request.kind for stream in WorkloadGenerator(spec).streams()
+                 for request in stream]
+        expected_updates = kinds.count("update")
+        assert 0 < expected_updates < len(kinds)
+        with QueryService(tiny_text, ("C", "D"), max_workers=4) as svc:
+            snapshot = svc.run_workload(spec)
+            assert snapshot["updates"]["count"] == expected_updates
+            assert snapshot["completed"] == len(kinds) - expected_updates
+            assert svc.updates_applied == expected_updates
+            assert serialize_store(svc.store("C")) == \
+                serialize_store(svc.store("D"))
+
+    def test_zero_write_ratio_reproduces_read_only_streams(self):
+        read_only = WorkloadSpec(clients=2, requests_per_client=10, seed=3)
+        mixed_off = WorkloadSpec(clients=2, requests_per_client=10, seed=3,
+                                 write_ratio=0.0)
+        assert WorkloadGenerator(read_only).flat() == \
+            WorkloadGenerator(mixed_off).flat()

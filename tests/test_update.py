@@ -1,0 +1,325 @@
+"""Differential update conformance across the seven store architectures.
+
+The update subsystem's central promise: applying the same operation
+sequence to every store yields the *same document* — byte-identical when
+serialized back out — and a store that took updates in place answers
+Q1-Q20 exactly like a fresh store bulkloaded from that serialized document
+(the scratch-reload oracle), with incremental index maintenance enabled
+throughout.  Plus the operation-level contracts: referential cascades keep
+the document DTD-valid, digests evolve deterministically along the
+operation chain, and invalid operations fail cleanly without corrupting
+the store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.queries import QUERIES, query_text
+from repro.benchmark.systems import SYSTEMS, get_profile, make_store
+from repro.errors import UpdateError
+from repro.schema.auction import REFERENCE_TARGETS, auction_dtd
+from repro.schema.validator import validate
+from repro.update import (
+    CloseAuction, DeleteItem, PlaceBid, RegisterPerson, UpdateStream,
+    apply_update, serialize_store,
+)
+from repro.xmlio.parser import parse
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import compile_query
+
+ALL_SYSTEMS = tuple(sorted(SYSTEMS))
+
+#: The scripted update mix: every operation kind, interleaved, with enough
+#: repetition to hit mid-extent inserts (bids) and cascaded removals.
+SCRIPT = ("register_person", "place_bid", "place_bid", "close_auction",
+          "delete_item", "register_person", "place_bid", "close_auction")
+
+
+def build_script(text: str, kinds=SCRIPT) -> list:
+    """The operation list, generated once against a reference store."""
+    reference = make_store("D")
+    reference.load(text)
+    stream = UpdateStream(reference)
+    operations = []
+    for kind in kinds:
+        op = stream.next_op(kind)
+        stream.note_applied(op)
+        operations.append(op)
+    return operations
+
+
+def updated_stores(text: str, operations: list) -> dict:
+    """Every system loaded with ``text`` and carried through the script
+    under incremental index maintenance."""
+    stores = {}
+    for system in ALL_SYSTEMS:
+        store = make_store(system)
+        store.load(text)
+        for op in operations:
+            changes = apply_update(store, op)
+            assert changes.maintenance == "incremental"
+        stores[system] = store
+    return stores
+
+
+def run(store, system: str, query: int):
+    return evaluate(compile_query(query_text(query), store, get_profile(system)))
+
+
+@pytest.fixture(scope="module")
+def tiny_updated(tiny_text):
+    operations = build_script(tiny_text)
+    stores = updated_stores(tiny_text, operations)
+    oracle_text = serialize_store(stores["D"])
+    return {"stores": stores, "oracle_text": oracle_text,
+            "operations": operations, "source": tiny_text}
+
+
+@pytest.fixture(scope="module")
+def tiny_oracle_stores(tiny_updated):
+    fresh = {}
+    for system in ALL_SYSTEMS:
+        store = make_store(system)
+        store.load(tiny_updated["oracle_text"])
+        fresh[system] = store
+    return fresh
+
+
+class TestDifferentialTiny:
+    """All twenty queries, all seven systems, on the ~100 kB document."""
+
+    def test_serialized_documents_identical_across_stores(self, tiny_updated):
+        texts = {system: serialize_store(store)
+                 for system, store in tiny_updated["stores"].items()}
+        assert len(set(texts.values())) == 1, sorted(
+            system for system, text in texts.items()
+            if text != texts["D"])
+
+    def test_post_update_document_is_dtd_valid(self, tiny_updated):
+        report = validate(parse(tiny_updated["oracle_text"]), auction_dtd(),
+                          REFERENCE_TARGETS)
+        assert report.ok, report.violations[:5]
+
+    def test_document_actually_changed(self, tiny_updated):
+        assert tiny_updated["oracle_text"] != tiny_updated["source"]
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_queries_match_scratch_reload_and_each_other(
+            self, tiny_updated, tiny_oracle_stores, query):
+        canonicals = {}
+        for system in ALL_SYSTEMS:
+            mutated = run(tiny_updated["stores"][system], system, query)
+            oracle = run(tiny_oracle_stores[system], system, query)
+            assert mutated.canonical() == oracle.canonical(), \
+                f"Q{query} on System {system}: updated store diverged " \
+                "from the scratch reload of its own serialization"
+            canonicals[system] = mutated.canonical()
+        assert len(set(canonicals.values())) == 1, \
+            f"Q{query}: cross-store disagreement"
+
+
+class TestDifferentialSmall:
+    """The same oracle on the ~200 kB document (one pass, key queries)."""
+
+    QUERIES_SMALL = (1, 2, 4, 5, 6, 7, 13, 14, 15, 17, 19, 20)
+
+    @pytest.fixture(scope="class")
+    def small_updated(self, small_text):
+        operations = build_script(small_text)
+        stores = updated_stores(small_text, operations)
+        oracle_text = serialize_store(stores["D"])
+        return {"stores": stores, "oracle_text": oracle_text}
+
+    def test_serialized_documents_identical_across_stores(self, small_updated):
+        texts = {serialize_store(store)
+                 for store in small_updated["stores"].values()}
+        assert len(texts) == 1
+
+    @pytest.mark.parametrize("query", QUERIES_SMALL)
+    def test_queries_match_scratch_reload_and_each_other(self, small_updated, query):
+        canonicals = {}
+        for system in ALL_SYSTEMS:
+            oracle = make_store(system)
+            oracle.load(small_updated["oracle_text"])
+            mutated = run(small_updated["stores"][system], system, query)
+            expected = run(oracle, system, query)
+            assert mutated.canonical() == expected.canonical(), \
+                f"Q{query} on System {system}"
+            canonicals[system] = mutated.canonical()
+        assert len(set(canonicals.values())) == 1, f"Q{query}"
+
+
+class TestUpdateSemantics:
+    """Operation-level contracts, checked on one representative store."""
+
+    @pytest.fixture()
+    def store(self, tiny_text):
+        store = make_store("D")
+        store.load(tiny_text)
+        return store
+
+    def test_place_bid_raises_current(self, store):
+        stream = UpdateStream(store)
+        op = stream.next_op("place_bid")
+        auction = store.lookup_id(op.auction_id)
+        before = float(store.string_value(
+            store.children_by_tag(auction, "current")[0]))
+        bidders_before = len(store.children_by_tag(auction, "bidder"))
+        apply_update(store, op)
+        after = float(store.string_value(
+            store.children_by_tag(auction, "current")[0]))
+        assert after == pytest.approx(before + op.increase)
+        assert len(store.children_by_tag(auction, "bidder")) == bidders_before + 1
+
+    def test_close_auction_moves_and_transforms(self, store):
+        stream = UpdateStream(store)
+        op = stream.next_op("close_auction")
+        auction = store.lookup_id(op.auction_id)
+        bidders = store.children_by_tag(auction, "bidder")
+        buyer = store.attribute(
+            store.children_by_tag(bidders[-1], "personref")[0], "person")
+        price = store.string_value(store.children_by_tag(auction, "current")[0])
+        root = store.root()
+        closed_container = store.children_by_tag(root, "closed_auctions")[0]
+        closed_before = len(store.children(closed_container))
+        apply_update(store, op)
+        assert store.lookup_id(op.auction_id) is None
+        closed = store.children(closed_container)
+        assert len(closed) == closed_before + 1
+        newest = closed[-1]
+        assert store.attribute(
+            store.children_by_tag(newest, "buyer")[0], "person") == buyer
+        assert store.string_value(
+            store.children_by_tag(newest, "price")[0]) == price
+        # No watch may still reference the closed auction.
+        people = store.children_by_tag(root, "people")[0]
+        for person in store.children_by_tag(people, "person"):
+            for watches in store.children_by_tag(person, "watches"):
+                for watch in store.children_by_tag(watches, "watch"):
+                    assert store.attribute(watch, "open_auction") != op.auction_id
+
+    def test_delete_item_cascades_over_referencing_auctions(self, store):
+        stream = UpdateStream(store)
+        op = stream.next_op("delete_item")
+        apply_update(store, op)
+        root = store.root()
+        for container in ("open_auctions", "closed_auctions"):
+            holder = store.children_by_tag(root, container)[0]
+            for auction in store.children(holder):
+                itemref = store.children_by_tag(auction, "itemref")
+                assert store.attribute(itemref[0], "item") != op.item_id
+        report = validate(parse(serialize_store(store)), auction_dtd(),
+                          REFERENCE_TARGETS)
+        assert report.ok, report.violations[:5]
+
+    def test_close_auction_without_bidder_raises(self, store):
+        root = store.root()
+        container = store.children_by_tag(root, "open_auctions")[0]
+        bidderless = next(
+            (store.attribute(a, "id")
+             for a in store.children_by_tag(container, "open_auction")
+             if not store.children_by_tag(a, "bidder")), None)
+        if bidderless is None:
+            pytest.skip("tiny document has no bidderless auction")
+        with pytest.raises(UpdateError):
+            apply_update(store, CloseAuction(bidderless, "01/01/2001"))
+
+    def test_unknown_targets_raise(self, store):
+        with pytest.raises(UpdateError):
+            apply_update(store, PlaceBid("open_auction99999", "person0",
+                                         1.0, "01/01/2001", "00:00:00"))
+        with pytest.raises(UpdateError):
+            apply_update(store, CloseAuction("open_auction99999", "01/01/2001"))
+        with pytest.raises(UpdateError):
+            apply_update(store, DeleteItem("item99999"))
+
+    def test_duplicate_person_id_raises(self, store):
+        stream = UpdateStream(store)
+        person = stream.build_person()
+        apply_update(store, RegisterPerson(person))
+        with pytest.raises(UpdateError):
+            apply_update(store, RegisterPerson(person))
+
+
+class TestDigestChain:
+    def test_digest_deterministic_across_stores_and_replays(self, tiny_text):
+        operations = build_script(tiny_text, SCRIPT[:4])
+        digests = []
+        for system in ("A", "D", "G"):
+            store = make_store(system)
+            store.load(tiny_text)
+            initial = store.document_digest()
+            seen = [initial]
+            for op in operations:
+                apply_update(store, op)
+                seen.append(store.document_digest())
+            assert len(set(seen)) == len(seen), "every op must move the digest"
+            digests.append(tuple(seen))
+        assert len(set(digests)) == 1, \
+            "stores sharing a lineage must agree on every digest"
+
+    def test_noop_scalar_write_is_detected(self, tiny_text):
+        from repro.update.engine import _Application
+        store = make_store("D")
+        store.load(tiny_text)
+        auction = store.children_by_tag(
+            store.children_by_tag(store.root(), "open_auctions")[0],
+            "open_auction")[0]
+        current = store.children_by_tag(auction, "current")[0]
+        value = store.string_value(current)
+        app = _Application(store, "incremental")
+        path = ("site", "open_auctions", "open_auction", "current")
+        assert app.set_text(current, path, value) is False
+        assert app.set_text(current, path, value + "1") is True
+
+
+class TestMaintenanceModes:
+    def test_rebuild_mode_reaches_same_state(self, tiny_text):
+        operations = build_script(tiny_text, SCRIPT[:5])
+        incremental = make_store("D")
+        incremental.load(tiny_text)
+        rebuild = make_store("D")
+        rebuild.load(tiny_text)
+        for op in operations:
+            apply_update(incremental, op, maintenance_mode="incremental")
+            changes = apply_update(rebuild, op, maintenance_mode="rebuild")
+            assert changes.maintenance == "rebuild"
+        assert serialize_store(incremental) == serialize_store(rebuild)
+        for query in (1, 2, 5, 8):
+            assert run(incremental, "D", query).canonical() == \
+                run(rebuild, "D", query).canonical()
+
+    def test_dropped_indexes_skip_maintenance(self, tiny_text):
+        store = make_store("D")
+        store.load(tiny_text)
+        store.drop_indexes()
+        operations = build_script(tiny_text, ("place_bid",))
+        changes = apply_update(store, operations[0])
+        assert changes.maintenance == "none"
+        assert changes.index_seconds == 0.0
+        assert run(store, "D", 2).canonical()  # still answers correctly
+
+
+class TestUpdateStream:
+    def test_same_seed_same_operations(self, tiny_text):
+        first = build_script(tiny_text)
+        second = build_script(tiny_text)
+        assert [op.token() for op in first] == [op.token() for op in second]
+
+    def test_generated_person_is_dtd_valid_fragment(self, tiny_text):
+        store = make_store("D")
+        store.load(tiny_text)
+        stream = UpdateStream(store)
+        person = stream.build_person()
+        declared = auction_dtd().element("person")
+        tags = [child.tag for child in person.child_elements()]
+        assert declared.content.matches(tags), tags
+
+    def test_stream_tracks_applied_state(self, tiny_text):
+        store = make_store("D")
+        store.load(tiny_text)
+        stream = UpdateStream(store)
+        op = stream.next_op("close_auction")
+        stream.note_applied(op)
+        assert op.auction_id not in stream.open_bidders
