@@ -1,0 +1,59 @@
+"""Shared JSON emission for the standalone benchmark runners.
+
+Every ``bench_*.py`` standalone mode produces the same pytest-benchmark-
+shaped document (``machine_info`` / ``benchmarks`` / ``config`` /
+``acceptance``); this module owns the skeleton and the writing so the
+formats cannot drift apart.  Besides honouring ``--json``,
+:func:`emit_report` always records the report as ``BENCH_<name>.json`` at
+the repository root — the machine-readable perf trajectory each CI run
+refreshes and uploads, and each PR can commit.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+
+#: The repository root (benchmarks/ lives directly below it).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def machine_info() -> dict:
+    return {"python_version": platform.python_version(),
+            "machine": platform.machine()}
+
+
+def build_report(version: str, records: list[dict], config: dict,
+                 acceptance: dict | None = None) -> dict:
+    """The common report skeleton around a list of benchmark records."""
+    report = {
+        "machine_info": machine_info(),
+        "commit_info": {},
+        "benchmarks": records,
+        "version": version,
+        "config": config,
+    }
+    if acceptance is not None:
+        report["acceptance"] = acceptance
+    return report
+
+
+def emit_report(name: str, report: dict, json_path: str | None = None) -> None:
+    """Write one bench report everywhere it belongs.
+
+    * ``json_path`` given: write there (CI's artifact path) and note it on
+      stderr; otherwise print the document to stdout.
+    * Always: record a copy as ``BENCH_<name>.json`` at the repo root.
+    """
+    output = json.dumps(report, indent=2)
+    recorded = REPO_ROOT / f"BENCH_{name}.json"
+    recorded.write_text(output + "\n", encoding="utf-8")
+    print(f"recorded {recorded}", file=sys.stderr)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+        print(f"wrote {json_path}", file=sys.stderr)
+    else:
+        print(output)

@@ -33,14 +33,13 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
 import time
 from dataclasses import replace
 
 import pytest
 
+from _emit import build_report, emit_report
 from repro.benchmark.queries import query_text
 from repro.benchmark.runner import BenchmarkRunner
 from repro.benchmark.systems import get_profile, parse_system_letters
@@ -238,24 +237,14 @@ def main(argv: list[str] | None = None) -> int:
                   f"via {','.join(cell['access_paths'])}", file=sys.stderr)
 
     failures = check_acceptance(cells)
-    report = {
-        "machine_info": {"python_version": platform.python_version(),
-                         "machine": platform.machine()},
-        "commit_info": {},
-        "benchmarks": records,
-        "version": "index-ablation-1",
-        "config": {"factor": factor, "rounds": rounds,
-                   "systems": list(systems),
-                   "queries": list(ABLATION_QUERIES)},
-        "acceptance": {"ok": not failures, "failures": failures},
-    }
-    output = json.dumps(report, indent=2)
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            handle.write(output + "\n")
-        print(f"wrote {args.json_path}", file=sys.stderr)
-    else:
-        print(output)
+    report = build_report(
+        "index-ablation-1", records,
+        config={"factor": factor, "rounds": rounds,
+                "systems": list(systems),
+                "queries": list(ABLATION_QUERIES)},
+        acceptance={"ok": not failures, "failures": failures},
+    )
+    emit_report("index_ablation", report, args.json_path)
     if failures:
         print("ACCEPTANCE NOT MET: indexed Q1/Q5 must be strictly faster "
               "than scan wherever the profile enables the index:",

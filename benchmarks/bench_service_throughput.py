@@ -20,14 +20,13 @@ Runs two ways:
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import statistics
 import sys
 import time
 
 import pytest
 
+from _emit import build_report, emit_report
 from repro.service import QueryService, WorkloadGenerator, WorkloadSpec
 from repro.xmlgen.generator import generate_string
 
@@ -220,24 +219,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  concurrency: {speedup_clients} clients = {speedup:.2f}x 1-client qps",
           file=sys.stderr)
 
-    report = {
-        "machine_info": {"python_version": platform.python_version(),
-                         "machine": platform.machine()},
-        "commit_info": {},
-        "benchmarks": records,
-        "version": "service-throughput-1",
-        "config": {"factor": factor, "requests_per_client": requests,
-                   "client_sweep": list(sweep), "system": SWEEP_SYSTEM,
-                   "think_mean_ms": THINK_MEAN_SECONDS * 1000.0},
-    }
-    output = json.dumps(report, indent=2)
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            handle.write(output + "\n")
-        print(f"wrote {args.json_path}", file=sys.stderr)
-    else:
-        print(output)
     ok = speedup >= 2.0 and comparison["warm_mean_ms"] < comparison["cold_mean_ms"]
+    report = build_report(
+        "service-throughput-1", records,
+        config={"factor": factor, "requests_per_client": requests,
+                "client_sweep": list(sweep), "system": SWEEP_SYSTEM,
+                "think_mean_ms": THINK_MEAN_SECONDS * 1000.0},
+        acceptance={"ok": ok, "failures": [] if ok else [
+            "need >=2x qps at 8 clients and a warm plan-cache latency win"]},
+    )
+    emit_report("service_throughput", report, args.json_path)
     if not ok:
         print("ACCEPTANCE NOT MET: need >=2x qps at 8 clients and a warm "
               "plan-cache latency win", file=sys.stderr)

@@ -1,0 +1,283 @@
+"""Shard-count scaling of the scatter-gather subsystem.
+
+For 1/2/3/6 shards at two document scales (tiny/small), the same query
+set runs through each deployment:
+
+* **1 shard** is the unsharded baseline deployment — one backend store
+  under its own optimizer profile, exactly what the service served
+  before the shard subsystem existed.  It is also the in-run oracle:
+  every sharded result is byte-compared against it before any number is
+  reported.
+* **2/3/6 shards** load a :class:`~repro.shard.store.ShardedStore` over
+  per-shard backend instances and execute through the
+  :class:`~repro.shard.scatter.ScatterGatherExecutor` with the partial-
+  result cache *disabled*, so the numbers price distributed execution,
+  not caching.
+
+The default backend is System F (main-memory traversal): the scan
+architecture shows what the sharded subsystem's distributed plans buy —
+Q1 routes to the one shard whose hash owns ``person0`` and probes its
+shard-local index, Q5 collapses to per-shard sorted-index bisections
+summed at the gather, Q8 reads its join build side off the per-shard
+value-index buckets and broadcasts the merged table, Q13 routes on the
+region container, Q2 fans the FLWOR out and merges by global sequence.
+On a single core every win in this table is algorithmic — routing does
+1/N of the work, pushdown replaces scans with bisections; add cores and
+the scatter pool overlaps shards on top.
+
+Acceptance (exit status 1 when not met): on the *small* document,
+6-shard Q1, Q5 and Q8 are each strictly faster than the 1-shard
+baseline.
+
+Runs two ways, like the sibling benches:
+
+* under pytest-benchmark (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_shard_scaling.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON document
+  (CI's shard-scaling smoke step), recorded as ``BENCH_shard_scaling.json``
+  at the repo root via the shared ``_emit`` writer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from _emit import build_report, emit_report
+from repro.benchmark.queries import query_text
+from repro.benchmark.systems import get_profile, make_store, parse_system_letters
+from repro.errors import BenchmarkError
+from repro.shard.scatter import ScatterGatherExecutor
+from repro.shard.store import ShardedStore
+from repro.xquery.evaluator import evaluate
+from repro.xquery.planner import compile_query
+
+SHARD_COUNTS = (1, 2, 3, 6)
+SCALING_QUERIES = (1, 2, 5, 8, 13)
+GATED_QUERIES = (1, 5, 8)
+DEFAULT_BACKENDS = "F"
+TINY_SCALE = 0.005
+SMALL_SCALE = 0.02
+
+
+class Deployment:
+    """One measured configuration: unsharded baseline or N-shard scatter."""
+
+    def __init__(self, shards: int, backends: tuple[str, ...], text: str) -> None:
+        self.shards = shards
+        started = time.perf_counter()
+        if shards == 1:
+            self.store = make_store(backends[0])
+            self.store.load(text)
+            self._profile = get_profile(backends[0])
+            self._compiled: dict[str, object] = {}
+            self.executor = None
+            self.label = f"1 (unsharded {backends[0]})"
+        else:
+            self.sharded = ShardedStore(shards, backends)
+            self.sharded.load(text)
+            self.executor = ScatterGatherExecutor(
+                self.sharded, partial_cache_size=0)
+            self.label = str(shards)
+        self.load_seconds = time.perf_counter() - started
+
+    def run(self, text: str):
+        """(serialized result, plan kind) for one query text."""
+        if self.executor is None:
+            compiled = self._compiled.get(text)
+            if compiled is None:
+                compiled = compile_query(text, self.store, self._profile)
+                self._compiled[text] = compiled
+            return evaluate(compiled), "store"
+        outcome = self.executor.execute(text)
+        return outcome.result, outcome.plan_kind
+
+    def best_seconds(self, text: str, rounds: int) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            self.run(text)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+
+
+def run_scale(scale_name: str, factor: float, backends: tuple[str, ...],
+              rounds: int) -> list[dict]:
+    """All shard counts at one document scale, oracle-checked in-run."""
+    from repro.xmlgen.generator import generate_string
+
+    print(f"generating {scale_name} document at f={factor} ...", file=sys.stderr)
+    text = generate_string(factor)
+    cells: list[dict] = []
+    baseline = Deployment(1, backends, text)
+    oracle = {query: baseline.run(query_text(query))[0].serialize()
+              for query in SCALING_QUERIES}
+    deployments = [baseline] + [Deployment(count, backends, text)
+                                for count in SHARD_COUNTS if count > 1]
+    try:
+        for deployment in deployments:
+            for query in SCALING_QUERIES:
+                source = query_text(query)
+                result, plan = deployment.run(source)
+                if result.serialize() != oracle[query]:
+                    raise AssertionError(
+                        f"Q{query} at {deployment.shards} shard(s) diverged "
+                        "from the unsharded oracle")
+                seconds = deployment.best_seconds(source, rounds)
+                cells.append({
+                    "scale": scale_name, "factor": factor,
+                    "shards": deployment.shards, "query": query,
+                    "plan": plan, "ms": round(seconds * 1000.0, 4),
+                    "result_size": len(result),
+                    "load_s": round(deployment.load_seconds, 3),
+                    "results_equal": True,
+                })
+            row = "  ".join(
+                f"Q{cell['query']} {cell['ms']:9.3f}ms[{cell['plan']}]"
+                for cell in cells if cell["shards"] == deployment.shards
+                and cell["scale"] == scale_name)
+            print(f"  {scale_name:<5s} shards={deployment.label:<15s} {row}",
+                  file=sys.stderr)
+    finally:
+        for deployment in deployments:
+            deployment.close()
+    return cells
+
+
+def check_acceptance(cells: list[dict], gate_scale: str) -> list[str]:
+    """6-shard Q1/Q5/Q8 strictly faster than the 1-shard baseline on the
+    gated scale."""
+    failures = []
+    timing = {(cell["shards"], cell["query"]): cell["ms"]
+              for cell in cells if cell["scale"] == gate_scale}
+    for query in GATED_QUERIES:
+        one, six = timing.get((1, query)), timing.get((6, query))
+        if one is None or six is None:
+            failures.append(f"Q{query}: missing {gate_scale} measurements")
+        elif not six < one:
+            failures.append(
+                f"Q{query} on the {gate_scale} document: 6-shard {six} ms "
+                f"not faster than 1-shard {one} ms")
+    return failures
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def bench_shard_q5(benchmark, bench_text, shards):
+    deployment = Deployment(shards, ("F",), bench_text)
+    try:
+        benchmark.pedantic(lambda: deployment.run(query_text(5)),
+                           rounds=3, iterations=1)
+    finally:
+        deployment.close()
+
+
+def bench_shard_scaling_shape(benchmark, bench_text):
+    """One-shot direction check: 6-shard Q1/Q5 beat the unsharded store."""
+    def run():
+        baseline = Deployment(1, ("F",), bench_text)
+        six = Deployment(6, ("F",), bench_text)
+        try:
+            cells = []
+            for deployment in (baseline, six):
+                for query in (1, 5):
+                    source = query_text(query)
+                    deployment.run(source)
+                    cells.append({"scale": "bench", "shards": deployment.shards,
+                                  "query": query,
+                                  "ms": deployment.best_seconds(source, 3)})
+            return cells
+        finally:
+            baseline.close()
+            six.close()
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    timing = {(cell["shards"], cell["query"]): cell["ms"] for cell in cells}
+    for query in (1, 5):
+        assert timing[(6, query)] < timing[(1, query)]
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def _record(cell: dict, seconds: float) -> dict:
+    name = (f"shard_scaling[{cell['scale']}-"
+            f"{cell['shards']}shard-Q{cell['query']}]")
+    return {
+        "group": "shard-scaling",
+        "name": name,
+        "fullname": f"bench_shard_scaling.py::{name}",
+        "params": {"scale": cell["scale"], "shards": cell["shards"],
+                   "query": cell["query"]},
+        "stats": {"min": seconds, "max": seconds, "mean": seconds,
+                  "stddev": 0.0, "rounds": 1, "iterations": 1},
+        "extra_info": dict(cell),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="shard-count scaling of scatter-gather execution")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: tiny document only (no gate)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per cell, best-of (default 5)")
+    parser.add_argument("--backends", default=DEFAULT_BACKENDS,
+                        help="backend letters cycled across shards (default F)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    try:
+        backends = parse_system_letters(args.backends)
+    except BenchmarkError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    scales = [("tiny", TINY_SCALE)]
+    if not args.tiny:
+        scales.append(("small", SMALL_SCALE))
+    cells: list[dict] = []
+    for scale_name, factor in scales:
+        started = time.perf_counter()
+        scale_cells = run_scale(scale_name, factor, backends, args.rounds)
+        elapsed = time.perf_counter() - started
+        for cell in scale_cells:
+            cells.append(cell)
+    records = [_record(cell, cell["ms"] / 1000.0) for cell in cells]
+
+    failures: list[str] = []
+    if not args.tiny:
+        failures = check_acceptance(cells, "small")
+    report = build_report(
+        "shard-scaling-1", records,
+        config={"scales": {name: factor for name, factor in scales},
+                "shard_counts": list(SHARD_COUNTS),
+                "queries": list(SCALING_QUERIES),
+                "gated_queries": list(GATED_QUERIES),
+                "backends": list(backends), "rounds": args.rounds},
+        acceptance={"ok": not failures, "failures": failures,
+                    "gated": not args.tiny},
+    )
+    emit_report("shard_scaling", report, args.json_path)
+    if failures:
+        print("ACCEPTANCE NOT MET: 6-shard Q1/Q5/Q8 must be strictly "
+              "faster than the unsharded baseline on the small document:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,12 +38,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 
 import pytest
 
+from _emit import build_report, emit_report
 from repro.benchmark.queries import query_text
 from repro.benchmark.systems import SYSTEMS, get_profile, make_store, parse_system_letters
 from repro.errors import BenchmarkError, XMarkError
@@ -262,25 +262,15 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
 
     failures = check_acceptance(results)
-    report = {
-        "machine_info": {"python_version": platform.python_version(),
-                         "machine": platform.machine()},
-        "commit_info": {},
-        "benchmarks": records,
-        "version": "update-maintenance-1",
-        "config": {"factor": factor, "rounds": rounds,
-                   "systems": list(systems),
-                   "op_script": list(OP_SCRIPT),
-                   "post_update_queries": list(POST_UPDATE_QUERIES)},
-        "acceptance": {"ok": not failures, "failures": failures},
-    }
-    output = json.dumps(report, indent=2)
-    if args.json_path:
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            handle.write(output + "\n")
-        print(f"wrote {args.json_path}", file=sys.stderr)
-    else:
-        print(output)
+    report = build_report(
+        "update-maintenance-1", records,
+        config={"factor": factor, "rounds": rounds,
+                "systems": list(systems),
+                "op_script": list(OP_SCRIPT),
+                "post_update_queries": list(POST_UPDATE_QUERIES)},
+        acceptance={"ok": not failures, "failures": failures},
+    )
+    emit_report("update_maintenance", report, args.json_path)
     if failures:
         print("ACCEPTANCE NOT MET: incremental index maintenance must be "
               "strictly cheaper than a full rebuild for every single-op "

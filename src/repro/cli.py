@@ -6,6 +6,7 @@
     xmark bench  -f 0.005 --table 3
     xmark index  -f 0.005 -s BD
     xmark serve-bench -f 0.005 -s D -c 8 -n 25
+    xmark shard  -f 0.005 -n 3 -q 1 -q 8
     xmark validate auction.xml
 """
 
@@ -122,6 +123,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable result caching")
     serve.add_argument("--json", dest="json_path", default=None,
                        help="also write the full metrics snapshot to this file")
+
+    shard = commands.add_parser(
+        "shard",
+        help="partition the document and run scatter-gather queries",
+        description="Split the generated document into N shards along "
+                    "schema-aware extents (items by region, people by id "
+                    "hash, auctions co-located by referenced item), load "
+                    "each shard into a backend architecture, report the "
+                    "partition layout, and optionally execute benchmark "
+                    "queries through the distributed scatter-gather "
+                    "executor — verifying every result against an "
+                    "unsharded oracle store.")
+    shard.add_argument("-f", "--factor", type=float, default=0.005,
+                       help="document scaling factor (default 0.005)")
+    shard.add_argument("-n", "--shards", type=int, default=3,
+                       help="number of shards (default 3)")
+    shard.add_argument("-b", "--backends", default="F",
+                       help="backend system letters cycled across shards "
+                            "(default F)")
+    shard.add_argument("-q", "--query", type=int, action="append",
+                       dest="queries", choices=sorted(QUERIES), default=None,
+                       help="query number to execute (repeatable; default: "
+                            "partition summary only)")
+    shard.add_argument("--rounds", type=int, default=3,
+                       help="timing rounds per query, best-of (default 3)")
+    shard.add_argument("--json", dest="json_path", default=None,
+                       help="also write the report to this file")
 
     validate_cmd = commands.add_parser("validate", help="validate a document against the DTD")
     validate_cmd.add_argument("path")
@@ -252,6 +280,75 @@ def _update_report(args) -> int:
     return 0
 
 
+def _shard_report(args) -> int:
+    import time
+
+    from repro.benchmark.systems import get_profile, make_store, parse_system_letters
+    from repro.errors import BenchmarkError, ShardError
+    from repro.shard import ShardedStore
+    from repro.shard.scatter import ScatterGatherExecutor
+    from repro.xquery.evaluator import evaluate
+    from repro.xquery.planner import compile_query
+
+    try:
+        backends = parse_system_letters(args.backends)
+    except BenchmarkError as exc:
+        print(f"shard: {exc}", file=sys.stderr)
+        return 2
+    text = generate_string(args.factor)
+    try:
+        sharded = ShardedStore(args.shards, backends)
+        sharded.load(text)
+    except (ShardError, BenchmarkError) as exc:
+        print(f"shard: {exc}", file=sys.stderr)
+        return 2
+    summary = sharded.partition_summary()
+    print(f"partitioned f={args.factor} ({len(text)} bytes) into "
+          f"{args.shards} shard(s)")
+    for rank in range(args.shards):
+        entities = summary["entities"][rank]
+        shown = ", ".join(f"{count} {tag}" for tag, count in entities.items()
+                          if count)
+        print(f"  shard {rank} [{summary['backends'][rank]}] "
+              f"{summary['fragment_bytes'][rank]:>9d} bytes  {shown or 'empty'}")
+
+    report = {"factor": args.factor, "shards": args.shards,
+              "partition": summary, "queries": []}
+    failures = 0
+    if args.queries:
+        oracle = make_store(backends[0])
+        oracle.load(text)
+        # Partial caching off: the timed rounds should price distributed
+        # execution, comparable with bench_shard_scaling.py, not LRU hits.
+        with ScatterGatherExecutor(sharded, partial_cache_size=0) as executor:
+            for number in args.queries:
+                query = QUERIES[number].text
+                outcome = executor.execute(query)
+                expected = evaluate(compile_query(
+                    query, oracle, get_profile(backends[0]))).serialize()
+                matches = outcome.result.serialize() == expected
+                failures += 0 if matches else 1
+                best = float("inf")
+                for _ in range(max(1, args.rounds)):
+                    started = time.perf_counter()
+                    executor.execute(query)
+                    best = min(best, time.perf_counter() - started)
+                row = {"query": number, "plan": outcome.plan_kind,
+                       "shards_used": outcome.shards_used,
+                       "ms": round(best * 1000.0, 3),
+                       "result_size": len(outcome.result),
+                       "oracle_ok": matches}
+                report["queries"].append(row)
+                print(f"  Q{number:<2d} plan={row['plan']:<14s} "
+                      f"{row['ms']:>9.3f} ms  {row['result_size']:>5d} item(s)  "
+                      f"oracle {'ok' if matches else 'MISMATCH'}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 1 if failures else 0
+
+
 def _serve_bench(args) -> int:
     from repro.benchmark.systems import parse_system_letters
     from repro.errors import BenchmarkError
@@ -342,6 +439,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve-bench":
         return _serve_bench(args)
+
+    if args.command == "shard":
+        return _shard_report(args)
 
     if args.command == "query":
         text = generate_string(args.factor)

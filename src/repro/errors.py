@@ -69,3 +69,7 @@ class BenchmarkError(XMarkError):
 
 class UpdateError(XMarkError):
     """Raised by the update engine (bad target, schema-invalid write)."""
+
+
+class ShardError(XMarkError):
+    """Raised by the sharded document subsystem (bad partition, routing)."""

@@ -133,6 +133,15 @@ class ValueIndex:
     def distinct_keys(self) -> int:
         return len(self._buckets)
 
+    def key_counts(self) -> dict[float | str, int]:
+        """``key -> number of distinct nodes holding it`` for every key.
+
+        Entries are deduplicated per (node, key) at insert, so a bucket's
+        length *is* its node count — the build side of a distributed
+        count-join comes straight off the index, no navigation walk.
+        """
+        return {key: len(bucket) for key, bucket in self._buckets.items()}
+
     @property
     def avg_bucket(self) -> float:
         """Expected matches of one probe — the planner's cardinality stat."""

@@ -21,7 +21,7 @@ See DESIGN.md ("The query service") for the architecture.
 
 from repro.service.cache import CacheStats, LRUCache, PlanCache, ResultCache
 from repro.service.metrics import LatencySummary, ServiceMetrics, percentile
-from repro.service.service import QueryOutcome, QueryService
+from repro.service.service import QueryOutcome, QueryService, ShardSpec
 from repro.service.workload import ClientRequest, WorkloadGenerator, WorkloadSpec
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "QueryService",
     "ResultCache",
     "ServiceMetrics",
+    "ShardSpec",
     "WorkloadGenerator",
     "WorkloadSpec",
     "percentile",

@@ -38,12 +38,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.benchmark.queries import QUERIES
-from repro.benchmark.systems import get_profile, make_store
-from repro.errors import BenchmarkError
+from repro.benchmark.systems import SYSTEMS, get_profile, make_store
+from repro.errors import BenchmarkError, ShardError
 from repro.service.cache import PlanCache, ResultCache
 from repro.service.invalidation import affected, query_footprint
 from repro.service.metrics import ServiceMetrics
 from repro.service.workload import ClientRequest, WorkloadGenerator, WorkloadSpec
+from repro.shard.scatter import ScatterGatherExecutor
+from repro.shard.store import DEFAULT_BACKEND, ShardedStore
 from repro.storage.bulkload import BulkloadReport, bulkload
 from repro.storage.interface import Store, document_digest
 from repro.update.engine import ChangeSet, apply_update as engine_apply_update
@@ -51,6 +53,28 @@ from repro.update.ops import UpdateOp
 from repro.update.stream import UpdateStream
 from repro.xquery.evaluator import QueryResult, evaluate
 from repro.xquery.planner import CompiledQuery, compile_query
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """Configuration of the service's sharded deployment.
+
+    When given to :class:`QueryService`, the service additionally serves a
+    pseudo-system (``name``, default ``"S"``) backed by a
+    :class:`~repro.shard.store.ShardedStore` over ``shards`` instances of
+    the ``backends`` architectures, executed through a
+    :class:`~repro.shard.scatter.ScatterGatherExecutor`.  Reads hold the
+    system's admission permit like any other system's, scatter subtasks
+    additionally pass per-shard admission (``per_shard_limit``), and
+    writes drain the system gate before routing through the update
+    engine — the same torn-read guarantee the unsharded systems get.
+    """
+
+    shards: int = 2
+    backends: tuple[str, ...] = (DEFAULT_BACKEND,)
+    name: str = "S"
+    per_shard_limit: int = 2
+    partial_cache_size: int = 512
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,9 +111,16 @@ class QueryService:
         per_system_limit: int | None = None,
         plan_cache_size: int = 128,
         result_cache_size: int = 1024,
+        shard_spec: ShardSpec | None = None,
     ) -> None:
         if max_workers <= 0:
             raise BenchmarkError(f"max_workers must be positive, got {max_workers}")
+        if shard_spec is not None and shard_spec.name in SYSTEMS:
+            raise BenchmarkError(
+                f"shard system name {shard_spec.name!r} collides with a "
+                "benchmark system letter")
+        self.shard_spec = shard_spec
+        self._shard_executor: ScatterGatherExecutor | None = None
         self.stores: dict[str, Store] = {}
         self.load_reports: dict[str, BulkloadReport] = {}
         self.failed_loads: dict[str, str] = {}
@@ -98,7 +129,8 @@ class QueryService:
         if limit <= 0:
             raise BenchmarkError(f"per_system_limit must be positive, got {limit}")
         self.per_system_limit = limit
-        self._admission = {name: threading.BoundedSemaphore(limit) for name in systems}
+        served = systems + ((shard_spec.name,) if shard_spec is not None else ())
+        self._admission = {name: threading.BoundedSemaphore(limit) for name in served}
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
         self.metrics = ServiceMetrics()
@@ -112,7 +144,10 @@ class QueryService:
     # -- lifecycle ----------------------------------------------------------------
 
     def _load(self, document: str, systems: tuple[str, ...]) -> None:
+        spec = self.shard_spec
         for name in systems:
+            if spec is not None and name == spec.name:
+                continue                # the sharded deployment loads below
             store = make_store(name)
             try:
                 self.load_reports[name] = bulkload(store, document, name)
@@ -120,6 +155,22 @@ class QueryService:
                 self.failed_loads[name] = str(exc)
                 continue
             self.stores[name] = store
+        if spec is not None:
+            sharded = ShardedStore(spec.shards, spec.backends)
+            try:
+                self.load_reports[spec.name] = bulkload(sharded, document, spec.name)
+            except Exception as exc:
+                self.failed_loads[spec.name] = str(exc)
+            else:
+                self.stores[spec.name] = sharded
+                superseded = self._shard_executor
+                self._shard_executor = ScatterGatherExecutor(
+                    sharded,
+                    per_shard_limit=spec.per_shard_limit,
+                    partial_cache_size=spec.partial_cache_size,
+                )
+                if superseded is not None:
+                    superseded.close()
 
     def reload_document(self, document: str) -> None:
         """Replace the loaded document on every serving system.
@@ -245,6 +296,8 @@ class QueryService:
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True)
+            if self._shard_executor is not None:
+                self._shard_executor.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -328,6 +381,9 @@ class QueryService:
                 result=cached_result,
             )
 
+        if self.shard_spec is not None and system == self.shard_spec.name:
+            return self._run_sharded(system, text, submitted, started, result_key)
+
         compile_start = time.perf_counter()
         plan_key = PlanCache.key(system, text)
         compiled, plan_hit = self.plan_cache.get_or_compute(
@@ -353,6 +409,41 @@ class QueryService:
             queue_seconds=started - submitted,
             submitted=submitted, finished=finished,
             plan_cache_hit=plan_hit, result_cache_hit=False,
+            result=result,
+        )
+
+    def _run_sharded(self, system: str, text: str, submitted: float,
+                     started: float, result_key) -> QueryOutcome:
+        """Serve one query through the scatter-gather executor.
+
+        The executor keeps its own distributed-plan and per-shard partial
+        caches (the latter keyed by shard digests — the shard-selective
+        layer); the service-level result cache sits above both, keyed by
+        the sharded store's global digest exactly like every other
+        system's.  A reload swaps the executor; a request that raced the
+        swap retries once on the replacement.
+        """
+        execute_start = time.perf_counter()
+        executor = self._shard_executor
+        try:
+            outcome = executor.execute(text)
+        except (RuntimeError, ShardError):
+            # Executor superseded by a reload: a closed executor raises
+            # ShardError from its own gate, RuntimeError from a pool
+            # already shut down mid-scatter.  Retry once on the current one.
+            executor = self._shard_executor
+            outcome = executor.execute(text)
+        finished = time.perf_counter()
+        result = outcome.result
+        self.result_cache.put(result_key, result)
+        return QueryOutcome(
+            system=system, query_text=text,
+            result_size=len(result),
+            compile_seconds=0.0,
+            execute_seconds=finished - execute_start,
+            queue_seconds=started - submitted,
+            submitted=submitted, finished=finished,
+            plan_cache_hit=outcome.plan_cache_hit, result_cache_hit=False,
             result=result,
         )
 
@@ -433,4 +524,19 @@ class QueryService:
             name: store.indexes.summary()
             for name, store in self.stores.items()
             if store.indexes is not None
+        }
+
+    def shard_stats(self) -> dict:
+        """The sharded deployment's partition layout and cache counters
+        (empty when the service runs without a :class:`ShardSpec`)."""
+        if self.shard_spec is None or self.shard_spec.name not in self.stores:
+            return {}
+        sharded: ShardedStore = self.stores[self.shard_spec.name]
+        executor = self._shard_executor
+        return {
+            "partition": sharded.partition_summary(),
+            "shard_digests": [sharded.shard_digest(rank)
+                              for rank in range(sharded.shard_count)],
+            "plan_cache": executor.plan_cache.stats.as_dict(),
+            "partial_cache": executor.partial_cache.stats.as_dict(),
         }

@@ -1,0 +1,15 @@
+"""Sharded document subsystem: partitioning, the sharded store, and the
+parallel scatter-gather execution layer.  See docs/SHARDING.md."""
+
+from repro.shard.partition import (
+    DocumentPartition, DocumentPartitioner, shard_of_key,
+)
+from repro.shard.store import DEFAULT_BACKEND, ShardedStore
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DocumentPartition",
+    "DocumentPartitioner",
+    "ShardedStore",
+    "shard_of_key",
+]

@@ -89,3 +89,20 @@ class TestCli:
         assert snapshot["completed"] == 8
         assert snapshot["workload"]["clients"] == 2
         assert "p99_ms" in snapshot["latency"]
+
+    def test_shard_report(self, tmp_path, capsys):
+        report = tmp_path / "shard.json"
+        assert main(["shard", "-f", "0.0005", "-n", "3", "-b", "F",
+                     "-q", "1", "-q", "5", "-q", "8", "--rounds", "1",
+                     "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "partitioned" in out and "shard 0" in out
+        assert "plan=routed" in out and "plan=partial_count" in out
+        assert "MISMATCH" not in out
+        import json
+        snapshot = json.loads(report.read_text())
+        assert snapshot["shards"] == 3
+        assert all(row["oracle_ok"] for row in snapshot["queries"])
+
+    def test_shard_rejects_unknown_backend(self, capsys):
+        assert main(["shard", "-f", "0.0005", "-b", "Z"]) == 2

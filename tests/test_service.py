@@ -115,11 +115,39 @@ class TestPercentiles:
     def test_single_sample(self):
         assert percentile([7.5], 99) == 7.5
 
+    def test_single_sample_at_every_boundary(self):
+        # One sample is every percentile of itself, including both ends.
+        for q in (0, 0.0, 50, 100, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_all_equal_samples_never_interpolate_away(self):
+        samples = [0.25] * 9
+        for q in (0, 1, 50, 95, 99, 100):
+            assert percentile(samples, q) == 0.25
+
+    def test_boundary_ranks_are_exact_not_interpolated(self):
+        # q=0 and q=100 must return the exact extremes: rank 0 and n-1
+        # land on real elements, so no interpolation drift is tolerated.
+        samples = [0.1, 0.2, 0.7]
+        assert percentile(samples, 0) == 0.1
+        assert percentile(samples, 100) == 0.7
+        # Two samples: the midpoint interpolates, the ends do not.
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([1.0, 2.0], 100) == 2.0
+
+    def test_near_boundary_interpolation(self):
+        # rank = 0.999 * 1 for n=2: interpolates just below the maximum.
+        assert percentile([0.0, 1.0], 99.9) == pytest.approx(0.999)
+        assert percentile([0.0, 1.0], 0.1) == pytest.approx(0.001)
+
     def test_rejects_empty_and_bad_q(self):
         with pytest.raises(ValueError):
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.001)
 
     def test_summary_from_samples(self):
         summary = LatencySummary.from_samples([0.001 * i for i in range(1, 101)])
