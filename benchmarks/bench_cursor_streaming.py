@@ -1,0 +1,251 @@
+"""First-row latency of streaming cursors vs full materialization.
+
+The embedded facade's cursors are backed by the evaluator's lazy pipeline
+(:func:`repro.xquery.evaluator.evaluate_stream`): a plan that used to
+materialize its whole ``QueryResult`` before returning now yields items
+as bindings qualify.  This bench prices exactly that redesign on
+large-result queries:
+
+* **first-row latency** — prepared-query execute + ``fetchone()``: the
+  streaming cursor produces row 1 after evaluating only the bindings
+  before it; the materialized path has evaluated *everything* by then;
+* **peak result-buffer size** — items the engine holds at the moment the
+  first row is delivered: 1 for the pipeline, the full result size for
+  the materialized path;
+* **full-drain time** — ``fetchall()`` on both, to show the pipeline's
+  end-to-end overhead is noise.
+
+Every cell first asserts in-run that the streamed ``fetchall()`` is
+bit-identical to the eager evaluator's result — a faster first row of a
+*different* result would be worthless.
+
+The query set is the large-result end of the benchmark: Q2 (one
+constructed element per open auction), Q13 (reconstruction of whole item
+subtrees), Q14 (full-text scan over ``//item``), Q17 (missing-element
+scan over persons), plus Q19 as the documented counter-case — its
+``order by`` is a pipeline barrier, so streaming cannot beat
+materialization there and is not expected to.
+
+Acceptance (exit status 1 when not met): streaming first-row latency
+strictly below the materialized first-row latency on at least two of the
+measured queries.
+
+Runs two ways:
+
+* under pytest-benchmark like the sibling benches (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_cursor_streaming.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON document,
+  which is what CI's cursor-streaming smoke step exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from _emit import build_report, emit_report
+
+STREAMING_QUERIES = (2, 13, 14, 17, 19)
+BARRIER_QUERIES = frozenset((19,))      # order-by: no first-row win expected
+DEFAULT_SYSTEM = "D"
+BENCH_SCALE = 0.02
+TINY_SCALE = 0.005
+REQUIRED_WINS = 2
+
+
+def time_best(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_cell(session, system: str, query: int, rounds: int) -> dict:
+    """One query's streaming-vs-materialized cell, verified identical."""
+    prepared = session.prepare(query, system=system)
+
+    eager = prepared.execute(stream=False)
+    expected = eager.serialize()
+    result_size = eager.rowcount
+    streamed = prepared.execute(stream=True)
+    if streamed.serialize() != expected:
+        raise AssertionError(
+            f"Q{query} on System {system}: streamed fetchall differs "
+            "from the eager result")
+
+    def first_row_streaming():
+        cursor = prepared.execute(stream=True)
+        cursor.fetchone()
+
+    def first_row_materialized():
+        cursor = prepared.execute(stream=False)
+        cursor.fetchone()
+
+    stream_first = time_best(first_row_streaming, rounds)
+    mat_first = time_best(first_row_materialized, rounds)
+    stream_drain = time_best(
+        lambda: prepared.execute(stream=True).fetchall(), rounds)
+    mat_drain = time_best(
+        lambda: prepared.execute(stream=False).fetchall(), rounds)
+    return {
+        "system": system,
+        "query": query,
+        "result_size": result_size,
+        "stream_first_row_ms": round(stream_first * 1000.0, 4),
+        "materialized_first_row_ms": round(mat_first * 1000.0, 4),
+        "first_row_speedup": round(mat_first / stream_first, 2)
+        if stream_first > 0 else 0.0,
+        "stream_drain_ms": round(stream_drain * 1000.0, 4),
+        "materialized_drain_ms": round(mat_drain * 1000.0, 4),
+        "peak_buffer_items_stream": 1 if result_size else 0,
+        "peak_buffer_items_materialized": result_size,
+        "pipeline_barrier": query in BARRIER_QUERIES,
+        "results_equal": True,
+    }
+
+
+def check_acceptance(cells: list[dict]) -> list[str]:
+    """Streaming first row must strictly beat materialization on at least
+    ``REQUIRED_WINS`` queries."""
+    wins = [cell for cell in cells
+            if cell["stream_first_row_ms"] < cell["materialized_first_row_ms"]]
+    if len(wins) >= REQUIRED_WINS:
+        return []
+    return [
+        f"streaming first-row beat materialization on only {len(wins)} "
+        f"quer{'y' if len(wins) == 1 else 'ies'} "
+        f"(need {REQUIRED_WINS}): " + ", ".join(
+            f"Q{cell['query']} stream {cell['stream_first_row_ms']} ms vs "
+            f"materialized {cell['materialized_first_row_ms']} ms"
+            for cell in cells)
+    ]
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.mark.parametrize("query", STREAMING_QUERIES)
+def bench_first_row_streaming(benchmark, runner, query):
+    session = runner.database.session()
+    prepared = session.prepare(query, system=DEFAULT_SYSTEM)
+    benchmark.pedantic(lambda: prepared.execute(stream=True).fetchone(),
+                       rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("query", STREAMING_QUERIES)
+def bench_first_row_materialized(benchmark, runner, query):
+    session = runner.database.session()
+    prepared = session.prepare(query, system=DEFAULT_SYSTEM)
+    benchmark.pedantic(lambda: prepared.execute(stream=False).fetchone(),
+                       rounds=5, iterations=1)
+
+
+def bench_streaming_shape(benchmark, runner):
+    """One-shot direction check: first rows arrive early on ≥2 queries."""
+    session = runner.database.session()
+
+    def run():
+        return [run_cell(session, DEFAULT_SYSTEM, query, rounds=3)
+                for query in STREAMING_QUERIES]
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    for cell in cells:
+        benchmark.extra_info[f"q{cell['query']}_first_row_speedup"] = (
+            cell["first_row_speedup"])
+    failures = check_acceptance(cells)
+    assert not failures, failures
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def _record(cell: dict) -> dict:
+    """One pytest-benchmark-shaped record (stats = streaming first row)."""
+    name = f"cursor_streaming[{cell['system']}-Q{cell['query']}]"
+    return {
+        "group": "cursor-streaming",
+        "name": name,
+        "fullname": f"bench_cursor_streaming.py::{name}",
+        "params": {"system": cell["system"], "query": cell["query"]},
+        "stats": {"min": cell["stream_first_row_ms"] / 1000.0,
+                  "max": cell["stream_first_row_ms"] / 1000.0,
+                  "mean": cell["stream_first_row_ms"] / 1000.0,
+                  "stddev": 0.0, "rounds": 1, "iterations": 1},
+        "extra_info": dict(cell),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="first-row latency: streaming cursors vs materialization")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: smaller document")
+    parser.add_argument("--factor", type=float, default=None,
+                        help=f"document scaling factor (default {BENCH_SCALE}; "
+                             f"--tiny: {TINY_SCALE})")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per cell, best-of (default 5)")
+    parser.add_argument("--system", default=DEFAULT_SYSTEM,
+                        choices=list("ABCDEFG"),
+                        help=f"system to measure on (default {DEFAULT_SYSTEM})")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (
+        TINY_SCALE if args.tiny else BENCH_SCALE)
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    import repro
+    text = repro.generate_string(factor)
+    print(f"loading System {args.system} ({len(text):,} bytes) ...",
+          file=sys.stderr)
+    with repro.connect(text, systems=(args.system,)) as db:
+        session = db.session()
+        cells = []
+        for query in STREAMING_QUERIES:
+            cell = run_cell(session, args.system, query, args.rounds)
+            cells.append(cell)
+            marker = " (order-by barrier)" if cell["pipeline_barrier"] else ""
+            print(f"  Q{query:<3d} first row: stream "
+                  f"{cell['stream_first_row_ms']:>9.3f} ms vs materialized "
+                  f"{cell['materialized_first_row_ms']:>9.3f} ms "
+                  f"({cell['first_row_speedup']:>6.2f}x, "
+                  f"{cell['result_size']} rows, buffer "
+                  f"{cell['peak_buffer_items_stream']} vs "
+                  f"{cell['peak_buffer_items_materialized']}){marker}",
+                  file=sys.stderr)
+
+    failures = check_acceptance(cells)
+    acceptance = {
+        "criterion": f"streaming first-row latency strictly beats full "
+                     f"materialization on >= {REQUIRED_WINS} large-result "
+                     "queries (streamed results verified bit-identical "
+                     "in-run)",
+        "ok": not failures,
+        "failures": failures,
+        "wins": [f"Q{cell['query']}" for cell in cells
+                 if cell["stream_first_row_ms"]
+                 < cell["materialized_first_row_ms"]],
+    }
+    report = build_report(
+        version="1.0",
+        records=[_record(cell) for cell in cells],
+        config={"factor": factor, "rounds": args.rounds,
+                "system": args.system,
+                "queries": list(STREAMING_QUERIES)},
+        acceptance=acceptance,
+    )
+    emit_report("cursor_streaming", report, args.json_path)
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

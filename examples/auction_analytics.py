@@ -3,16 +3,16 @@
 
 The paper motivates XMark with "electronic commerce sites and content
 providers" running analytical workloads over XML.  This example writes
-*new* queries (not part of the twenty) against the auction document using
-the public compile/evaluate API — the workflow of a downstream analyst.
+*new* queries (not part of the twenty) against the auction document
+through the embedded-database facade — the workflow of a downstream
+analyst: one ``repro.connect()``, one session, streaming cursors.
 
-Run with:  python examples/auction_analytics.py
+Run with:  python examples/auction_analytics.py [scale]
 """
 
-from repro import generate_string, make_store, bulkload
-from repro.benchmark.systems import get_profile
-from repro.xquery.evaluator import evaluate
-from repro.xquery.planner import compile_query
+import sys
+
+import repro
 
 ANALYTICS = {
     "Auctions still open per region (items referenced by open auctions)": """
@@ -47,21 +47,25 @@ ANALYTICS = {
 }
 
 
-def main() -> None:
-    document = generate_string(0.005)
-    store = make_store("D")
-    report = bulkload(store, document, "D")
-    print(f"Loaded {len(document):,} bytes into System D in {report.seconds:.2f}s\n")
-
-    profile = get_profile("D")
-    for title, query in ANALYTICS.items():
-        compiled = compile_query(query, store, profile)
-        result = evaluate(compiled)
-        print(f"-- {title}")
-        output = result.serialize()
-        print(output if len(output) < 500 else output[:500] + " ...")
-        print()
+def main(scale: float = 0.005) -> None:
+    document = repro.generate_string(scale)
+    with repro.connect(document, systems=("D",)) as db:
+        report = db.load_reports["D"]
+        print(f"Loaded {len(document):,} bytes into System D "
+              f"in {report.seconds:.2f}s\n")
+        with db.session() as session:
+            for title, query in ANALYTICS.items():
+                cursor = session.execute(query)
+                print(f"-- {title}")
+                shown = 0
+                for item in cursor:      # results stream row by row
+                    if shown < 8:
+                        print(cursor.rowtext(item))
+                    shown += 1
+                if shown > 8:
+                    print(f"... and {shown - 8} more")
+                print()
 
 
 if __name__ == "__main__":
-    main()
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.005)

@@ -3,15 +3,16 @@
 
 Reproduces the paper's central experiment in miniature: the same queries on
 Systems A-G (edge heap, path fragmentation, DTD schema, structural summary,
-tag index, pure traversal, embedded DOM), with bulkload statistics and
-cross-system result-equivalence checking.
+tag index, pure traversal, embedded DOM) through one ``repro.connect()``
+database, with bulkload statistics and cross-system result-equivalence
+checking.
 
 Run with:  python examples/compare_systems.py [scale]
 """
 
 import sys
 
-from repro import BenchmarkRunner, check_equivalence, generate_string
+import repro
 from repro.benchmark.report import format_table
 from repro.benchmark.systems import SYSTEMS
 
@@ -19,15 +20,16 @@ QUERIES_TO_RUN = (1, 2, 6, 8, 11, 17, 20)
 
 
 def main(scale: float = 0.004) -> None:
-    document = generate_string(scale)
+    document = repro.generate_string(scale)
     print(f"document: {len(document):,} bytes (scale {scale})\n")
 
-    runner = BenchmarkRunner(document)
+    db = repro.connect(document, systems=tuple(SYSTEMS))
+    session = db.session()
 
     print("== Bulkload (the paper's Table 1 view) ==")
     rows = []
-    for system in sorted(runner.load_reports):
-        report = runner.load_reports[system]
+    for system in sorted(db.load_reports):
+        report = db.load_reports[system]
         rows.append([
             system,
             SYSTEMS[system].description.split(",")[0],
@@ -37,19 +39,21 @@ def main(scale: float = 0.004) -> None:
     print(format_table(["System", "Architecture", "Load", "DB size"], rows))
 
     print("\n== Query latencies (ms) and result equivalence ==")
-    headers = ["Query"] + sorted(runner.stores) + ["equivalent?"]
+    headers = ["Query"] + sorted(db.stores) + ["equivalent?"]
     rows = []
     for query in QUERIES_TO_RUN:
         results = {}
         cells = [f"Q{query}"]
-        for system in sorted(runner.stores):
-            timing, result = runner.run(system, query)
-            results[system] = result
-            cells.append(f"{timing.total_ms:.1f}")
-        report = check_equivalence(query, results)
+        for system in sorted(db.stores):
+            cursor = session.execute(query, system=system, stream=False)
+            results[system] = cursor.result()
+            cells.append(
+                f"{(cursor.compile_seconds + cursor.execute_seconds) * 1000:.1f}")
+        report = repro.check_equivalence(query, results)
         cells.append("yes" if report.ok else f"NO: {sorted(report.disagreeing)}")
         rows.append(cells)
     print(format_table(headers, rows))
+    db.close()
 
 
 if __name__ == "__main__":

@@ -3,39 +3,43 @@
 
 Demonstrates the xmlgen features from Sections 4.5 and 5 of the paper:
 accurate scaling, byte-determinism, the n-entities-per-file split mode with
-its relaxed DTD, and the "mapping tool" that shreds the document into
-bulk-loadable flat files for each relational mapping family.
+its relaxed DTD, the "mapping tool" that shreds the document into
+bulk-loadable flat files for each relational mapping family — and the end
+of the pipeline: the generated document opened as an embedded database
+through ``repro.connect()``.
 
-Run with:  python examples/generate_dataset.py
+Run with:  python examples/generate_dataset.py [scale]
 """
 
 import os
+import sys
 import tempfile
 
-from repro.schema.auction import auction_dtd, auction_split_dtd
+import repro
+from repro.schema.auction import auction_split_dtd
 from repro.storage.shred import shred_to_files
 from repro.xmlgen.config import GeneratorConfig
-from repro.xmlgen.generator import XMarkGenerator, generate_string
+from repro.xmlgen.generator import XMarkGenerator
 
 
-def main() -> None:
+def main(scale: float = 0.001) -> None:
     print("== Accurate scaling (paper Figure 3) ==")
-    for scale in (0.0005, 0.001, 0.005, 0.01):
-        text = generate_string(scale)
-        target = 100e6 * scale
-        print(f"  f={scale:<7g} {len(text):>9,} bytes  (target {target:>11,.0f}, "
+    for factor in (scale / 2, scale, scale * 2):
+        text = repro.generate_string(factor)
+        target = 100e6 * factor
+        print(f"  f={factor:<8g} {len(text):>9,} bytes  (target {target:>11,.0f}, "
               f"ratio {len(text) / target:.2f})")
 
     print("\n== Determinism ==")
-    a = generate_string(0.001)
-    b = generate_string(0.001)
+    a = repro.generate_string(scale)
+    b = repro.generate_string(scale)
     print(f"  two runs, same seed: {'byte-identical' if a == b else 'DIFFER (bug!)'}")
-    c = XMarkGenerator(GeneratorConfig(scale=0.001, seed=99)).generate_string()
+    c = XMarkGenerator(GeneratorConfig(scale=scale, seed=99)).generate_string()
     print(f"  different seed:      {'different content' if a != c else 'IDENTICAL (bug!)'}")
 
     with tempfile.TemporaryDirectory() as workdir:
         print("\n== Split mode (Section 5: n entities per file) ==")
-        config = GeneratorConfig(scale=0.001, entities_per_file=20)
+        config = GeneratorConfig(scale=scale, entities_per_file=20)
         paths = XMarkGenerator(config).write_split(os.path.join(workdir, "split"))
         print(f"  wrote {len(paths)} files; first few: "
               f"{[os.path.basename(p) for p in paths[:4]]}")
@@ -43,16 +47,21 @@ def main() -> None:
               f"{'id CDATA' in auction_split_dtd().serialize()}")
 
         print("\n== Flat-file shredding (the paper's mapping tool) ==")
-        document = generate_string(0.001)
         for mapping in ("edge", "path", "schema"):
-            files = shred_to_files(document, os.path.join(workdir, mapping), mapping)
+            files = shred_to_files(a, os.path.join(workdir, mapping), mapping)
             total = sum(os.path.getsize(f) for f in files)
             print(f"  {mapping:<7} mapping: {len(files):>4} table files, {total:>9,} bytes")
 
     print("\n== The DTD itself ==")
-    dtd = auction_dtd().serialize()
+    dtd = repro.auction_dtd().serialize()
     print("\n".join(dtd.splitlines()[:6]) + "\n  ...")
+
+    print("\n== And the end of the pipeline: an embedded database ==")
+    with repro.connect(a, systems=("F",)) as db, db.session() as session:
+        count = session.execute(
+            "count(/site/open_auctions/open_auction)").fetchone()
+        print(f"  repro.connect -> {count:g} open auctions at f={scale}")
 
 
 if __name__ == "__main__":
-    main()
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.001)

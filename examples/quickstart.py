@@ -1,36 +1,43 @@
 #!/usr/bin/env python3
-"""Quickstart: generate a document, load a store, run a query.
+"""Quickstart: connect to an embedded database and stream query results.
 
-Covers the full pipeline in ~30 lines: xmlgen -> bulkload -> XQuery.
-Run with:  python examples/quickstart.py
+Covers the full pipeline in ~30 lines: xmlgen -> repro.connect() ->
+session -> streaming cursor.
+Run with:  python examples/quickstart.py [scale]
 """
 
-from repro import BenchmarkRunner, generate_string
+import sys
+
+import repro
 from repro.benchmark.queries import QUERIES
 
-SCALE = 0.002  # ~200 kB document; scale 1.0 is the paper's 100 MB standard
 
-
-def main() -> None:
-    print(f"Generating the auction document at scaling factor {SCALE}...")
-    document = generate_string(SCALE)
+def main(scale: float = 0.002) -> None:
+    print(f"Generating the auction document at scaling factor {scale}...")
+    document = repro.generate_string(scale)
     print(f"  {len(document):,} bytes\n")
 
-    print("Bulkloading into System D (main memory + structural summary)...")
-    runner = BenchmarkRunner(document, systems=("D",))
-    report = runner.load_reports["D"]
-    print(f"  loaded in {report.seconds:.2f}s, database {report.database_bytes:,} bytes\n")
+    print("Connecting (System D: main memory + structural summary)...")
+    with repro.connect(document, systems=("D",)) as db:
+        report = db.load_reports["D"]
+        print(f"  loaded in {report.seconds:.2f}s, "
+              f"database {report.database_bytes:,} bytes\n")
 
-    for number in (1, 8, 20):
-        spec = QUERIES[number]
-        print(f"Q{number} ({spec.group}): {spec.description}")
-        timing, result = runner.run("D", number)
-        preview = result.serialize()
-        if len(preview) > 400:
-            preview = preview[:400] + " ..."
-        print(preview)
-        print(f"  -> {len(result)} item(s) in {timing.total_ms:.1f} ms\n")
+        with db.session() as session:
+            for number in (1, 8, 20):
+                spec = QUERIES[number]
+                print(f"Q{number} ({spec.group}): {spec.description}")
+                cursor = session.execute(number)
+                shown = 0
+                for item in cursor:          # rows stream as they are produced
+                    if shown < 4:
+                        print(f"  {cursor.rowtext(item)}")
+                    shown += 1
+                if shown > 4:
+                    print(f"  ... and {shown - 4} more")
+                print(f"  -> {shown} item(s); "
+                      f"compile {cursor.compile_seconds * 1000:.1f} ms\n")
 
 
 if __name__ == "__main__":
-    main()
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.002)

@@ -1,22 +1,26 @@
-"""The query service answering a mixed 4-client workload.
+"""The query service answering a mixed 4-client workload — via the facade.
 
-Loads one generated document into Systems B and D, replays a deterministic
-4-client stream (Zipf-skewed query popularity, 2 ms mean think time) through
-the service's worker pool, and prints what a serving layer adds over the
-paper's one-query-at-a-time protocol: throughput, tail latency, and how much
-work the plan and result caches absorbed.
+Connects with ``service=True``, so the same ``Session.execute`` API now
+routes through the concurrent query service: bounded worker pool,
+per-system admission control, plan and result caches.  Replays a
+deterministic 4-client stream (Zipf-skewed query popularity, 2 ms mean
+think time) and prints what a serving layer adds over the paper's
+one-query-at-a-time protocol: throughput, tail latency, and how much
+work the caches absorbed.
 
-Run:  PYTHONPATH=src python examples/serve_demo.py
+Run:  PYTHONPATH=src python examples/serve_demo.py [scale]
 """
 
+import sys
+
+import repro
 from repro.benchmark.queries import QUERIES
-from repro.service import QueryService, WorkloadGenerator, WorkloadSpec
-from repro.xmlgen.generator import generate_string
+from repro.service import WorkloadGenerator, WorkloadSpec
 
 
-def main() -> None:
-    print("generating document (f = 0.002) ...")
-    text = generate_string(0.002)
+def main(scale: float = 0.002) -> None:
+    print(f"generating document (f = {scale}) ...")
+    text = repro.generate_string(scale)
 
     spec = WorkloadSpec(
         clients=4,
@@ -30,21 +34,23 @@ def main() -> None:
     print(f"workload: {spec.total_requests} requests from {spec.clients} clients; "
           f"hottest queries: {', '.join(f'Q{q}' for q in hot)}")
 
-    with QueryService(text, spec.systems, max_workers=8) as service:
-        # A single ad-hoc query, served synchronously:
-        outcome = service.execute("D", 1)
-        print(f"\nQ1 on System D -> {outcome.result_size} item(s) in "
-              f"{outcome.latency_seconds * 1000:.2f} ms "
+    with repro.connect(text, systems=spec.systems, service=True,
+                       max_workers=8) as db:
+        session = db.session()
+
+        # A single ad-hoc query, served synchronously through the service:
+        cursor = session.execute(1, system="D")
+        print(f"\nQ1 on System D -> {len(cursor.fetchall())} item(s) in "
+              f"{cursor.execute_seconds * 1000:.2f} ms "
               f"({QUERIES[1].group.lower()})")
 
         # The same query again — now a result-cache hit:
-        outcome = service.execute("D", 1)
-        print(f"Q1 again       -> {outcome.latency_seconds * 1000:.2f} ms "
-              f"(result cache hit: {outcome.result_cache_hit})")
+        cursor = session.execute(1, system="D")
+        print(f"Q1 again       -> result cache hit: {cursor.result_cache_hit}")
 
-        # The full multi-client run:
+        # The full multi-client run (the service layer under the facade):
         print("\nreplaying the 4-client workload ...")
-        snapshot = service.run_workload(generator)
+        snapshot = db.service.run_workload(generator)
 
     latency = snapshot["latency"]
     print(f"served {snapshot['completed']} queries in "
@@ -57,4 +63,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.002)

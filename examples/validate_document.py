@@ -1,39 +1,39 @@
 #!/usr/bin/env python3
-"""Validation and structural exploration of a benchmark document.
+"""Validation, structural exploration, and transactional updates.
 
 Shows the schema tooling: DTD validation with typed-reference checking
 (Section 4.2: "all references are typed"), the structural summary as a
-schema browser, and the planner's path-validation warnings (the Section 7
+schema browser, the planner's path-validation warnings (the Section 7
 usability suggestion: warn when a path expression contains non-existing
-tags).
+tags) — and that a committed transaction keeps the document DTD-valid,
+IDREF integrity included.
 
-Run with:  python examples/validate_document.py
+Run with:  python examples/validate_document.py [scale]
 """
 
-from repro import generate_string
-from repro.benchmark.systems import get_profile
+import sys
+
+import repro
 from repro.schema.auction import REFERENCE_TARGETS, auction_dtd
-from repro.schema.validator import validate
-from repro.storage.summary_store import SummaryStore
-from repro.xmlio.parser import parse
-from repro.xquery.planner import compile_query
+from repro.update.engine import serialize_store
 
 
-def main() -> None:
-    document_text = generate_string(0.002)
-    document = parse(document_text)
+def main(scale: float = 0.002) -> None:
+    document_text = repro.generate_string(scale)
+    document = repro.parse(document_text)
 
     print("== DTD validation (structure, attributes, ID/IDREF integrity) ==")
-    report = validate(document, auction_dtd(), REFERENCE_TARGETS)
+    report = repro.validate(document, auction_dtd(), REFERENCE_TARGETS)
     print(f"  elements checked: {report.elements_checked:,}")
     print(f"  IDs seen:         {report.ids_seen:,}")
     print(f"  references:       {report.refs_checked:,}")
     print(f"  verdict:          {'VALID' if report.ok else report.violations[:3]}")
 
+    db = repro.connect(document_text, systems=("D",))
+    session = db.session()
+
     print("\n== Structural summary (System D's DataGuide) ==")
-    store = SummaryStore()
-    store.load(document_text)
-    summary = store.summary
+    summary = db.stores["D"].summary
     print(f"  distinct paths: {summary.path_count()}")
     print(f"  distinct tags:  {len(summary.tags())}")
     print("  largest extents:")
@@ -46,10 +46,20 @@ def main() -> None:
 
     print("\n== Path validation warnings (paper Section 7) ==")
     bad_query = "for $x in /site/people/persn return $x/name/text()"
-    compiled = compile_query(bad_query, store, get_profile("D"))
-    for warning in compiled.warnings:
+    prepared = session.prepare(bad_query)
+    for warning in prepared.warnings:
         print(f"  warning: {warning}")
     print("  (the query still runs; it returns an empty sequence)")
+
+    print("\n== A transaction keeps the document valid ==")
+    with session.transaction() as txn:
+        txn.close_auction("open_auction0", "07/31/2026")
+    print(f"  committed {len(txn.ops)} op(s); digest {txn.summary['digest']}")
+    after = repro.validate(repro.parse(serialize_store(db.stores["D"])),
+                           auction_dtd(), REFERENCE_TARGETS)
+    print(f"  post-commit verdict: "
+          f"{'VALID' if after.ok else after.violations[:3]}")
+    db.close()
 
 
 def _all_paths(summary):
@@ -57,4 +67,4 @@ def _all_paths(summary):
 
 
 if __name__ == "__main__":
-    main()
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.002)

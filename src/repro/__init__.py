@@ -5,20 +5,33 @@ the ``xmlgen`` document generator, the twenty XQuery benchmark queries, the
 seven system architectures the paper evaluates (A-G), and the harness that
 regenerates every table and figure of the evaluation section.
 
-Quickstart::
+Quickstart (the embedded-database facade)::
 
-    from repro import generate_string, BenchmarkRunner
+    import repro
 
-    document = generate_string(scale=0.001)          # ~100 kB auction site
-    runner = BenchmarkRunner(document, systems=("D", "G"))
-    timing, result = runner.run("D", 8)              # Q8 on System D
-    print(result.serialize())
+    document = repro.generate_string(scale=0.001)    # ~100 kB auction site
+    db = repro.connect(document, systems=("D", "G"))
+    with db.session() as session:
+        cursor = session.execute(8, system="D")      # Q8 on System D
+        for item in cursor:                          # rows stream lazily
+            print(cursor.rowtext(item))
+    db.close()
+
+``repro.connect`` fronts every execution path — direct stores, the
+concurrent query service (``service=True``), scatter-gather sharding
+(``shards=N``), and transactional updates (``Session.transaction``).
+The pre-facade entry points (``BenchmarkRunner``, ``compile_query`` +
+``evaluate``) remain as thin shims; see docs/API.md for the migration
+table.
 """
 
 from repro.benchmark.equivalence import check_equivalence
 from repro.benchmark.queries import QUERIES, query_text
 from repro.benchmark.runner import BenchmarkRunner
 from repro.benchmark.systems import SYSTEMS, make_store
+from repro.db import (
+    Cursor, Database, PreparedQuery, Session, Transaction, connect,
+)
 from repro.schema.auction import auction_dtd
 from repro.schema.validator import validate
 from repro.storage.bulkload import bulkload, scan_baseline
@@ -26,17 +39,18 @@ from repro.xmlgen.config import GeneratorConfig
 from repro.xmlgen.generator import XMarkGenerator, generate_document, generate_string
 from repro.xmlio.canonical import canonicalize
 from repro.xmlio.parser import parse
-from repro.xquery.evaluator import evaluate
+from repro.xquery.evaluator import evaluate, evaluate_stream
 from repro.xquery.planner import compile_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "connect", "Database", "Session", "PreparedQuery", "Transaction", "Cursor",
     "GeneratorConfig", "XMarkGenerator", "generate_string", "generate_document",
     "parse", "canonicalize",
     "auction_dtd", "validate",
     "bulkload", "scan_baseline", "make_store", "SYSTEMS",
-    "compile_query", "evaluate",
+    "compile_query", "evaluate", "evaluate_stream",
     "QUERIES", "query_text", "BenchmarkRunner", "check_equivalence",
     "__version__",
 ]

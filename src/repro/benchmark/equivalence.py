@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import BenchmarkError
 from repro.xquery.evaluator import QueryResult
 
 
@@ -41,7 +42,7 @@ def check_equivalence(
     language leaves unspecified).
     """
     if not results:
-        raise ValueError("no results to compare")
+        raise BenchmarkError("no results to compare")
     reference = reference or sorted(results)[0]
     report = EquivalenceReport(query, reference)
     expected = results[reference].canonical(ordered=ordered)

@@ -39,7 +39,13 @@ def _register(number: int, group: str, description: str, text: str) -> None:
 
 def query_text(number: int) -> str:
     """The XQuery source of query ``number`` (1-20)."""
-    return QUERIES[number].text
+    try:
+        return QUERIES[number].text
+    except KeyError:
+        from repro.errors import BenchmarkError
+        raise BenchmarkError(
+            f"unknown query number {number}; benchmark queries are "
+            f"1-{max(QUERIES)}") from None
 
 
 _register(1, "Exact match", "Return the name of the person with ID 'person0'.", """

@@ -4,19 +4,24 @@ Reproduces the paper's measurement protocol: queries are compiled and
 executed per system, with the compilation phase (parse + metadata
 resolution + optimization) timed separately from execution, in both wall
 and CPU time — the split behind Table 2.
+
+Since the embedded-database facade landed, this class is a thin shim over
+:func:`repro.connect`: the facade owns loading and execution, the runner
+keeps the paper's measurement protocol and its historical attribute
+surface (``stores`` / ``load_reports`` / ``failed_loads``).  New code
+should use ``repro.connect()`` directly — see docs/API.md for the
+migration table.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.benchmark.queries import QUERIES
-from repro.benchmark.systems import SYSTEMS, get_profile, make_store
+from repro.benchmark.queries import query_text
+from repro.benchmark.systems import SYSTEMS, get_profile
 from repro.errors import BenchmarkError
-from repro.storage.bulkload import BulkloadReport, bulkload
 from repro.storage.interface import Store
-from repro.xquery.evaluator import QueryResult, evaluate
+from repro.xquery.evaluator import QueryResult
 from repro.xquery.planner import CompiledQuery, compile_query
 
 
@@ -50,21 +55,21 @@ class QueryTiming:
 
 
 class BenchmarkRunner:
-    """Loads a document into the chosen systems and runs queries on them."""
+    """Loads a document into the chosen systems and runs queries on them.
+
+    Deprecated shim: rebased on :class:`repro.db.Database` (a direct
+    connection), kept because the paper-table harness and a large test
+    surface are written against it.
+    """
 
     def __init__(self, document: str, systems: tuple[str, ...] = tuple(SYSTEMS)) -> None:
+        from repro.db import connect
+        self.database = connect(document, systems=systems)
         self.document = document
-        self.stores: dict[str, Store] = {}
-        self.load_reports: dict[str, BulkloadReport] = {}
-        self.failed_loads: dict[str, str] = {}
-        for name in systems:
-            store = make_store(name)
-            try:
-                self.load_reports[name] = bulkload(store, document, name)
-            except Exception as exc:  # the paper's System G fails at scale 1.0
-                self.failed_loads[name] = str(exc)
-                continue
-            self.stores[name] = store
+        self.stores = self.database.stores
+        self.load_reports = self.database.load_reports
+        self.failed_loads = self.database.failed_loads
+        self._session = self.database.session()
 
     def store(self, system: str) -> Store:
         try:
@@ -74,33 +79,24 @@ class BenchmarkRunner:
             raise BenchmarkError(f"system {system} unavailable: {reason}") from None
 
     def compile(self, system: str, query: int) -> CompiledQuery:
-        return compile_query(QUERIES[query].text, self.store(system), get_profile(system))
+        return compile_query(query_text(query), self.store(system),
+                             get_profile(system))
 
     def run(self, system: str, query: int) -> tuple[QueryTiming, QueryResult]:
         """Compile and execute one query, timing both phases."""
-        store = self.store(system)
-        text = QUERIES[query].text
-        profile = get_profile(system)
-
-        wall0 = time.perf_counter()
-        cpu0 = time.process_time()
-        compiled = compile_query(text, store, profile)
-        cpu1 = time.process_time()
-        wall1 = time.perf_counter()
-        result = evaluate(compiled)
-        cpu2 = time.process_time()
-        wall2 = time.perf_counter()
-
+        self.store(system)  # fail fast with the historical message
+        cursor = self._session.execute(query, system=system, stream=False)
+        result = cursor.result()
         timing = QueryTiming(
             system=system,
             query=query,
-            compile_seconds=wall1 - wall0,
-            compile_cpu_seconds=cpu1 - cpu0,
-            execute_seconds=wall2 - wall1,
-            execute_cpu_seconds=cpu2 - cpu1,
+            compile_seconds=cursor.compile_seconds,
+            compile_cpu_seconds=cursor.compile_cpu_seconds,
+            execute_seconds=cursor.execute_seconds,
+            execute_cpu_seconds=cursor.execute_cpu_seconds,
             result_size=len(result),
-            metadata_accesses=compiled.metadata_accesses,
-            plans_considered=compiled.plans_considered,
+            metadata_accesses=cursor.metadata_accesses,
+            plans_considered=cursor.plans_considered,
         )
         return timing, result
 

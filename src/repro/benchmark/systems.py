@@ -130,6 +130,29 @@ def make_store(name: str) -> Store:
         raise BenchmarkError(f"unknown system {name!r}; choose from A-G") from None
 
 
+def load_stores(document: str, systems: tuple[str, ...]) -> tuple[dict, dict, dict]:
+    """Bulkload one store per system letter (shared by every connection
+    owner: the embedded Database and the QueryService).
+
+    Returns ``(stores, load_reports, failed_loads)``; a system that fails
+    to load (System G's capacity limit at scale, notably) lands in
+    ``failed_loads`` with the failure reason instead of raising.
+    """
+    from repro.storage.bulkload import bulkload
+    stores: dict[str, Store] = {}
+    reports: dict = {}
+    failed: dict[str, str] = {}
+    for name in systems:
+        store = make_store(name)
+        try:
+            reports[name] = bulkload(store, document, name)
+        except Exception as exc:
+            failed[name] = str(exc)
+            continue
+        stores[name] = store
+    return stores, reports, failed
+
+
 def get_profile(name: str) -> SystemProfile:
     try:
         return SYSTEMS[name].profile

@@ -39,10 +39,28 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("dtd", help="print the auction DTD")
     commands.add_parser("queries", help="list the twenty queries")
 
-    query = commands.add_parser("query", help="run one query on one system")
+    query = commands.add_parser(
+        "query",
+        help="run queries on the embedded database (one-shot or interactive)",
+        description="Open an embedded database over a generated document "
+                    "(repro.connect) and execute queries through a session: "
+                    "a benchmark number (-q), raw XQuery text (positional "
+                    "argument), or an interactive shell (-i) reading "
+                    "blank-line-terminated queries from stdin.  Result rows "
+                    "print as the cursor streams them.")
+    query.add_argument("text", nargs="?", default=None,
+                       help="raw XQuery text to execute (omit with -q or -i)")
     query.add_argument("-f", "--factor", type=float, default=0.005)
-    query.add_argument("-q", "--query", type=int, required=True, choices=sorted(QUERIES))
+    query.add_argument("-q", "--query", type=int, default=None,
+                       choices=sorted(QUERIES),
+                       help="benchmark query number to execute")
     query.add_argument("-s", "--system", default="D", choices=list("ABCDEFG"))
+    query.add_argument("--shards", type=int, default=None,
+                       help="route through an N-shard scatter-gather "
+                            "deployment instead of system -s")
+    query.add_argument("-i", "--interactive", action="store_true",
+                       help="read queries from stdin (number or XQuery text; "
+                            "finish each with a blank line, :quit exits)")
 
     bench = commands.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument("-f", "--factor", type=float, default=0.005)
@@ -349,6 +367,71 @@ def _shard_report(args) -> int:
     return 1 if failures else 0
 
 
+def _query_command(args) -> int:
+    """``xmark query``: sessions + streaming cursors over ``repro.connect``."""
+    import time as _time
+
+    from repro.db import connect
+    from repro.errors import XMarkError
+
+    if args.query is None and args.text is None and not args.interactive:
+        print("query: give -q NUMBER, raw XQuery text, or -i", file=sys.stderr)
+        return 2
+    document = generate_string(args.factor)
+    if args.shards is not None:
+        database = connect(document, systems=(), shards=args.shards)
+        target = "S"
+    else:
+        database = connect(document, systems=(args.system,))
+        target = args.system
+
+    def run_one(session, query: int | str) -> int:
+        started = _time.perf_counter()
+        try:
+            cursor = session.execute(query, system=target)
+            count = 0
+            for item in cursor:         # rows print as the cursor streams
+                print(cursor.rowtext(item), flush=True)
+                count += 1
+        except XMarkError as exc:
+            print(f"query: {exc}", file=sys.stderr)
+            return 1
+        elapsed = (_time.perf_counter() - started) * 1000.0
+        mode = "streamed" if cursor.streaming else "materialized"
+        print(f"\n-- {count} item(s) in {elapsed:.1f} ms on {target} "
+              f"({mode}; compile {cursor.compile_seconds * 1000:.1f} ms)",
+              file=sys.stderr)
+        return 0
+
+    def parse_input(block: str) -> int | str:
+        stripped = block.strip()
+        return int(stripped) if stripped.isdigit() else block
+
+    with database, database.session() as session:
+        if not args.interactive:
+            query = args.query if args.query is not None else args.text
+            return run_one(session, query)
+        print("XMark query shell — enter a benchmark number or XQuery text; "
+              "finish each query with a blank line; :quit exits.",
+              file=sys.stderr)
+        status = 0
+        buffer: list[str] = []
+        for line in sys.stdin:
+            stripped = line.strip()
+            if stripped == ":quit":
+                buffer = []             # an un-submitted query is abandoned
+                break
+            if stripped == "":
+                if buffer:
+                    status |= run_one(session, parse_input("\n".join(buffer)))
+                    buffer = []
+                continue
+            buffer.append(line.rstrip("\n"))
+        if buffer:
+            status |= run_one(session, parse_input("\n".join(buffer)))
+        return status
+
+
 def _serve_bench(args) -> int:
     from repro.benchmark.systems import parse_system_letters
     from repro.errors import BenchmarkError
@@ -444,14 +527,7 @@ def main(argv: list[str] | None = None) -> int:
         return _shard_report(args)
 
     if args.command == "query":
-        text = generate_string(args.factor)
-        runner = BenchmarkRunner(text, systems=(args.system,))
-        timing, result = runner.run(args.system, args.query)
-        print(result.serialize())
-        print(f"\n-- {len(result)} item(s); compile {timing.compile_seconds*1000:.1f} ms, "
-              f"execute {timing.execute_seconds*1000:.1f} ms on System {args.system}",
-              file=sys.stderr)
-        return 0
+        return _query_command(args)
 
     if args.command == "bench":
         text = generate_string(args.factor)

@@ -1,0 +1,170 @@
+"""Streaming cursors: the one result surface of the embedded API.
+
+A :class:`Cursor` fronts every execution path the facade routes to.  On a
+direct connection it is backed by the evaluator's lazy pipeline
+(:func:`repro.xquery.evaluator.evaluate_stream`): items are produced as
+the plan yields them, so the first row of a large result arrives long
+before the last binding has been evaluated.  Service and scatter-gather
+connections materialize (their caches need complete results) and the
+cursor streams from the finished sequence — same protocol, different
+latency profile.
+
+Whatever the backing, ``fetchall()`` returns exactly the items the legacy
+``evaluate()`` would have put in ``QueryResult.items``, in the same
+order — laziness changes *when* work happens, never *what* comes out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import ClosedCursorError
+from repro.xquery.evaluator import QueryResult, item_text
+from repro.xquery.sequence import Navigator
+
+
+class Cursor:
+    """One query execution's result sequence, consumed incrementally.
+
+    DB-API-flavored: :meth:`fetchone` / :meth:`fetchmany` /
+    :meth:`fetchall`, plus iteration.  Items are what the XQuery data
+    model produces — :class:`~repro.xquery.sequence.NodeItem` for nodes,
+    plain Python values for atomics; :meth:`rowtext` renders one item the
+    way ``QueryResult.serialize`` renders a line.
+
+    Execution metadata rides along: ``compile_seconds`` /
+    ``execute_seconds`` (the latter 0.0 on streaming cursors, where
+    execution happens during fetching), ``plan_cache_hit`` /
+    ``result_cache_hit`` (service connections), ``source`` (which path
+    served it: ``direct`` / ``service`` / ``scatter``), and ``streaming``
+    (whether rows are produced lazily).
+    """
+
+    arraysize = 100
+
+    def __init__(
+        self,
+        items: Iterator | list,
+        navigator: Navigator,
+        *,
+        system: str,
+        query_text: str,
+        streaming: bool,
+        source: str = "direct",
+        compile_seconds: float = 0.0,
+        compile_cpu_seconds: float = 0.0,
+        execute_seconds: float = 0.0,
+        execute_cpu_seconds: float = 0.0,
+        metadata_accesses: int = 0,
+        plans_considered: int = 0,
+        plan_cache_hit: bool = False,
+        result_cache_hit: bool = False,
+    ) -> None:
+        self._iterator = iter(items)
+        self.navigator = navigator
+        self.system = system
+        self.query_text = query_text
+        self.streaming = streaming
+        self.source = source
+        self.compile_seconds = compile_seconds
+        self.compile_cpu_seconds = compile_cpu_seconds
+        self.execute_seconds = execute_seconds
+        self.execute_cpu_seconds = execute_cpu_seconds
+        self.metadata_accesses = metadata_accesses
+        self.plans_considered = plans_considered
+        self.plan_cache_hit = plan_cache_hit
+        self.result_cache_hit = result_cache_hit
+        #: Rows fetched so far; equals the result size once exhausted.
+        self.rowcount = 0
+        self._exhausted = False
+        self._closed = False
+        self._invalid_reason: str | None = None
+
+    # -- fetching -----------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ClosedCursorError(
+                self._invalid_reason or "cannot fetch from a closed cursor")
+
+    def fetchone(self):
+        """The next result item, or None when the sequence is exhausted."""
+        self._require_open()
+        try:
+            item = next(self._iterator)
+        except StopIteration:
+            self._exhausted = True
+            return None
+        self.rowcount += 1
+        return item
+
+    def fetchmany(self, size: int | None = None) -> list:
+        """Up to ``size`` further items (default :attr:`arraysize`)."""
+        self._require_open()
+        count = self.arraysize if size is None else size
+        out = []
+        for _ in range(count):
+            item = self.fetchone()
+            if item is None and self._exhausted:
+                break
+            out.append(item)
+        return out
+
+    def fetchall(self) -> list:
+        """Every remaining item — bit-identical to the eager evaluator's
+        ``QueryResult.items`` when fetched from a fresh cursor."""
+        self._require_open()
+        out = list(self._iterator)
+        self.rowcount += len(out)
+        self._exhausted = True
+        return out
+
+    def __iter__(self):
+        while True:
+            item = self.fetchone()
+            if item is None and self._exhausted:
+                return
+            yield item
+
+    def __next__(self):
+        item = self.fetchone()
+        if item is None and self._exhausted:
+            raise StopIteration
+        return item
+
+    # -- presentation --------------------------------------------------------------
+
+    def rowtext(self, item) -> str:
+        """One item as text: markup for nodes, lexical form for atomics."""
+        return item_text(item, self.navigator)
+
+    def serialize(self) -> str:
+        """Every remaining row, one line each (``QueryResult.serialize``)."""
+        return "\n".join(self.rowtext(item) for item in self.fetchall())
+
+    def result(self) -> QueryResult:
+        """The remaining items materialized as a legacy
+        :class:`~repro.xquery.evaluator.QueryResult` (equivalence checks,
+        ``canonical()``, interop with pre-facade code)."""
+        return QueryResult(self.fetchall(), self.navigator)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._iterator = iter(())
+
+    def invalidate(self, reason: str) -> None:
+        """Poison the cursor: further fetches raise ``ClosedCursorError``
+        with ``reason``.  The connection calls this on every open
+        streaming cursor when a transaction commits — a suspended lazy
+        pipeline resumed over a mutated store could otherwise return rows
+        matching neither the pre- nor the post-commit document."""
+        self._invalid_reason = reason
+        self.close()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

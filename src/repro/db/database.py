@@ -1,0 +1,346 @@
+"""The embedded database: one facade over every execution path.
+
+``repro.connect()`` is the library's front door.  Behind one API —
+sessions, prepared queries, streaming cursors, transactions — it routes
+to whichever engine the connect options selected:
+
+* **direct** (the default): each requested system letter is bulkloaded
+  into its own store; queries compile per system and execute in-process,
+  with cursors streaming straight off the evaluator's lazy pipeline.
+* **scatter** (``shards=N``): the document is additionally partitioned
+  into a :class:`~repro.shard.store.ShardedStore` served by a
+  :class:`~repro.shard.scatter.ScatterGatherExecutor` under the
+  pseudo-system name ``shard_system`` (default ``"S"``).
+* **service** (``service=True``): everything runs through a
+  :class:`~repro.service.QueryService` — bounded worker pool, per-system
+  admission control, plan and result caches — including the sharded
+  pseudo-system when ``shards`` is also given.
+
+Whatever the route, ``Cursor.fetchall()`` returns exactly what the legacy
+entry points returned, and every write goes through the update engine, so
+digests, indexes, and caches stay consistent.  See docs/API.md.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+
+from repro.benchmark.queries import query_text as benchmark_query_text
+from repro.benchmark.systems import SYSTEMS, get_profile, load_stores
+from repro.db.cursor import Cursor
+from repro.db.session import Session
+from repro.errors import BenchmarkError, ClosedSessionError, UnknownSystemError
+from repro.storage.bulkload import bulkload
+from repro.storage.interface import Store
+from repro.update.engine import apply_transaction_ops
+from repro.update.ops import UpdateOp, transaction_token
+from repro.xquery.evaluator import evaluate, evaluate_stream
+from repro.xquery.planner import CompiledQuery, compile_query
+
+#: Default pseudo-system name of the sharded deployment (mirrors
+#: :class:`repro.service.ShardSpec`).
+DEFAULT_SHARD_SYSTEM = "S"
+
+
+def connect(
+    document: str,
+    *,
+    systems: tuple[str, ...] = ("D",),
+    shards: int | None = None,
+    backends: tuple[str, ...] = ("F",),
+    shard_system: str = DEFAULT_SHARD_SYSTEM,
+    service: bool = False,
+    max_workers: int = 8,
+    per_system_limit: int | None = None,
+    plan_cache_size: int = 128,
+    result_cache_size: int = 1024,
+    per_shard_limit: int = 2,
+) -> "Database":
+    """Open an embedded database over a generated (or any) XML document.
+
+    ``systems`` names the benchmark architectures to load (A-G);
+    ``shards=N`` additionally serves a scatter-gather deployment as
+    pseudo-system ``shard_system``; ``service=True`` puts a concurrent
+    query service (admission control + plan/result caches) in front of
+    everything.  The remaining keywords tune the service/scatter layers
+    and are ignored on a plain direct connection.
+    """
+    return Database(
+        document,
+        systems=tuple(systems),
+        shards=shards,
+        backends=tuple(backends),
+        shard_system=shard_system,
+        service=service,
+        max_workers=max_workers,
+        per_system_limit=per_system_limit,
+        plan_cache_size=plan_cache_size,
+        result_cache_size=result_cache_size,
+        per_shard_limit=per_shard_limit,
+    )
+
+
+class Database:
+    """A connected embedded database; open sessions with :meth:`session`."""
+
+    def __init__(
+        self,
+        document: str,
+        *,
+        systems: tuple[str, ...] = ("D",),
+        shards: int | None = None,
+        backends: tuple[str, ...] = ("F",),
+        shard_system: str = DEFAULT_SHARD_SYSTEM,
+        service: bool = False,
+        max_workers: int = 8,
+        per_system_limit: int | None = None,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 1024,
+        per_shard_limit: int = 2,
+    ) -> None:
+        for name in systems:
+            if name not in SYSTEMS:
+                raise UnknownSystemError(name, tuple(SYSTEMS))
+        if shards is not None and shards <= 0:
+            raise BenchmarkError(f"shards must be positive, got {shards}")
+        self.document = document
+        self.shard_system = shard_system if shards is not None else None
+        self._closed = False
+        self.service = None
+        self._scatter = None
+        #: Live streaming cursors, poisoned when a transaction commits
+        #: (their suspended pipelines hold pre-commit store handles).
+        self._streaming_cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
+
+        if service:
+            from repro.service import QueryService, ShardSpec
+            spec = (ShardSpec(shards=shards, backends=tuple(backends),
+                              name=shard_system,
+                              per_shard_limit=per_shard_limit)
+                    if shards is not None else None)
+            self.service = QueryService(
+                document, tuple(systems),
+                max_workers=max_workers,
+                per_system_limit=per_system_limit,
+                plan_cache_size=plan_cache_size,
+                result_cache_size=result_cache_size,
+                shard_spec=spec,
+            )
+            self.stores = self.service.stores
+            self.load_reports = self.service.load_reports
+            self.failed_loads = self.service.failed_loads
+        else:
+            self.stores, self.load_reports, self.failed_loads = load_stores(
+                document, tuple(systems))
+            if shards is not None:
+                from repro.shard.scatter import ScatterGatherExecutor
+                from repro.shard.store import ShardedStore
+                if shard_system in SYSTEMS:
+                    raise BenchmarkError(
+                        f"shard system name {shard_system!r} collides with a "
+                        "benchmark system letter")
+                sharded = ShardedStore(shards, tuple(backends))
+                try:
+                    self.load_reports[shard_system] = bulkload(
+                        sharded, document, shard_system)
+                except Exception as exc:
+                    self.failed_loads[shard_system] = str(exc)
+                else:
+                    self.stores[shard_system] = sharded
+                    self._scatter = ScatterGatherExecutor(
+                        sharded, per_shard_limit=per_shard_limit)
+        self._serving = tuple(self.stores)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection: the service pool / scatter executor shut
+        down, and every session and new cursor refuses further work."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.service is not None:
+            self.service.close()
+        if self._scatter is not None:
+            self._scatter.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ClosedSessionError("database connection is closed")
+
+    def session(self) -> Session:
+        """A new session over this connection (cheap; open many)."""
+        self._require_open()
+        return Session(self)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def systems(self) -> tuple[str, ...]:
+        """The system names this connection serves, default first."""
+        return self._serving
+
+    def default_system(self) -> str:
+        if not self._serving:
+            raise BenchmarkError("no system loaded successfully")
+        return self._serving[0]
+
+    def resolve_system(self, system: str | None) -> str:
+        if system is None:
+            return self.default_system()
+        if system not in self.stores and system not in self.failed_loads:
+            raise UnknownSystemError(system, self._serving)
+        return system
+
+    def store(self, system: str) -> Store:
+        """The live store behind one system (legacy interop surface)."""
+        name = self.resolve_system(system)
+        try:
+            return self.stores[name]
+        except KeyError:
+            reason = self.failed_loads.get(name, "not loaded")
+            raise BenchmarkError(f"system {name} unavailable: {reason}") from None
+
+    def document_digest(self, system: str | None = None) -> str | None:
+        """The current document digest of one serving system."""
+        return self.store(self.resolve_system(system)).document_digest()
+
+    def query_text(self, query: int | str) -> str:
+        """Resolve a benchmark query number (or pass raw XQuery through)."""
+        if isinstance(query, int):
+            return benchmark_query_text(query)
+        return query
+
+    # -- execution ------------------------------------------------------------------
+
+    def compile(self, system: str, text: str) -> CompiledQuery:
+        """Compile one query against one direct store (prepared queries)."""
+        store = self.store(system)
+        return compile_query(text, store, get_profile(system))
+
+    def execute(self, system: str | None, query: int | str, *,
+                stream: bool = True,
+                compiled: CompiledQuery | None = None) -> Cursor:
+        """Route one query to the connection's engine; returns a cursor.
+
+        ``stream=True`` (the default) gives a lazily-produced cursor on
+        direct connections; service and scatter routes materialize (their
+        caches need complete results) and stream from the finished
+        sequence.  ``compiled`` short-circuits compilation (prepared
+        queries).
+        """
+        self._require_open()
+        name = self.resolve_system(system)
+        text = self.query_text(query)
+        if self.service is not None:
+            outcome = self.service.execute(name, text)
+            result = outcome.result
+            return Cursor(
+                result.items, result.navigator,
+                system=name, query_text=text, streaming=False,
+                source="service",
+                compile_seconds=outcome.compile_seconds,
+                execute_seconds=outcome.execute_seconds,
+                plan_cache_hit=outcome.plan_cache_hit,
+                result_cache_hit=outcome.result_cache_hit,
+            )
+        if self._scatter is not None and name == self.shard_system:
+            started = time.perf_counter()
+            outcome = self._scatter.execute(text)
+            elapsed = time.perf_counter() - started
+            result = outcome.result
+            return Cursor(
+                result.items, result.navigator,
+                system=name, query_text=text, streaming=False,
+                source="scatter",
+                execute_seconds=elapsed,
+                plan_cache_hit=outcome.plan_cache_hit,
+            )
+        store = self.store(name)
+        if compiled is not None and compiled.store is not store:
+            compiled = None             # superseded by a reload: recompile
+        plan_reused = compiled is not None
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        if compiled is None:
+            compiled = compile_query(text, store, get_profile(name))
+        cpu1 = time.process_time()
+        wall1 = time.perf_counter()
+        if stream:
+            streamed = evaluate_stream(compiled)
+            cursor = Cursor(
+                iter(streamed), streamed.navigator,
+                system=name, query_text=text, streaming=True,
+                source="direct",
+                compile_seconds=0.0 if plan_reused else wall1 - wall0,
+                compile_cpu_seconds=0.0 if plan_reused else cpu1 - cpu0,
+                metadata_accesses=compiled.metadata_accesses,
+                plans_considered=compiled.plans_considered,
+                plan_cache_hit=plan_reused,
+            )
+            self._streaming_cursors.add(cursor)
+            return cursor
+        result = evaluate(compiled)
+        cpu2 = time.process_time()
+        wall2 = time.perf_counter()
+        return Cursor(
+            result.items, result.navigator,
+            system=name, query_text=text, streaming=False,
+            source="direct",
+            compile_seconds=0.0 if plan_reused else wall1 - wall0,
+            compile_cpu_seconds=0.0 if plan_reused else cpu1 - cpu0,
+            execute_seconds=wall2 - wall1,
+            execute_cpu_seconds=cpu2 - cpu1,
+            metadata_accesses=compiled.metadata_accesses,
+            plans_considered=compiled.plans_considered,
+            plan_cache_hit=plan_reused,
+        )
+
+    # -- the write path -------------------------------------------------------------
+
+    def apply_transaction(self, ops: list[UpdateOp], *,
+                          maintenance: str | None = None) -> dict:
+        """Commit a batch of update operations as one unit.
+
+        Every serving store receives every operation (operation-major
+        order, so a deterministic failure leaves all stores at the same
+        consistent prefix), then each store's digest advances once, over
+        the batch token.  On a service connection the service additionally
+        drains every system's admission gate for the whole batch (readers
+        never observe an intermediate document) and runs one path-selective
+        invalidation pass over the union change footprint.
+
+        There is no rollback: on failure the committed prefix stays
+        applied, digests advance over exactly the applied operations, and
+        a :class:`~repro.errors.TransactionError` reports how far the
+        batch got.
+        """
+        self._require_open()
+        if self.service is not None:
+            return self.service.apply_transaction(ops, maintenance=maintenance)
+        if not ops:
+            return {"ops": [], "systems": {}, "digest": None}
+        # A suspended streaming pipeline holds pre-commit store handles;
+        # resuming it over the mutated store could yield rows matching
+        # neither document state.  Poison open streaming cursors first.
+        for cursor in list(self._streaming_cursors):
+            if not cursor._exhausted:
+                cursor.invalidate(
+                    "streaming cursor invalidated by a transaction commit "
+                    "on this connection; re-execute the query")
+        self._streaming_cursors.clear()
+        costs, _changed, _ancestors = apply_transaction_ops(
+            self.stores, ops, maintenance_mode=maintenance)
+        token = transaction_token(ops)
+        digest = None
+        for store in self.stores.values():
+            digest = store.advance_digest(token)
+        return {"ops": [op.token() for op in ops], "systems": costs,
+                "digest": digest}

@@ -67,9 +67,48 @@ class BenchmarkError(XMarkError):
     """Raised by the benchmark harness (unknown system, missing query)."""
 
 
+class UnknownSystemError(BenchmarkError):
+    """Raised when a request names a system the connection does not serve.
+
+    Subclasses :class:`BenchmarkError` so legacy ``except BenchmarkError``
+    handlers written against the pre-facade entry points keep working.
+    """
+
+    def __init__(self, system: str, available: tuple[str, ...] = ()) -> None:
+        choices = f"; serving {', '.join(available)}" if available else ""
+        super().__init__(f"unknown system {system!r}{choices}")
+        self.system = system
+        self.available = tuple(available)
+
+
 class UpdateError(XMarkError):
     """Raised by the update engine (bad target, schema-invalid write)."""
 
 
+class TransactionError(UpdateError):
+    """Raised when a transaction cannot commit as one unit.
+
+    ``applied`` counts the operations that took effect before the failing
+    one; the stores remain mutually consistent at that prefix (their
+    digests are advanced over exactly the applied operations).
+    """
+
+    def __init__(self, message: str, applied: int = 0) -> None:
+        super().__init__(message)
+        self.applied = applied
+
+
 class ShardError(XMarkError):
     """Raised by the sharded document subsystem (bad partition, routing)."""
+
+
+class SessionError(XMarkError):
+    """Base class for embedded-database session/cursor misuse."""
+
+
+class ClosedSessionError(SessionError):
+    """Raised when a closed :class:`repro.db.Session`/``Database`` is used."""
+
+
+class ClosedCursorError(SessionError):
+    """Raised when a closed :class:`repro.db.Cursor` is fetched from."""

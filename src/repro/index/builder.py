@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 
+from repro.errors import StorageError
 from repro.index.indexes import PathIndex, SortedNumericIndex, ValueIndex
 from repro.index.spec import SORTED, VALUE, FieldSpec, IndexSpec
 
@@ -35,13 +36,13 @@ def extract_values(store, node, accessor: tuple[str, ...]) -> list[str]:
         terminal = position == len(accessor) - 1
         if step.startswith("@"):
             if not terminal:
-                raise ValueError(f"attribute step {step!r} must be terminal")
+                raise StorageError(f"attribute step {step!r} must be terminal")
             name = step[1:]
             values = [store.attribute(n, name) for n in nodes]
             return [value for value in values if value is not None]
         if step == "text()":
             if not terminal:
-                raise ValueError("text() step must be terminal")
+                raise StorageError("text() step must be terminal")
             return [text for n in nodes for text in store.child_texts(n) if text]
         nodes = [child for n in nodes for child in store.children_by_tag(n, step)]
     # Element-valued accessor (no terminal @attr/text()): the string values.
@@ -129,7 +130,7 @@ def build_index_set(store, spec: IndexSpec) -> IndexSet:
         elif field.kind == SORTED:
             index_set.sorteds[field.key] = SortedNumericIndex(field)
         else:
-            raise ValueError(f"unknown index kind {field.kind!r}")
+            raise StorageError(f"unknown index kind {field.kind!r}")
         fields_at.setdefault(field.path, []).append(field)
 
     paths = index_set.paths

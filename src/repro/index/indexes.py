@@ -13,6 +13,8 @@ from __future__ import annotations
 import sys
 from bisect import bisect_left, bisect_right, insort
 
+from repro.errors import QueryError
+
 
 def normalize_key(value) -> float | str | None:
     """The typed key of one raw value, matching runtime-cast comparisons.
@@ -208,7 +210,7 @@ class SortedNumericIndex:
             return bisect_left(self._keys, bound), len(self._keys)
         if op == "=":
             return bisect_left(self._keys, bound), bisect_right(self._keys, bound)
-        raise ValueError(f"sorted index cannot answer op {op!r}")
+        raise QueryError(f"sorted index cannot answer op {op!r}")
 
     def range(self, op: str, bound: float) -> list[tuple[int, object]]:
         """Matching ``(seq, handle)`` pairs in key order (may repeat a node
@@ -242,7 +244,7 @@ class SortedNumericIndex:
         elif op == "<=":
             start, stop = bisect_left(keys, outer, key=key_fn), len(keys)
         else:
-            raise ValueError(f"sorted join cannot answer op {op!r}")
+            raise QueryError(f"sorted join cannot answer op {op!r}")
         return list(zip(self._seqs[start:stop], self._handles[start:stop]))
 
     # -- incremental maintenance -------------------------------------------------

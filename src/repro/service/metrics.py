@@ -13,6 +13,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.errors import BenchmarkError
+
 
 def percentile(samples: list[float], q: float) -> float:
     """The ``q``-th percentile (0..100) by linear interpolation.
@@ -22,9 +24,9 @@ def percentile(samples: list[float], q: float) -> float:
     ``x[floor(r)]`` and ``x[ceil(r)]``.
     """
     if not samples:
-        raise ValueError("percentile of an empty sample")
+        raise BenchmarkError("percentile of an empty sample")
     if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile out of range: {q}")
+        raise BenchmarkError(f"percentile out of range: {q}")
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]

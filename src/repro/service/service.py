@@ -34,11 +34,11 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass
 
 from repro.benchmark.queries import QUERIES
-from repro.benchmark.systems import SYSTEMS, get_profile, make_store
+from repro.benchmark.systems import SYSTEMS, get_profile, load_stores
 from repro.errors import BenchmarkError, ShardError
 from repro.service.cache import PlanCache, ResultCache
 from repro.service.invalidation import affected, query_footprint
@@ -145,16 +145,12 @@ class QueryService:
 
     def _load(self, document: str, systems: tuple[str, ...]) -> None:
         spec = self.shard_spec
-        for name in systems:
-            if spec is not None and name == spec.name:
-                continue                # the sharded deployment loads below
-            store = make_store(name)
-            try:
-                self.load_reports[name] = bulkload(store, document, name)
-            except Exception as exc:  # System G's capacity limit, notably
-                self.failed_loads[name] = str(exc)
-                continue
-            self.stores[name] = store
+        plain = tuple(name for name in systems
+                      if spec is None or name != spec.name)
+        stores, reports, failed = load_stores(document, plain)
+        self.stores.update(stores)
+        self.load_reports.update(reports)
+        self.failed_loads.update(failed)
         if spec is not None:
             sharded = ShardedStore(spec.shards, spec.backends)
             try:
@@ -280,6 +276,64 @@ class QueryService:
                 }
             self.updates_applied += 1
         return {"op": op.token(), "systems": summary}
+
+    def apply_transaction(self, ops: list[UpdateOp], *,
+                          maintenance: str | None = None) -> dict:
+        """Commit a batch of update operations as one atomic unit.
+
+        All serving systems' admission gates are drained and held for the
+        whole batch, so no reader ever observes an intermediate document
+        between the batch's operations — the transaction isolation the
+        per-op :meth:`apply_update` cannot give.  Each store receives the
+        operations in operation-major order (a deterministic failure
+        leaves every store at the same consistent prefix), the digest
+        advances *once* per store over the batch token, and the result
+        cache is re-keyed in one path-selective pass over the union of
+        the batch's change footprints.
+
+        No rollback: on failure the applied prefix stays, each store's
+        digest advances over exactly its applied operations (so lineages
+        remain truthful), that store's cached results are dropped
+        conservatively, and :class:`~repro.errors.TransactionError`
+        reports how far the batch got.
+        """
+        self._require_open()
+        if not ops:
+            return {"ops": [], "systems": {}, "digest": None}
+        from repro.errors import TransactionError
+        from repro.update.engine import apply_transaction_ops
+        from repro.update.ops import transaction_token
+        summary: dict[str, dict] = {}
+        with self._update_lock, ExitStack() as gates:
+            for name in self.stores:
+                gates.enter_context(self._exclusive(name))
+            old_digests = {name: store.document_digest() or ""
+                           for name, store in self.stores.items()}
+            try:
+                costs, changed_tokens, ancestor_tags = apply_transaction_ops(
+                    self.stores, ops, maintenance_mode=maintenance)
+            except TransactionError:
+                # the committed prefix's digests are already re-chained;
+                # drop those stores' cached results conservatively
+                for digest in old_digests.values():
+                    self.result_cache.invalidate_document(digest)
+                raise
+            union = ChangeSet(
+                op_token=transaction_token(ops),
+                changed_tokens=changed_tokens,
+                ancestor_tags=ancestor_tags,
+            )
+            digest = None
+            for name, store in self.stores.items():
+                digest = store.advance_digest(union.op_token)
+                kept, dropped = self.result_cache.rekey_document(
+                    name, old_digests[name], digest,
+                    lambda text: not affected(query_footprint(text), union))
+                summary[name] = dict(costs[name],
+                                     results_kept=kept, results_dropped=dropped)
+            self.updates_applied += 1
+        return {"ops": [op.token() for op in ops], "systems": summary,
+                "digest": digest}
 
     def apply_next_update(self, *, maintenance: str | None = None) -> dict:
         """Generate and apply the next operation of the service's

@@ -285,7 +285,7 @@ class FragmentStore(Store):
         self.stats.index_lookups += 1
         row = index.unique(pre)
         if row is None:
-            raise KeyError(f"no row for handle {node!r}")
+            raise StorageError(f"no row for handle {node!r}")
         return row
 
     def _post_of(self, node: Handle) -> int:

@@ -27,6 +27,7 @@ strategies, and the incremental-maintenance invariants.
 from repro.update.engine import ChangeSet, UpdateError, apply_update, serialize_store
 from repro.update.ops import (
     CloseAuction, DeleteItem, PlaceBid, RegisterPerson, UpdateOp,
+    transaction_token,
 )
 from repro.update.stream import UpdateStream
 
@@ -41,4 +42,5 @@ __all__ = [
     "UpdateStream",
     "apply_update",
     "serialize_store",
+    "transaction_token",
 ]

@@ -318,11 +318,19 @@ def _delete_item(app: _Application, op: DeleteItem) -> None:
 
 
 def apply_update(store: Store, op: UpdateOp, *,
-                 maintenance_mode: str | None = None) -> ChangeSet:
+                 maintenance_mode: str | None = None,
+                 advance_digest: bool = True) -> ChangeSet:
     """Apply one operation to one store with full logical bookkeeping.
 
     ``maintenance_mode`` overrides the store's ``index_maintenance``
     setting for this call (the benchmark's ablation knob).
+
+    ``advance_digest=False`` applies the physical change and the index
+    maintenance but leaves the digest chain untouched (the returned
+    ChangeSet carries ``digest=None``).  Transactions use it to batch
+    several operations under one digest advance; the caller then owns
+    chaining the digest over the whole batch — see
+    :func:`repro.db.transaction_token`.
     """
     store.require_loaded()
     mode = maintenance_mode or store.index_maintenance
@@ -366,7 +374,7 @@ def apply_update(store: Store, op: UpdateOp, *,
 
     return ChangeSet(
         op_token=op.token(),
-        digest=store.advance_digest(op.token()),
+        digest=store.advance_digest(op.token()) if advance_digest else None,
         changed_tokens=frozenset(app.tokens),
         ancestor_tags=frozenset(app.ancestors),
         maintenance=rebuilt,
@@ -375,3 +383,53 @@ def apply_update(store: Store, op: UpdateOp, *,
         nodes_indexed=app.nodes_indexed,
         removed_roots=app.removed_roots,
     )
+
+
+def apply_transaction_ops(stores: dict[str, Store], ops, *,
+                          maintenance_mode: str | None = None,
+                          ) -> tuple[dict, frozenset[str], frozenset[str]]:
+    """The shared commit core of a transaction: apply a batch to a set of
+    stores with the digest chain suppressed.
+
+    Operations apply in operation-major order, so a deterministic failure
+    (bad target id, schema violation) leaves every store at the same
+    consistent prefix.  On failure each store's digest is re-chained over
+    exactly its applied operations — lineages stay truthful — and
+    :class:`~repro.errors.TransactionError` is raised; callers wrap their
+    own cache handling around that.  On success the caller owns advancing
+    each digest once over :func:`repro.update.ops.transaction_token`.
+
+    Returns ``(costs, changed_tokens, ancestor_tags)``: per-store cost
+    cells plus the union change footprint for one invalidation pass.
+    """
+    from repro.errors import TransactionError, XMarkError
+    costs = {name: {"mutate_ms": 0.0, "index_ms": 0.0, "nodes_indexed": 0}
+             for name in stores}
+    changed: set[str] = set()
+    ancestors: set[str] = set()
+    counts = {name: 0 for name in stores}
+    try:
+        for op in ops:
+            for name, store in stores.items():
+                changes = apply_update(store, op,
+                                       maintenance_mode=maintenance_mode,
+                                       advance_digest=False)
+                counts[name] += 1
+                changed |= changes.changed_tokens
+                ancestors |= changes.ancestor_tags
+                cells = costs[name]
+                cells["mutate_ms"] += changes.mutate_seconds * 1000.0
+                cells["index_ms"] += changes.index_seconds * 1000.0
+                cells["nodes_indexed"] += changes.nodes_indexed
+    except XMarkError as exc:
+        applied = min(counts.values())
+        for name, store in stores.items():
+            for op in ops[:counts[name]]:
+                store.advance_digest(op.token())
+        raise TransactionError(
+            f"transaction aborted at operation {applied + 1}/{len(ops)}: "
+            f"{exc}", applied=applied) from exc
+    for cells in costs.values():
+        cells["mutate_ms"] = round(cells["mutate_ms"], 3)
+        cells["index_ms"] = round(cells["index_ms"], 3)
+    return costs, frozenset(changed), frozenset(ancestors)

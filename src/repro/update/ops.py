@@ -108,3 +108,15 @@ class DeleteItem:
 
 
 UpdateOp = RegisterPerson | PlaceBid | CloseAuction | DeleteItem
+
+
+def transaction_token(ops: "list[UpdateOp] | tuple[UpdateOp, ...]") -> str:
+    """The digest-chain token of a committed transaction.
+
+    A transaction advances the document digest *once*, over this token,
+    instead of once per operation — so two stores that commit the same
+    batch agree on the digest, and a batch of N ops is distinguishable
+    from the same N ops applied singly (different chains for different
+    write histories).
+    """
+    return "txn{" + ";".join(op.token() for op in ops) + "}"

@@ -25,6 +25,7 @@ import os
 from collections.abc import Iterator
 from functools import lru_cache
 
+from repro.errors import GenerationError
 from repro.rng.distributions import RandomSource
 from repro.rng.streams import StreamFamily
 from repro.text.generator import TextGenerator
@@ -103,7 +104,7 @@ class XMarkGenerator:
         """
         per_file = self.config.entities_per_file
         if per_file is None:
-            raise ValueError("write_split requires entities_per_file in the config")
+            raise GenerationError("write_split requires entities_per_file in the config")
         os.makedirs(directory, exist_ok=True)
         paths: list[str] = []
 

@@ -10,6 +10,7 @@ execution cost tracks the store's physical mapping.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import chain
 
 from repro.errors import QueryError
 from repro.xmlio.dom import Element
@@ -28,6 +29,19 @@ from repro.xquery.sequence import (
 )
 
 _DOC_ROOT = object()  # sentinel: conceptual parent of the root element
+_EXHAUSTED = object()  # sentinel: a handle iterator ran out mid-peek
+
+
+def item_text(item, navigator: Navigator) -> str:
+    """One result item as text: markup for nodes, lexical form for atomics.
+
+    The single source of row rendering — ``QueryResult.serialize``,
+    ``StreamingResult.serialize_item``, and ``Cursor.rowtext`` all
+    delegate here, so the three surfaces cannot drift apart.
+    """
+    if isinstance(item, NodeItem):
+        return serialize(navigator.build_dom(item.handle))
+    return atomic_to_string(item)
 
 
 class QueryResult:
@@ -44,13 +58,8 @@ class QueryResult:
 
     def serialize(self) -> str:
         """One line per item: markup for nodes, text for atomics."""
-        lines = []
-        for item in self.items:
-            if isinstance(item, NodeItem):
-                lines.append(serialize(self.navigator.build_dom(item.handle)))
-            else:
-                lines.append(atomic_to_string(item))
-        return "\n".join(lines)
+        return "\n".join(item_text(item, self.navigator)
+                         for item in self.items)
 
     def to_element(self) -> Element:
         """The result wrapped in a detached ``<xmark-result>`` element."""
@@ -83,6 +92,51 @@ def evaluate(compiled: CompiledQuery) -> QueryResult:
     return QueryResult(items, interpreter.navigator)
 
 
+class StreamingResult:
+    """A lazily-produced result sequence (the cursor protocol's backend).
+
+    Iterating yields the same items, in the same order, as
+    :func:`evaluate` would put in ``QueryResult.items`` — laziness changes
+    *when* work happens, never *what* comes out.  One consumer only: the
+    generator pipeline shares the interpreter's binding state, so items
+    must be drawn strictly sequentially (which is what a cursor does).
+    """
+
+    __slots__ = ("_iterator", "navigator")
+
+    def __init__(self, iterator, navigator: Navigator) -> None:
+        self._iterator = iterator
+        self.navigator = navigator
+
+    def __iter__(self):
+        return self._iterator
+
+    def __next__(self):
+        return next(self._iterator)
+
+    def serialize_item(self, item) -> str:
+        """One result row as text: markup for nodes, text for atomics."""
+        return item_text(item, self.navigator)
+
+    def drain(self) -> QueryResult:
+        """Materialize everything still pending into a :class:`QueryResult`."""
+        return QueryResult(list(self._iterator), self.navigator)
+
+
+def evaluate_stream(compiled: CompiledQuery) -> StreamingResult:
+    """Execute a compiled query, yielding result items lazily.
+
+    Plans whose shape admits pipelining (path scans and probes, FLWOR
+    without ``order by``) produce their first item after evaluating only
+    the bindings before it; everything else transparently materializes
+    behind the same iterator.  ``list(evaluate_stream(c))`` equals
+    ``evaluate(c).items`` bit-for-bit.
+    """
+    interpreter = _Interpreter(compiled)
+    return StreamingResult(
+        interpreter.stream(compiled.query.body), interpreter.navigator)
+
+
 class _Interpreter:
     def __init__(self, compiled: CompiledQuery) -> None:
         self.compiled = compiled
@@ -99,6 +153,18 @@ class _Interpreter:
     def eval(self, node: Expr) -> list:
         method = _DISPATCH[type(node)]
         return method(self, node)
+
+    def stream(self, node: Expr):
+        """Lazy twin of :meth:`eval`: an iterator over the same items.
+
+        Only expression shapes with a genuine pipeline (paths, FLWOR) get
+        a streaming implementation; the rest evaluate eagerly behind the
+        iterator, which keeps the item sequence identical by construction.
+        """
+        method = _STREAM_DISPATCH.get(type(node))
+        if method is not None:
+            return method(self, node)
+        return iter(self.eval(node))
 
     # -- primaries -----------------------------------------------------------------
 
@@ -221,28 +287,130 @@ class _Interpreter:
             multi_context = len(current) > 1
             out = []
             for handle in current:
-                if handle is _DOC_ROOT:
-                    root = self.store.root()
-                    if axis == "child":
-                        found = [root] if (step.name is None or nav.tag(root) == step.name) else []
-                    else:
-                        found = [root] if (step.name is None or nav.tag(root) == step.name) else []
-                        found = found + nav.descendants_by_tag(root, step.name)
-                elif axis == "child":
-                    if step.name is None:
-                        found = nav.children(handle)
-                    else:
-                        found = nav.children_by_tag(handle, step.name)
-                else:  # descendant
-                    found = nav.descendants_by_tag(handle, step.name)
-                if step.predicates:
-                    found = self._filter_step(found, step.predicates)
-                out.extend(found)
+                out.extend(self._expand_step(handle, step))
             if axis == "descendant" and multi_context and out:
                 out = self._dedupe_doc_order(out)
             current = out
         # Wrap node handles; attribute/text steps produced plain strings.
         return [h if isinstance(h, str) else NodeItem(h) for h in current]
+
+    def _expand_step(self, handle, step: Step) -> list:
+        """One context handle through one child/descendant step, with the
+        step predicates applied (shared by the eager and streaming paths)."""
+        nav = self.navigator
+        if handle is _DOC_ROOT:
+            root = self.store.root()
+            found = [root] if (step.name is None or nav.tag(root) == step.name) else []
+            if step.axis == "descendant":
+                found = found + nav.descendants_by_tag(root, step.name)
+        elif step.axis == "child":
+            if step.name is None:
+                found = nav.children(handle)
+            else:
+                found = nav.children_by_tag(handle, step.name)
+        else:  # descendant
+            found = nav.descendants_by_tag(handle, step.name)
+        if step.predicates:
+            found = self._filter_step(found, step.predicates)
+        return found
+
+    # -- streaming (the cursor pipeline) -------------------------------------------
+
+    def stream_path(self, node: Path):
+        """Lazy :meth:`eval_path`: handles flow through the step pipeline
+        one at a time instead of materializing every intermediate list."""
+        plan = self.compiled.path_plans.get(id(node))
+        if plan is not None and plan.kind == "id_lookup":
+            yield from self.eval_path(node)
+            return
+        if plan is not None and plan.kind in ("value_probe", "range_probe"):
+            handles = self._probe_handles(plan)
+            if handles is None:         # indexes dropped: degrade to the scan
+                yield from self._stream_steps(iter((_DOC_ROOT,)), node.steps, 0)
+            else:
+                yield from self._stream_steps(iter(handles), node.steps,
+                                              plan.id_step + 1)
+            return
+        if plan is not None and plan.kind == "path_index":
+            handles = self._path_extent(plan)
+            if handles is None:
+                yield from self._stream_steps(iter((_DOC_ROOT,)), node.steps, 0)
+            else:
+                yield from self._stream_steps(iter(handles), node.steps,
+                                              plan.prefix_len)
+            return
+        if node.root is None or (isinstance(node.root, FunctionCall)
+                                 and node.root.name in ("document", "doc")):
+            yield from self._stream_steps(iter((_DOC_ROOT,)), node.steps, 0)
+            return
+        # Relative path: the base sequence is an arbitrary (usually tiny)
+        # expression — keep the eager evaluation behind the iterator.
+        yield from self.eval_path(node)
+
+    def _stream_steps(self, handles, steps: list[Step], start: int):
+        """Generator-backed step pipeline.
+
+        Depth-first consumption produces the same order as the eager
+        breadth-first loop because each step's output is grouped by input
+        handle; the two global operations (``self`` filters and
+        multi-context descendant dedup) materialize exactly where the
+        eager path does, so the item sequence is identical bit-for-bit.
+        """
+        if start == len(steps):
+            for handle in handles:
+                yield handle if isinstance(handle, str) else NodeItem(handle)
+            return
+        step = steps[start]
+        axis = step.axis
+        nav = self.navigator
+        if axis == "attribute":
+            def attributes(source=handles):
+                for handle in source:
+                    if handle is _DOC_ROOT:
+                        continue
+                    value = nav.attribute(handle, step.name)
+                    if value is not None:
+                        yield value
+            yield from self._stream_steps(attributes(), steps, start + 1)
+            return
+        if axis == "text":
+            def texts(source=handles):
+                for handle in source:
+                    if handle is _DOC_ROOT:
+                        continue
+                    yield from (t for t in nav.child_texts(handle) if t)
+            yield from self._stream_steps(texts(), steps, start + 1)
+            return
+        if axis == "self":
+            # Filter-expression semantics are positional over the whole
+            # sequence: this step is a pipeline barrier.
+            wrapped = [h if isinstance(h, str) else NodeItem(h) for h in handles]
+            filtered = self._filter_sequence(wrapped, step.predicates)
+            yield from self._stream_steps(
+                (i.handle if isinstance(i, NodeItem) else i for i in filtered),
+                steps, start + 1)
+            return
+        if axis == "descendant":
+            source = iter(handles)
+            first = next(source, _EXHAUSTED)
+            if first is _EXHAUSTED:
+                return
+            second = next(source, _EXHAUSTED)
+            if second is not _EXHAUSTED:
+                # Multi-context descendants dedupe and re-sort globally in
+                # document order: another barrier, same as the eager path.
+                out: list = []
+                for handle in chain((first, second), source):
+                    out.extend(self._expand_step(handle, step))
+                if out:
+                    out = self._dedupe_doc_order(out)
+                yield from self._stream_steps(iter(out), steps, start + 1)
+                return
+            handles = (first,)
+        def expanded(source=handles):
+            for handle in source:
+                yield from self._expand_step(handle, step)
+        yield from self._stream_steps(expanded(), steps, start + 1)
 
     def _dedupe_doc_order(self, handles: list) -> list:
         nav = self.navigator
@@ -352,6 +520,53 @@ class _Interpreter:
             for _, _, value in normalized:
                 results.extend(value)
         return results
+
+    def stream_flwor(self, node: FLWOR):
+        """Lazy :meth:`eval_flwor`: one result item per qualifying binding.
+
+        ``order by`` needs every row before the first can be emitted, and
+        range-plan FLWORs are already index-bounded — both evaluate
+        eagerly behind the iterator.  The first ``for`` clause's sequence
+        itself streams (so a path-scan extent pipelines into the binding
+        loop) only when it is a plain Path that does not read the variable
+        the clause binds: a suspended generator for any *binding* sequence
+        shape (a nested FLWOR, say) would leak its bindings into the
+        ``where``/``return`` evaluation between pulls, where the eager
+        evaluator would see them unbound.  Path pipelines hold no bindings
+        while suspended (predicates evaluate to completion per item), so
+        they are the one safely-streamable shape.
+        """
+        if node.order or self.compiled.range_plans.get(id(node)) is not None:
+            yield from self.eval_flwor(node)
+            return
+        clauses = node.clauses
+
+        def recurse(index: int):
+            if index == len(clauses):
+                if node.where is not None and not effective_boolean(self.eval(node.where)):
+                    return
+                yield from self.stream(node.ret)
+                return
+            clause = clauses[index]
+            previous = self.variables.get(clause.var)
+            try:
+                if isinstance(clause, ForClause):
+                    lazy = (index == 0
+                            and isinstance(clause.sequence, Path)
+                            and not _reads_var(clause.sequence, clause.var,
+                                               self.compiled.query.functions))
+                    sequence = (self.stream(clause.sequence) if lazy
+                                else self.eval(clause.sequence))
+                    for item in sequence:
+                        self.variables[clause.var] = [item]
+                        yield from recurse(index + 1)
+                else:
+                    self.variables[clause.var] = self._bind_let(clause)
+                    yield from recurse(index + 1)
+            finally:
+                _restore(self.variables, clause.var, previous)
+
+        yield from recurse(0)
 
     def _eval_range_flwor(self, node: FLWOR, plan) -> list | None:
         """Iterate only the bindings a sorted-index range probe qualifies;
@@ -659,6 +874,24 @@ class _Interpreter:
         return [NodeItem(element)]
 
 
+def _reads_var(expr: Expr, name: str, functions=()) -> bool:
+    """Whether ``expr`` may read ``$name`` (shadowing guard: a for-clause
+    sequence reading the variable the clause itself binds must be fully
+    evaluated before the binding loop starts mutating it).
+
+    A call to a *declared* function counts as a potential read: UDF bodies
+    are dynamically scoped (free variables resolve against the bindings
+    live at call time) and invisible to the AST walk of ``expr``.
+    """
+    from repro.xquery.ast import walk
+    for node in walk(expr):
+        if isinstance(node, VarRef) and node.name == name:
+            return True
+        if isinstance(node, FunctionCall) and node.name in functions:
+            return True
+    return False
+
+
 def _is_positional(value: list) -> bool:
     return (
         len(value) == 1
@@ -752,4 +985,11 @@ _DISPATCH = {
     BoolOp: _Interpreter.eval_boolop,
     FunctionCall: _Interpreter.eval_call,
     ElementCtor: _Interpreter.eval_ctor,
+}
+
+#: Expression shapes with a genuine lazy pipeline; everything else
+#: evaluates eagerly behind the iterator (see :meth:`_Interpreter.stream`).
+_STREAM_DISPATCH = {
+    Path: _Interpreter.stream_path,
+    FLWOR: _Interpreter.stream_flwor,
 }

@@ -36,6 +36,41 @@ class TestCli:
         assert main(["query", "-f", "0.0005", "-q", "1", "-s", "D"]) == 0
         assert "person" not in capsys.readouterr().out.lower() or True
 
+    def test_query_raw_text_streams_rows(self, capsys):
+        assert main(["query", "-f", "0.0005", "-s", "F",
+                     "for $p in /site/people/person return $p/name/text()"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) > 1
+        assert "streamed" in captured.err
+
+    def test_query_interactive_shell(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("1\n\ncount(/site/people/person)\n\n:quit\n"))
+        assert main(["query", "-f", "0.0005", "-i"]) == 0
+        captured = capsys.readouterr()
+        assert "query shell" in captured.err
+        # two executed queries -> two cursor footers
+        assert captured.err.count("item(s)") == 2
+
+    def test_query_requires_some_input(self, capsys):
+        assert main(["query", "-f", "0.0005"]) == 2
+
+    def test_query_interactive_quit_abandons_pending_buffer(self, capsys,
+                                                            monkeypatch):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("count(/site/people/person)\n:quit\n"))
+        assert main(["query", "-f", "0.0005", "-i"]) == 0
+        # the un-submitted query must not have executed
+        assert "item(s)" not in capsys.readouterr().err
+
+    def test_query_sharded_route(self, capsys):
+        assert main(["query", "-f", "0.0005", "--shards", "2", "-q", "1"]) == 0
+        assert "on S" in capsys.readouterr().err
+
     def test_bench_table1(self, capsys):
         assert main(["bench", "-f", "0.0005", "--table", "1"]) == 0
         assert "Bulkload time" in capsys.readouterr().out

@@ -1,0 +1,427 @@
+"""The embedded-database facade: connect / sessions / cursors / transactions.
+
+The core property is the acceptance criterion of the API redesign: every
+execution path (direct store, query service, scatter-gather sharding,
+updates) is reachable through ``Session.execute`` / ``Session.transaction``,
+and ``Cursor.fetchall()`` is bit-identical to the legacy entry points on
+tiny and small documents across all seven systems plus the sharded
+pseudo-system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.benchmark.queries import QUERIES
+from repro.benchmark.systems import SYSTEMS, get_profile
+from repro.errors import (
+    BenchmarkError, ClosedCursorError, ClosedSessionError, TransactionError,
+    UnknownSystemError,
+)
+from repro.update.engine import apply_update, serialize_store
+from repro.update.ops import PlaceBid, transaction_token
+from repro.xquery.evaluator import evaluate, evaluate_stream
+from repro.xquery.planner import compile_query
+
+
+@pytest.fixture(scope="module")
+def tiny_db(tiny_text):
+    with repro.connect(tiny_text, systems=tuple(SYSTEMS)) as db:
+        yield db
+
+
+@pytest.fixture(scope="module")
+def small_db(small_text):
+    with repro.connect(small_text, systems=tuple(SYSTEMS)) as db:
+        yield db
+
+
+@pytest.fixture(scope="module")
+def sharded_tiny_db(tiny_text):
+    with repro.connect(tiny_text, systems=("F",), shards=3) as db:
+        yield db
+
+
+class TestConnect:
+    def test_systems_and_default(self, tiny_db):
+        assert tiny_db.systems == tuple(SYSTEMS)
+        assert tiny_db.default_system() == "A"
+
+    def test_unknown_system_rejected_at_connect(self, tiny_text):
+        with pytest.raises(UnknownSystemError):
+            repro.connect(tiny_text, systems=("D", "Z"))
+
+    def test_unknown_system_rejected_at_execute(self, tiny_db):
+        session = tiny_db.session()
+        with pytest.raises(UnknownSystemError) as info:
+            session.execute(1, system="Q")
+        assert info.value.system == "Q"
+        assert "D" in info.value.available
+
+    def test_unknown_system_is_a_benchmark_error(self, tiny_db):
+        """Legacy handlers catching BenchmarkError keep working."""
+        with pytest.raises(BenchmarkError):
+            tiny_db.session().execute(1, system="Q")
+
+    def test_unknown_query_number(self, tiny_db):
+        with pytest.raises(BenchmarkError):
+            tiny_db.session().execute(99)
+
+    def test_closed_database_refuses_sessions(self, tiny_text):
+        db = repro.connect(tiny_text, systems=("F",))
+        db.close()
+        with pytest.raises(ClosedSessionError):
+            db.session()
+
+    def test_closed_session_refuses_queries(self, tiny_db):
+        session = tiny_db.session()
+        session.close()
+        with pytest.raises(ClosedSessionError):
+            session.execute(1)
+        with pytest.raises(ClosedSessionError):
+            session.prepare(1)
+        with pytest.raises(ClosedSessionError):
+            session.transaction()
+
+
+class TestStreamingParity:
+    """fetchall() must be bit-identical to the legacy evaluate() path."""
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_all_systems_tiny(self, tiny_db, query):
+        session = tiny_db.session()
+        for system, store in tiny_db.stores.items():
+            legacy = evaluate(
+                compile_query(QUERIES[query].text, store, get_profile(system)))
+            cursor = session.execute(query, system=system)
+            assert cursor.streaming
+            assert cursor.serialize() == legacy.serialize(), (
+                f"Q{query} on {system}")
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_system_d_small(self, small_db, query):
+        session = small_db.session()
+        store = small_db.stores["D"]
+        legacy = evaluate(
+            compile_query(QUERIES[query].text, store, get_profile("D")))
+        assert session.execute(query, system="D").serialize() == legacy.serialize()
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_sharded_matches_unsharded(self, sharded_tiny_db, tiny_text, query):
+        session = sharded_tiny_db.session()
+        cursor = session.execute(query, system="S")
+        assert cursor.source == "scatter"
+        oracle = session.execute(query, system="F")
+        assert cursor.serialize() == oracle.serialize()
+
+    def test_stream_false_matches_stream_true(self, tiny_db):
+        session = tiny_db.session()
+        for query in (1, 10, 19, 20):
+            eager = session.execute(query, system="D", stream=False)
+            lazy = session.execute(query, system="D", stream=True)
+            assert not eager.streaming and lazy.streaming
+            assert eager.serialize() == lazy.serialize()
+
+    def test_streaming_does_not_leak_sequence_bindings(self, tiny_db):
+        """A for-clause sequence that is itself a binding construct must
+        not stream: its suspended generator would leak bindings into the
+        where/return evaluation that the eager evaluator sees unbound."""
+        from repro.errors import QueryError
+        session = tiny_db.session()
+        leaky = ('for $a in (for $b in /site/people/person return $b) '
+                 'where $b/name/text() != "" return $a/name/text()')
+        with pytest.raises(QueryError):
+            session.execute(leaky, system="D", stream=False).fetchall()
+        with pytest.raises(QueryError):
+            session.execute(leaky, system="D", stream=True).fetchall()
+
+    def test_streaming_guards_udf_variable_reads(self, tiny_db):
+        """A declared function's body is dynamically scoped and invisible
+        to the sequence walk: calling one from a for-clause sequence must
+        disable streaming of that sequence, or a rebound variable leaks
+        into later predicate evaluations."""
+        session = tiny_db.session()
+        query = ('declare function local:same() '
+                 '{ string($y/@id) = "item0" }; '
+                 'for $y in /site/regions/africa/item '
+                 'return for $y in /site/regions/*/item[local:same()] '
+                 'return $y/@id')
+        eager = session.execute(query, system="F", stream=False).fetchall()
+        lazy = session.execute(query, system="F", stream=True).fetchall()
+        assert lazy == eager
+
+    def test_evaluate_stream_is_lazy_equal(self, loaded_stores):
+        """The evaluator-level surface: list(stream) == eager items."""
+        store = loaded_stores["E"]
+        compiled = compile_query(QUERIES[14].text, store, get_profile("E"))
+        eager = evaluate(compiled)
+        streamed = evaluate_stream(compiled)
+        result = streamed.drain()
+        assert result.serialize() == eager.serialize()
+
+
+class TestCursor:
+    def test_fetchone_then_fetchall(self, tiny_db):
+        session = tiny_db.session()
+        eager = session.execute(2, system="F", stream=False).fetchall()
+        cursor = session.execute(2, system="F")
+        first = cursor.fetchone()
+        rest = cursor.fetchall()
+        assert cursor.rowtext(first) == session.execute(
+            2, system="F").rowtext(eager[0])
+        assert len(rest) == len(eager) - 1
+        assert cursor.rowcount == len(eager)
+        assert cursor.fetchone() is None    # exhausted
+
+    def test_fetchmany_batches(self, tiny_db):
+        session = tiny_db.session()
+        total = len(session.execute(17, system="F").fetchall())
+        cursor = session.execute(17, system="F")
+        batch = cursor.fetchmany(5)
+        assert len(batch) == 5
+        assert len(cursor.fetchmany(10_000)) == total - 5
+
+    def test_iteration_streams(self, tiny_db):
+        session = tiny_db.session()
+        cursor = session.execute(13, system="F")
+        seen = sum(1 for _ in cursor)
+        assert seen == cursor.rowcount > 0
+
+    def test_closed_cursor_raises(self, tiny_db):
+        cursor = tiny_db.session().execute(1, system="F")
+        cursor.close()
+        with pytest.raises(ClosedCursorError):
+            cursor.fetchone()
+
+    def test_result_interop(self, tiny_db):
+        """Cursor.result() gives a legacy QueryResult (canonical etc.)."""
+        result = tiny_db.session().execute(1, system="F").result()
+        assert result.canonical()
+
+
+class TestPreparedQuery:
+    def test_plan_reuse_skips_compilation(self, tiny_db):
+        session = tiny_db.session()
+        prepared = session.prepare(8, system="B")
+        first = prepared.execute()
+        again = prepared.execute()
+        assert again.plan_cache_hit and again.compile_seconds == 0.0
+        assert first.serialize() == again.serialize()
+
+    def test_prepared_matches_adhoc(self, tiny_db):
+        session = tiny_db.session()
+        prepared = session.prepare(11, system="D")
+        assert (prepared.execute().serialize()
+                == session.execute(11, system="D").serialize())
+
+    def test_warnings_surface(self, tiny_db):
+        prepared = tiny_db.session().prepare(
+            "for $x in /site/people/persn return $x", system="D")
+        assert any("persn" in warning for warning in prepared.warnings)
+
+
+class TestTransactionsDirect:
+    def test_batch_identical_across_systems(self, small_text):
+        with repro.connect(small_text, systems=("D", "G")) as db:
+            session = db.session()
+            with session.transaction() as txn:
+                txn.place_bid("open_auction0", "person1", 10.0,
+                              "07/31/2026", "11:00:00")
+                txn.close_auction("open_auction0", "07/31/2026")
+            assert txn.summary is not None
+            assert (serialize_store(db.stores["D"])
+                    == serialize_store(db.stores["G"]))
+            assert (db.stores["D"].document_digest()
+                    == db.stores["G"].document_digest())
+
+    def test_single_digest_advance(self, small_text):
+        """A committed batch advances the digest once, over the batch
+        token — the same ops applied singly produce a different chain."""
+        with repro.connect(small_text, systems=("F",)) as db:
+            ops = [
+                PlaceBid("open_auction0", "person1", 10.0,
+                         "07/31/2026", "11:00:00"),
+                PlaceBid("open_auction0", "person2", 5.0,
+                         "07/31/2026", "11:01:00"),
+            ]
+            base_digest = db.document_digest()
+            with db.session().transaction() as txn:
+                for op in ops:
+                    txn.apply(op)
+            import hashlib
+            expected = hashlib.sha256(
+                f"{base_digest}|{transaction_token(ops)}".encode()
+            ).hexdigest()[:16]
+            assert db.document_digest() == expected
+
+    def test_batch_equals_sequential_document(self, small_text):
+        """Same ops, batched vs singly: same final document."""
+        from repro.benchmark.systems import make_store
+        ops = [
+            PlaceBid("open_auction0", "person1", 10.0,
+                     "07/31/2026", "11:00:00"),
+            PlaceBid("open_auction1", "person2", 4.0,
+                     "07/31/2026", "11:02:00"),
+        ]
+        with repro.connect(small_text, systems=("F",)) as db:
+            with db.session().transaction() as txn:
+                for op in ops:
+                    txn.apply(op)
+            batched = serialize_store(db.stores["F"])
+        oracle = make_store("F")
+        oracle.load(small_text)
+        for op in ops:
+            apply_update(oracle, op)
+        assert batched == serialize_store(oracle)
+
+    def test_failure_keeps_consistent_prefix(self, small_text):
+        with repro.connect(small_text, systems=("D", "F")) as db:
+            before_digest = db.document_digest()
+            session = db.session()
+            txn = session.transaction()
+            txn.place_bid("open_auction0", "person1", 10.0,
+                          "07/31/2026", "11:00:00")
+            txn.delete_item("no-such-item")
+            with pytest.raises(TransactionError) as info:
+                txn.commit()
+            assert info.value.applied == 1
+            # both stores hold the applied prefix, same document, and the
+            # digest reflects exactly the applied ops (per-op chain)
+            assert (serialize_store(db.stores["D"])
+                    == serialize_store(db.stores["F"]))
+            assert (db.stores["D"].document_digest()
+                    == db.stores["F"].document_digest() != before_digest)
+
+    def test_exception_in_block_discards(self, small_text):
+        with repro.connect(small_text, systems=("F",)) as db:
+            before = serialize_store(db.stores["F"])
+            with pytest.raises(RuntimeError):
+                with db.session().transaction() as txn:
+                    txn.place_bid("open_auction0", "person1", 10.0,
+                                  "07/31/2026", "11:00:00")
+                    raise RuntimeError("client bailed")
+            assert serialize_store(db.stores["F"]) == before
+            assert txn.summary is None
+
+    def test_rollback_and_reuse_guard(self, small_text):
+        with repro.connect(small_text, systems=("F",)) as db:
+            txn = db.session().transaction()
+            txn.place_bid("open_auction0", "person1", 10.0,
+                          "07/31/2026", "11:00:00")
+            txn.rollback()
+            with pytest.raises(TransactionError):
+                txn.commit()
+            with pytest.raises(TransactionError):
+                txn.apply(PlaceBid("open_auction0", "person1", 1.0,
+                                   "07/31/2026", "11:00:00"))
+
+    def test_commit_poisons_open_streaming_cursors(self, small_text):
+        """A suspended lazy pipeline must not resume over a mutated
+        store: commit invalidates un-exhausted streaming cursors, while
+        drained ones are left alone."""
+        with repro.connect(small_text, systems=("F",)) as db:
+            session = db.session()
+            open_cursor = session.execute(2)
+            open_cursor.fetchone()              # suspended mid-pipeline
+            drained = session.execute(1)
+            drained.fetchall()
+            with session.transaction() as txn:
+                txn.place_bid("open_auction0", "person1", 10.0,
+                              "07/31/2026", "11:00:00")
+            with pytest.raises(ClosedCursorError, match="re-execute"):
+                open_cursor.fetchall()
+            assert drained.fetchall() == []     # exhausted: unaffected
+            # a fresh cursor sees the committed document
+            assert session.execute(2).fetchall()
+
+    def test_empty_transaction_is_noop(self, small_text):
+        with repro.connect(small_text, systems=("F",)) as db:
+            digest = db.document_digest()
+            with db.session().transaction() as txn:
+                pass
+            assert txn.summary["ops"] == []
+            assert db.document_digest() == digest
+
+    def test_sharded_transaction_matches_unsharded(self, small_text):
+        """Updates through Session.transaction on a sharded connection
+        produce the same document as on a plain store."""
+        with repro.connect(small_text, systems=("F",), shards=2) as db:
+            session = db.session()
+            with session.transaction() as txn:
+                txn.place_bid("open_auction0", "person1", 10.0,
+                              "07/31/2026", "11:00:00")
+                txn.close_auction("open_auction0", "07/31/2026")
+            assert (serialize_store(db.stores["S"])
+                    == serialize_store(db.stores["F"]))
+            # queries on both routes agree post-commit
+            assert (session.execute(2, system="S").serialize()
+                    == session.execute(2, system="F").serialize())
+
+
+class TestServiceRoute:
+    @pytest.fixture(scope="class")
+    def service_db(self, small_text):
+        with repro.connect(small_text, systems=("D",), service=True,
+                           max_workers=4) as db:
+            yield db
+
+    def test_execute_routes_through_service(self, service_db):
+        session = service_db.session()
+        first = session.execute(1, system="D")
+        assert first.source == "service" and not first.streaming
+        again = session.execute(1, system="D")
+        assert again.result_cache_hit
+        assert first.serialize() == again.serialize()
+
+    def test_service_matches_direct(self, service_db, small_text, loaded_stores):
+        session = service_db.session()
+        for query in (1, 8, 20):
+            legacy = evaluate(compile_query(
+                QUERIES[query].text, loaded_stores["D"], get_profile("D")))
+            assert session.execute(query, system="D").serialize() == legacy.serialize()
+
+    def test_transaction_atomic_commit_and_invalidation(self, small_text):
+        with repro.connect(small_text, systems=("D",), service=True) as db:
+            session = db.session()
+            bidders_query = ('count(/site/open_auctions/open_auction'
+                             '[@id = "open_auction0"]/bidder)')
+            before = session.execute(bidders_query, system="D").fetchone()
+            # warm the result cache with a query the write will invalidate
+            # (Q2 reads bidder increases) and one whose footprint the bid
+            # cannot touch (Q1 reads person names)
+            session.execute(2, system="D")
+            session.execute(1, system="D")
+            with session.transaction() as txn:
+                txn.place_bid("open_auction0", "person1", 25.0,
+                              "07/31/2026", "11:00:00")
+            cells = txn.summary["systems"]["D"]
+            assert cells["results_dropped"] >= 1
+            # Q2's cached entry was dropped by the footprint test...
+            assert not session.execute(2, system="D").result_cache_hit
+            # ...the committed bid is visible...
+            after = session.execute(bidders_query, system="D").fetchone()
+            assert after == before + 1
+            # ...and the unaffected query survived the rekey under the
+            # new digest
+            assert session.execute(1, system="D").result_cache_hit
+
+    def test_service_failed_transaction_drops_cache(self, small_text):
+        with repro.connect(small_text, systems=("F",), service=True) as db:
+            session = db.session()
+            session.execute(1, system="F")
+            txn = session.transaction()
+            txn.delete_item("no-such-item")
+            with pytest.raises(TransactionError):
+                txn.commit()
+            outcome = session.execute(1, system="F")
+            assert not outcome.result_cache_hit
+
+
+class TestRunnerShim:
+    def test_runner_is_rebased_on_database(self, tiny_text):
+        runner = repro.BenchmarkRunner(tiny_text, systems=("D",))
+        assert runner.database.stores is runner.stores
+        timing, result = runner.run("D", 1)
+        assert timing.result_size == len(result)
+        assert timing.compile_seconds > 0

@@ -1,0 +1,47 @@
+"""End-to-end smoke of every examples/ script at tiny scale.
+
+Each example is the documentation's executable form of the
+``repro.connect()`` API; a broken example is a broken doc.  Every script
+accepts an optional scale argument precisely so this test can run them
+fast (a few hundred kB of generated document each).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted(p.name for p in (REPO_ROOT / "examples").glob("*.py"))
+SMOKE_SCALE = "0.0008"
+
+
+def test_every_example_is_covered():
+    """A new example must be added to the smoke run (glob keeps us honest)."""
+    assert EXAMPLES == sorted((
+        "auction_analytics.py", "compare_systems.py", "generate_dataset.py",
+        "quickstart.py", "serve_demo.py", "validate_document.py",
+    ))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_end_to_end(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / script), SMOKE_SCALE],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout[-2000:]}\n"
+        f"{completed.stderr[-2000:]}")
+    assert completed.stdout.strip(), f"{script} printed nothing"
+    # the doc examples must never print a detected inconsistency
+    lowered = completed.stdout.lower()
+    assert "bug!" not in lowered
+    assert "mismatch" not in lowered

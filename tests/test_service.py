@@ -142,11 +142,12 @@ class TestPercentiles:
         assert percentile([0.0, 1.0], 0.1) == pytest.approx(0.001)
 
     def test_rejects_empty_and_bad_q(self):
-        with pytest.raises(ValueError):
+        from repro.errors import BenchmarkError
+        with pytest.raises(BenchmarkError):
             percentile([], 50)
-        with pytest.raises(ValueError):
+        with pytest.raises(BenchmarkError):
             percentile([1.0], 101)
-        with pytest.raises(ValueError):
+        with pytest.raises(BenchmarkError):
             percentile([1.0], -0.001)
 
     def test_summary_from_samples(self):

@@ -203,7 +203,8 @@ class TestSplitMode:
         assert persons == EntityCounts.for_scale(0.001).persons
 
     def test_split_requires_config(self, tmp_path):
-        with pytest.raises(ValueError):
+        from repro.errors import GenerationError
+        with pytest.raises(GenerationError):
             XMarkGenerator(GeneratorConfig(scale=0.001)).write_split(str(tmp_path))
 
     def test_split_chunks_match_single_document_entities(self, tmp_path, tiny_document):
