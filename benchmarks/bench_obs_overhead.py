@@ -1,0 +1,285 @@
+"""Observability overhead: the disabled tracer must be (nearly) free.
+
+PR 6 threads tracing spans, a unified metrics registry, and
+EXPLAIN/PROFILE through every execution layer.  The design contract is
+that a connection opened *without* ``tracing=True`` pays almost nothing
+for all that instrumentation: every hot-path site guards on
+``tracer.enabled`` (one attribute read) and the facade's only
+unconditional additions are a couple of ``perf_counter`` calls and one
+registry counter increment per query.
+
+This bench prices that contract over the full query set, Q1-Q20 on
+System D, three configurations per query:
+
+* **baseline** — the raw engine: ``evaluate()`` on a precompiled plan,
+  no facade, no cursor, no registry.  This is what the pre-observability
+  code effectively did per execution.
+* **off** — the embedded facade with tracing disabled (the default):
+  prepared query, ``execute(stream=False).fetchall()``.
+* **on** — the same facade on a ``tracing=True`` connection, so every
+  query builds and retains a full span tree.
+
+Each cell takes the best of ``--rounds`` timings; the summed best times
+give the per-configuration totals.
+
+Acceptance (exit status 1 when not met): the disabled-tracer facade
+total must stay within ``OVERHEAD_GATE`` (3%) of the raw-engine
+baseline total.  The tracing-enabled total is reported for context but
+not gated — recording spans is allowed to cost something; *not*
+recording them is not.
+
+Runs two ways:
+
+* under pytest-benchmark like the sibling benches (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_obs_overhead.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON document,
+  which is what CI's obs-overhead gate step exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import pytest
+
+from _emit import build_report, emit_report
+
+QUERIES = tuple(range(1, 21))
+DEFAULT_SYSTEM = "D"
+BENCH_SCALE = 0.005
+TINY_SCALE = 0.002
+OVERHEAD_GATE = 1.03            # off-total may exceed baseline-total by <= 3%
+
+
+def time_best(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_cell(query: int, compiled, prepared_off, prepared_on,
+             rounds: int) -> dict:
+    """One query's baseline / tracer-off / tracer-on timings.
+
+    ``compiled`` is the raw precompiled plan; the prepared queries come
+    from a tracing-disabled and a tracing-enabled connection over the
+    same document.
+    """
+    from repro.xquery.evaluator import evaluate
+
+    expected_rows = len(evaluate(compiled).items)
+    got = len(prepared_off.execute(stream=False).fetchall())
+    if got != expected_rows:
+        raise AssertionError(
+            f"Q{query}: facade returned {got} rows, raw engine "
+            f"{expected_rows}")
+
+    baseline = time_best(lambda: evaluate(compiled), rounds)
+    off = time_best(
+        lambda: prepared_off.execute(stream=False).fetchall(), rounds)
+    on = time_best(
+        lambda: prepared_on.execute(stream=False).fetchall(), rounds)
+    return {
+        "query": query,
+        "result_size": expected_rows,
+        "baseline_ms": round(baseline * 1000.0, 4),
+        "off_ms": round(off * 1000.0, 4),
+        "on_ms": round(on * 1000.0, 4),
+        "off_overhead_pct": round((off / baseline - 1.0) * 100.0, 2)
+        if baseline > 0 else 0.0,
+        "on_overhead_pct": round((on / baseline - 1.0) * 100.0, 2)
+        if baseline > 0 else 0.0,
+    }
+
+
+def check_acceptance(cells: list[dict]) -> list[str]:
+    """Summed disabled-tracer facade time must stay within
+    ``OVERHEAD_GATE`` of the summed raw-engine baseline."""
+    baseline_total = sum(cell["baseline_ms"] for cell in cells)
+    off_total = sum(cell["off_ms"] for cell in cells)
+    if baseline_total > 0 and off_total <= OVERHEAD_GATE * baseline_total:
+        return []
+    return [
+        f"disabled-tracer facade total {off_total:.3f} ms exceeds "
+        f"{OVERHEAD_GATE:.2f}x the raw-engine baseline total "
+        f"{baseline_total:.3f} ms "
+        f"(+{(off_total / baseline_total - 1.0) * 100.0:.2f}%, "
+        f"gate +{(OVERHEAD_GATE - 1.0) * 100.0:.0f}%)"
+    ]
+
+
+def totals(cells: list[dict]) -> dict:
+    baseline = sum(cell["baseline_ms"] for cell in cells)
+    off = sum(cell["off_ms"] for cell in cells)
+    on = sum(cell["on_ms"] for cell in cells)
+    return {
+        "baseline_total_ms": round(baseline, 3),
+        "off_total_ms": round(off, 3),
+        "on_total_ms": round(on, 3),
+        "off_overhead_pct": round((off / baseline - 1.0) * 100.0, 2)
+        if baseline > 0 else 0.0,
+        "on_overhead_pct": round((on / baseline - 1.0) * 100.0, 2)
+        if baseline > 0 else 0.0,
+    }
+
+
+def _prepare_connections(text: str, system: str):
+    """(compiled plans, tracer-off prepared, tracer-on prepared, dbs)."""
+    import repro
+    from repro.benchmark.queries import query_text
+    from repro.benchmark.systems import get_profile, make_store
+    from repro.xquery.planner import compile_query
+
+    store = make_store(system)
+    store.load(text)
+    profile = get_profile(system)
+    compiled = {q: compile_query(query_text(q), store, profile)
+                for q in QUERIES}
+
+    db_off = repro.connect(text, systems=(system,))
+    db_on = repro.connect(text, systems=(system,), tracing=True)
+    session_off = db_off.session()
+    session_on = db_on.session()
+    prepared_off = {q: session_off.prepare(q, system=system) for q in QUERIES}
+    prepared_on = {q: session_on.prepare(q, system=system) for q in QUERIES}
+    return compiled, prepared_off, prepared_on, (db_off, db_on)
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.mark.parametrize("query", (1, 5, 8, 14, 19))
+def bench_facade_tracer_off(benchmark, runner, query):
+    session = runner.database.session()
+    prepared = session.prepare(query, system=DEFAULT_SYSTEM)
+    benchmark.pedantic(lambda: prepared.execute(stream=False).fetchall(),
+                       rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("query", (1, 5, 8, 14, 19))
+def bench_raw_engine_baseline(benchmark, runner, query):
+    database = runner.database
+    compiled = database.compile(DEFAULT_SYSTEM, database.query_text(query))
+    from repro.xquery.evaluator import evaluate
+    benchmark.pedantic(lambda: evaluate(compiled), rounds=5, iterations=1)
+
+
+def bench_obs_overhead_shape(benchmark, runner):
+    """One-shot gate check: disabled-tracer total within 3% of baseline."""
+    text = runner.database.document
+
+    def run():
+        compiled, prepared_off, prepared_on, dbs = _prepare_connections(
+            text, DEFAULT_SYSTEM)
+        try:
+            return [run_cell(q, compiled[q], prepared_off[q], prepared_on[q],
+                             rounds=3) for q in QUERIES]
+        finally:
+            for db in dbs:
+                db.close()
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = totals(cells)
+    benchmark.extra_info.update(summary)
+    failures = check_acceptance(cells)
+    assert not failures, failures
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def _record(cell: dict) -> dict:
+    """One pytest-benchmark-shaped record (stats = tracer-off facade)."""
+    name = f"obs_overhead[{DEFAULT_SYSTEM}-Q{cell['query']}]"
+    return {
+        "group": "obs-overhead",
+        "name": name,
+        "fullname": f"bench_obs_overhead.py::{name}",
+        "params": {"system": DEFAULT_SYSTEM, "query": cell["query"]},
+        "stats": {"min": cell["off_ms"] / 1000.0,
+                  "max": cell["off_ms"] / 1000.0,
+                  "mean": cell["off_ms"] / 1000.0,
+                  "stddev": 0.0, "rounds": 1, "iterations": 1},
+        "extra_info": dict(cell),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="null-tracer overhead: raw engine vs facade off/on")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: smaller document")
+    parser.add_argument("--factor", type=float, default=None,
+                        help=f"document scaling factor (default {BENCH_SCALE}; "
+                             f"--tiny: {TINY_SCALE})")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per cell, best-of (default 5)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (
+        TINY_SCALE if args.tiny else BENCH_SCALE)
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    import repro
+    text = repro.generate_string(factor)
+    print(f"loading System {DEFAULT_SYSTEM} three ways "
+          f"({len(text):,} bytes) ...", file=sys.stderr)
+    compiled, prepared_off, prepared_on, dbs = _prepare_connections(
+        text, DEFAULT_SYSTEM)
+    try:
+        cells = []
+        for query in QUERIES:
+            cell = run_cell(query, compiled[query], prepared_off[query],
+                            prepared_on[query], args.rounds)
+            cells.append(cell)
+            print(f"  Q{query:<3d} baseline {cell['baseline_ms']:>9.3f} ms | "
+                  f"off {cell['off_ms']:>9.3f} ms "
+                  f"({cell['off_overhead_pct']:>+7.2f}%) | "
+                  f"on {cell['on_ms']:>9.3f} ms "
+                  f"({cell['on_overhead_pct']:>+7.2f}%)",
+                  file=sys.stderr)
+    finally:
+        for db in dbs:
+            db.close()
+
+    summary = totals(cells)
+    print(f"totals: baseline {summary['baseline_total_ms']:.3f} ms | "
+          f"off {summary['off_total_ms']:.3f} ms "
+          f"({summary['off_overhead_pct']:+.2f}%) | "
+          f"on {summary['on_total_ms']:.3f} ms "
+          f"({summary['on_overhead_pct']:+.2f}%)", file=sys.stderr)
+
+    failures = check_acceptance(cells)
+    acceptance = {
+        "criterion": f"summed best-of-round facade time with the tracer "
+                     f"disabled stays within "
+                     f"{(OVERHEAD_GATE - 1.0) * 100.0:.0f}% of the raw "
+                     "engine (no facade, precompiled plans) over Q1-Q20; "
+                     "tracing-enabled cost reported but not gated",
+        "ok": not failures,
+        "failures": failures,
+        **summary,
+    }
+    report = build_report(
+        version="1.0",
+        records=[_record(cell) for cell in cells],
+        config={"factor": factor, "rounds": args.rounds,
+                "system": DEFAULT_SYSTEM, "queries": list(QUERIES),
+                "overhead_gate": OVERHEAD_GATE},
+        acceptance=acceptance,
+    )
+    emit_report("obs_overhead", report, args.json_path)
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

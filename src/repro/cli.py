@@ -7,6 +7,8 @@
     xmark index  -f 0.005 -s BD
     xmark serve-bench -f 0.005 -s D -c 8 -n 25
     xmark shard  -f 0.005 -n 3 -q 1 -q 8
+    xmark trace  -f 0.005 -q 8 -s D
+    xmark stats  -f 0.005 -s D -n 25
     xmark validate auction.xml
 """
 
@@ -168,6 +170,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing rounds per query, best-of (default 3)")
     shard.add_argument("--json", dest="json_path", default=None,
                        help="also write the report to this file")
+
+    trace = commands.add_parser(
+        "trace",
+        help="explain and profile one query's execution",
+        description="Open a traced embedded database, print the EXPLAIN "
+                    "plan (chosen access paths, shard routing, predicted "
+                    "streaming barriers), execute the query, and print the "
+                    "recorded span tree — where the time actually went, "
+                    "layer by layer.")
+    trace.add_argument("text", nargs="?", default=None,
+                       help="raw XQuery text to trace (omit with -q)")
+    trace.add_argument("-f", "--factor", type=float, default=0.005,
+                       help="document scaling factor (default 0.005)")
+    trace.add_argument("-q", "--query", type=int, default=None,
+                       choices=sorted(QUERIES),
+                       help="benchmark query number to trace")
+    trace.add_argument("-s", "--system", default="D", choices=list("ABCDEFG"))
+    trace.add_argument("--shards", type=int, default=None,
+                       help="trace through an N-shard scatter-gather "
+                            "deployment instead of system -s")
+    trace.add_argument("--service", action="store_true",
+                       help="route through the query service (admission, "
+                            "plan/result caches) instead of direct execution")
+    trace.add_argument("--log", dest="trace_log", default=None,
+                       help="append the finished span tree to this "
+                            "JSON-lines workload log")
+    trace.add_argument("--json", dest="json_path", default=None,
+                       help="also write {explain, profile} to this file")
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a service workload and print the unified metrics registry",
+        description="Replay a small deterministic multi-client workload "
+                    "through the QueryService, then print every metric the "
+                    "unified registry collected — counters, gauges, and "
+                    "ring-buffer latency histograms, with per-system "
+                    "labels — in the text exposition format.")
+    stats.add_argument("-f", "--factor", type=float, default=0.005,
+                       help="document scaling factor (default 0.005)")
+    stats.add_argument("-s", "--systems", default="D",
+                       help="system letters to serve (default D)")
+    stats.add_argument("-c", "--clients", type=int, default=4,
+                       help="number of concurrent clients (default 4)")
+    stats.add_argument("-n", "--requests", type=int, default=25,
+                       help="requests per client (default 25)")
+    stats.add_argument("--json", dest="json_path", default=None,
+                       help="also write the registry snapshot to this file")
 
     validate_cmd = commands.add_parser("validate", help="validate a document against the DTD")
     validate_cmd.add_argument("path")
@@ -432,6 +481,89 @@ def _query_command(args) -> int:
         return status
 
 
+def _trace_command(args) -> int:
+    """``xmark trace``: EXPLAIN + execute + PROFILE through one session."""
+    from repro.db import connect
+    from repro.errors import XMarkError
+
+    if args.query is None and args.text is None:
+        print("trace: give -q NUMBER or raw XQuery text", file=sys.stderr)
+        return 2
+    query = args.query if args.query is not None else args.text
+    document = generate_string(args.factor)
+    try:
+        if args.shards is not None:
+            database = connect(document, systems=(), shards=args.shards,
+                               service=args.service, tracing=True,
+                               trace_log=args.trace_log)
+            target = "S"
+        else:
+            database = connect(document, systems=(args.system,),
+                               service=args.service, tracing=True,
+                               trace_log=args.trace_log)
+            target = args.system
+    except XMarkError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    with database, database.session() as session:
+        try:
+            explain = session.explain(query, system=target)
+            print(explain.render())
+            cursor = session.execute(query, system=target, stream=False)
+            cursor.fetchall()
+        except XMarkError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 1
+        span = cursor.profile()
+        print()
+        print("PROFILE")
+        print(span.render(indent=1) if span is not None
+              else "  (no span recorded)")
+        if args.trace_log:
+            print(f"\nappended trace to {args.trace_log}")
+        if args.json_path:
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump({"explain": explain.as_dict(),
+                           "profile": span.to_dict() if span else None},
+                          handle, indent=2)
+            print(f"wrote {args.json_path}")
+    return 0
+
+
+def _stats_command(args) -> int:
+    """``xmark stats``: a small workload, then the registry's text form."""
+    from repro.benchmark.systems import parse_system_letters
+    from repro.errors import BenchmarkError
+    from repro.service import QueryService, WorkloadSpec
+    from repro.service.workload import DEFAULT_WORKLOAD_SEED
+
+    try:
+        systems = parse_system_letters(args.systems)
+        spec = WorkloadSpec(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            systems=systems,
+            seed=DEFAULT_WORKLOAD_SEED,
+        )
+        text = generate_string(args.factor)
+        with QueryService(text, systems) as service:
+            for system in systems:
+                if system in service.failed_loads:
+                    print(f"system {system} failed to load: "
+                          f"{service.failed_loads[system]}", file=sys.stderr)
+                    return 1
+            service.run_workload(spec)
+            print(service.export_metrics(as_text=True))
+            if args.json_path:
+                with open(args.json_path, "w", encoding="utf-8") as handle:
+                    json.dump(service.export_metrics(), handle, indent=2)
+                print(f"wrote {args.json_path}")
+    except BenchmarkError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _serve_bench(args) -> int:
     from repro.benchmark.systems import parse_system_letters
     from repro.errors import BenchmarkError
@@ -462,6 +594,7 @@ def _serve_bench(args) -> int:
                           f"{service.failed_loads[system]}", file=sys.stderr)
                     return 1
             snapshot = service.run_workload(generator)
+            registry_text = service.export_metrics(as_text=True)
     except BenchmarkError as exc:
         print(f"serve-bench: {exc}", file=sys.stderr)
         return 2
@@ -472,14 +605,11 @@ def _serve_bench(args) -> int:
         "think_mean_ms": args.think_ms, "seed": spec.seed,
         "popularity_order": list(generator.popularity_order),
     }
-    latency = snapshot["latency"]
     print(f"served {snapshot['completed']} queries from {spec.clients} client(s) "
-          f"on {'/'.join(systems)} in {snapshot['elapsed_seconds']:.3f} s")
-    print(f"throughput {snapshot['throughput_qps']:.1f} qps; latency "
-          f"p50 {latency['p50_ms']:.2f} ms, p95 {latency['p95_ms']:.2f} ms, "
-          f"p99 {latency['p99_ms']:.2f} ms")
-    print(f"plan cache hit rate {snapshot['plan_cache']['hit_rate']:.0%}, "
-          f"result cache hit rate {snapshot['result_cache']['hit_rate']:.0%}")
+          f"on {'/'.join(systems)} in {snapshot['elapsed_seconds']:.3f} s "
+          f"({snapshot['throughput_qps']:.1f} qps)")
+    # Everything measured, straight from the unified registry.
+    print(registry_text)
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2)
@@ -522,6 +652,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve-bench":
         return _serve_bench(args)
+
+    if args.command == "trace":
+        return _trace_command(args)
+
+    if args.command == "stats":
+        return _stats_command(args)
 
     if args.command == "shard":
         return _shard_report(args)

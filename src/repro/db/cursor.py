@@ -59,6 +59,7 @@ class Cursor:
         plans_considered: int = 0,
         plan_cache_hit: bool = False,
         result_cache_hit: bool = False,
+        span=None,
     ) -> None:
         self._iterator = iter(items)
         self.navigator = navigator
@@ -79,6 +80,10 @@ class Cursor:
         self._exhausted = False
         self._closed = False
         self._invalid_reason: str | None = None
+        #: The execution's root span when the connection traces
+        #: (:meth:`profile`); unfinished on streaming cursors until
+        #: exhaustion or close.
+        self._span = span
 
     # -- fetching -----------------------------------------------------------------
 
@@ -94,6 +99,7 @@ class Cursor:
             item = next(self._iterator)
         except StopIteration:
             self._exhausted = True
+            self._finish_span()
             return None
         self.rowcount += 1
         return item
@@ -117,6 +123,7 @@ class Cursor:
         out = list(self._iterator)
         self.rowcount += len(out)
         self._exhausted = True
+        self._finish_span()
         return out
 
     def __iter__(self):
@@ -148,11 +155,34 @@ class Cursor:
         ``canonical()``, interop with pre-facade code)."""
         return QueryResult(self.fetchall(), self.navigator)
 
+    # -- observability -------------------------------------------------------------
+
+    def _finish_span(self) -> None:
+        span = self._span
+        if span is not None and not span.finished:
+            span.set(rows=self.rowcount).finish()
+
+    def profile(self):
+        """The recorded span tree of this execution, or None.
+
+        Requires the connection to have been opened with
+        ``tracing=True``.  On a streaming cursor the tree completes when
+        the cursor is exhausted or closed; profile it after fetching.
+        Render with ``cursor.profile().render()`` or serialize with
+        ``.to_dict()``.
+        """
+        return self._span
+
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
         self._closed = True
+        iterator = self._iterator
         self._iterator = iter(())
+        closer = getattr(iterator, "close", None)
+        if closer is not None:
+            closer()                    # release the suspended pipeline
+        self._finish_span()
 
     def invalidate(self, reason: str) -> None:
         """Poison the cursor: further fetches raise ``ClosedCursorError``

@@ -31,6 +31,8 @@ from repro.benchmark.systems import SYSTEMS, get_profile, load_stores
 from repro.db.cursor import Cursor
 from repro.db.session import Session
 from repro.errors import BenchmarkError, ClosedSessionError, UnknownSystemError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, TraceLogWriter, Tracer
 from repro.storage.bulkload import bulkload
 from repro.storage.interface import Store
 from repro.update.engine import apply_transaction_ops
@@ -56,6 +58,8 @@ def connect(
     plan_cache_size: int = 128,
     result_cache_size: int = 1024,
     per_shard_limit: int = 2,
+    tracing: bool = False,
+    trace_log: str | None = None,
 ) -> "Database":
     """Open an embedded database over a generated (or any) XML document.
 
@@ -65,6 +69,12 @@ def connect(
     query service (admission control + plan/result caches) in front of
     everything.  The remaining keywords tune the service/scatter layers
     and are ignored on a plain direct connection.
+
+    ``tracing=True`` records a span tree per query/transaction —
+    inspect it with ``cursor.profile()`` or ``db.tracer.roots``;
+    ``trace_log`` additionally appends each finished tree to a
+    JSON-lines workload log.  Off by default: the disabled path costs
+    one attribute read per instrumentation point.
     """
     return Database(
         document,
@@ -78,6 +88,8 @@ def connect(
         plan_cache_size=plan_cache_size,
         result_cache_size=result_cache_size,
         per_shard_limit=per_shard_limit,
+        tracing=tracing,
+        trace_log=trace_log,
     )
 
 
@@ -98,6 +110,8 @@ class Database:
         plan_cache_size: int = 128,
         result_cache_size: int = 1024,
         per_shard_limit: int = 2,
+        tracing: bool = False,
+        trace_log: str | None = None,
     ) -> None:
         for name in systems:
             if name not in SYSTEMS:
@@ -109,6 +123,10 @@ class Database:
         self._closed = False
         self.service = None
         self._scatter = None
+        self._trace_writer = (TraceLogWriter(trace_log)
+                              if tracing and trace_log else None)
+        self.tracer = (Tracer(on_root=self._trace_writer)
+                       if tracing else NULL_TRACER)
         #: Live streaming cursors, poisoned when a transaction commits
         #: (their suspended pipelines hold pre-commit store handles).
         self._streaming_cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
@@ -126,6 +144,7 @@ class Database:
                 plan_cache_size=plan_cache_size,
                 result_cache_size=result_cache_size,
                 shard_spec=spec,
+                tracer=self.tracer,
             )
             self.stores = self.service.stores
             self.load_reports = self.service.load_reports
@@ -149,8 +168,11 @@ class Database:
                 else:
                     self.stores[shard_system] = sharded
                     self._scatter = ScatterGatherExecutor(
-                        sharded, per_shard_limit=per_shard_limit)
+                        sharded, per_shard_limit=per_shard_limit,
+                        tracer=self.tracer)
         self._serving = tuple(self.stores)
+        self._registry = (MetricsRegistry() if self.service is None
+                          else None)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -164,6 +186,8 @@ class Database:
             self.service.close()
         if self._scatter is not None:
             self._scatter.close()
+        if self._trace_writer is not None:
+            self._trace_writer.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -175,12 +199,23 @@ class Database:
         if self._closed:
             raise ClosedSessionError("database connection is closed")
 
-    def session(self) -> Session:
-        """A new session over this connection (cheap; open many)."""
+    def session(self, tenant: str | None = None) -> Session:
+        """A new session over this connection (cheap; open many).
+
+        ``tenant`` labels the session's executions in the connection's
+        per-tenant query counter."""
         self._require_open()
-        return Session(self)
+        return Session(self, tenant)
 
     # -- introspection --------------------------------------------------------------
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """Unified metrics: the service's registry when one is serving,
+        a connection-local one otherwise (``db.*`` counters land here)."""
+        if self.service is not None:
+            return self.service.registry
+        return self._registry
 
     @property
     def systems(self) -> tuple[str, ...]:
@@ -223,22 +258,40 @@ class Database:
     def compile(self, system: str, text: str) -> CompiledQuery:
         """Compile one query against one direct store (prepared queries)."""
         store = self.store(system)
-        return compile_query(text, store, get_profile(system))
+        return compile_query(text, store, get_profile(system),
+                             tracer=self.tracer)
+
+    def explain(self, query: int | str, *, system: str | None = None):
+        """Describe how a query would run — plan, indexes, shard route,
+        streaming barriers — without executing it."""
+        from repro.obs.explain import explain_query
+        self._require_open()
+        return explain_query(self, self.resolve_system(system), query)
+
+    def _count_query(self, system: str, tenant: str | None) -> None:
+        labels = {"system": system}
+        if tenant is not None:
+            labels["tenant"] = tenant
+        self.registry.counter("db.queries_total", **labels).inc()
 
     def execute(self, system: str | None, query: int | str, *,
                 stream: bool = True,
-                compiled: CompiledQuery | None = None) -> Cursor:
+                compiled: CompiledQuery | None = None,
+                tenant: str | None = None) -> Cursor:
         """Route one query to the connection's engine; returns a cursor.
 
         ``stream=True`` (the default) gives a lazily-produced cursor on
         direct connections; service and scatter routes materialize (their
         caches need complete results) and stream from the finished
         sequence.  ``compiled`` short-circuits compilation (prepared
-        queries).
+        queries).  ``tenant`` labels the connection's ``db.queries_total``
+        counter (per-caller accounting; no isolation semantics).
         """
         self._require_open()
         name = self.resolve_system(system)
         text = self.query_text(query)
+        self._count_query(name, tenant)
+        tracer = self.tracer
         if self.service is not None:
             outcome = self.service.execute(name, text)
             result = outcome.result
@@ -250,6 +303,7 @@ class Database:
                 execute_seconds=outcome.execute_seconds,
                 plan_cache_hit=outcome.plan_cache_hit,
                 result_cache_hit=outcome.result_cache_hit,
+                span=outcome.span,
             )
         if self._scatter is not None and name == self.shard_system:
             started = time.perf_counter()
@@ -262,34 +316,44 @@ class Database:
                 source="scatter",
                 execute_seconds=elapsed,
                 plan_cache_hit=outcome.plan_cache_hit,
+                span=outcome.span,
             )
         store = self.store(name)
         if compiled is not None and compiled.store is not store:
             compiled = None             # superseded by a reload: recompile
         plan_reused = compiled is not None
-        wall0 = time.perf_counter()
-        cpu0 = time.process_time()
-        if compiled is None:
-            compiled = compile_query(text, store, get_profile(name))
-        cpu1 = time.process_time()
-        wall1 = time.perf_counter()
-        if stream:
-            streamed = evaluate_stream(compiled)
-            cursor = Cursor(
-                iter(streamed), streamed.navigator,
-                system=name, query_text=text, streaming=True,
-                source="direct",
-                compile_seconds=0.0 if plan_reused else wall1 - wall0,
-                compile_cpu_seconds=0.0 if plan_reused else cpu1 - cpu0,
-                metadata_accesses=compiled.metadata_accesses,
-                plans_considered=compiled.plans_considered,
-                plan_cache_hit=plan_reused,
-            )
-            self._streaming_cursors.add(cursor)
-            return cursor
-        result = evaluate(compiled)
-        cpu2 = time.process_time()
-        wall2 = time.perf_counter()
+        root = (tracer.begin("query", system=name, source="direct",
+                             query=text, stream=stream,
+                             plan_reused=plan_reused)
+                if tracer.enabled else None)
+        with tracer.activate(root):
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            if compiled is None:
+                compiled = compile_query(text, store, get_profile(name),
+                                         tracer=tracer)
+            cpu1 = time.process_time()
+            wall1 = time.perf_counter()
+            if stream:
+                streamed = evaluate_stream(compiled, tracer=tracer)
+                cursor = Cursor(
+                    iter(streamed), streamed.navigator,
+                    system=name, query_text=text, streaming=True,
+                    source="direct",
+                    compile_seconds=0.0 if plan_reused else wall1 - wall0,
+                    compile_cpu_seconds=0.0 if plan_reused else cpu1 - cpu0,
+                    metadata_accesses=compiled.metadata_accesses,
+                    plans_considered=compiled.plans_considered,
+                    plan_cache_hit=plan_reused,
+                    span=root,          # unfinished: the cursor finishes it
+                )
+                self._streaming_cursors.add(cursor)
+                return cursor
+            result = evaluate(compiled, tracer=tracer)
+            cpu2 = time.process_time()
+            wall2 = time.perf_counter()
+        if root is not None:
+            root.set(rows=len(result.items)).finish()
         return Cursor(
             result.items, result.navigator,
             system=name, query_text=text, streaming=False,
@@ -301,6 +365,7 @@ class Database:
             metadata_accesses=compiled.metadata_accesses,
             plans_considered=compiled.plans_considered,
             plan_cache_hit=plan_reused,
+            span=root,
         )
 
     # -- the write path -------------------------------------------------------------
@@ -336,11 +401,23 @@ class Database:
                     "streaming cursor invalidated by a transaction commit "
                     "on this connection; re-execute the query")
         self._streaming_cursors.clear()
-        costs, _changed, _ancestors = apply_transaction_ops(
-            self.stores, ops, maintenance_mode=maintenance)
-        token = transaction_token(ops)
-        digest = None
-        for store in self.stores.values():
-            digest = store.advance_digest(token)
+        tracer = self.tracer
+        root = (tracer.begin("txn.commit", ops=len(ops),
+                             systems=len(self.stores))
+                if tracer.enabled else None)
+        try:
+            with tracer.activate(root):
+                costs, _changed, _ancestors = apply_transaction_ops(
+                    self.stores, ops, maintenance_mode=maintenance,
+                    tracer=tracer)
+                token = transaction_token(ops)
+                digest = None
+                for store in self.stores.values():
+                    digest = store.advance_digest(token)
+            if root is not None:
+                root.set(digest=digest)
+        finally:
+            if root is not None:
+                root.finish()
         return {"ops": [op.token() for op in ops], "systems": costs,
                 "digest": digest}

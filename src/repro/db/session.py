@@ -24,10 +24,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Session:
-    """One client's handle on the database."""
+    """One client's handle on the database.
 
-    def __init__(self, database: "Database") -> None:
+    ``tenant`` labels this session's executions in the connection's
+    ``db.queries_total`` counter — per-caller accounting, no isolation.
+    """
+
+    def __init__(self, database: "Database",
+                 tenant: str | None = None) -> None:
         self._database = database
+        self.tenant = tenant
         self._closed = False
 
     @property
@@ -51,7 +57,17 @@ class Session:
         cursor's execute timings) — results are identical either way.
         """
         self._require_open()
-        return self._database.execute(system, query, stream=stream)
+        return self._database.execute(system, query, stream=stream,
+                                      tenant=self.tenant)
+
+    def explain(self, query: int | str, system: str | None = None):
+        """Describe how a query would run on this connection — chosen
+        plan, index usage, shard routing, predicted streaming barriers —
+        without executing it.  Returns an
+        :class:`~repro.obs.explain.Explain`; ``str()`` it or call
+        ``.render()`` for the text form, ``.as_dict()`` for JSON."""
+        self._require_open()
+        return self._database.explain(query, system=system)
 
     def prepare(self, query: int | str,
                 system: str | None = None) -> "PreparedQuery":
@@ -118,7 +134,8 @@ class PreparedQuery:
         self._session._require_open()
         database = self._session.database
         return database.execute(self.system, self.query_text, stream=stream,
-                                compiled=self._compiled)
+                                compiled=self._compiled,
+                                tenant=self._session.tenant)
 
 
 class Transaction:

@@ -1,0 +1,30 @@
+"""Observability: tracing spans, the metrics registry, EXPLAIN/PROFILE.
+
+Zero-dependency instrumentation threaded through every execution layer
+— see docs/OBSERVABILITY.md for the span taxonomy, metric names, and
+the trace JSON-lines schema.
+"""
+
+from repro.obs.explain import Explain, describe_compiled, explain_query
+from repro.obs.metrics import (Counter, Gauge, Histogram, LatencySummary,
+                               MetricsRegistry, percentile)
+from repro.obs.trace import (NULL_SPAN, NULL_TRACER, NullTracer, Span,
+                             TraceLogWriter, Tracer)
+
+__all__ = [
+    "Counter",
+    "Explain",
+    "Gauge",
+    "Histogram",
+    "LatencySummary",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceLogWriter",
+    "Tracer",
+    "describe_compiled",
+    "explain_query",
+    "percentile",
+]

@@ -1,0 +1,204 @@
+"""EXPLAIN: render the chosen plan without executing anything.
+
+``Session.explain(query)`` lands here.  The output answers the three
+questions the paper's per-system analysis asks of every query:
+
+* **Which access structures serve it?**  The planner's
+  :class:`~repro.xquery.planner.CompiledQuery` already records every
+  access-path / join / range decision (including the est-vs-scan row
+  counts that won each probe); EXPLAIN renders them.
+* **How does it route across shards?**  On the sharded pseudo-system
+  the :class:`~repro.shard.scatter.ScatterGatherExecutor` names its
+  distributed plan kind (routed / partial_count / broadcast_join /
+  scatter_flwor / fallback) and the fan-out width.
+* **Where will streaming stall?**  A static AST walk predicts the
+  evaluator's documented materialization barriers — ``order by``
+  FLWORs, self-axis filter steps, index-bounded range FLWORs — so a
+  cursor consumer knows whether first-row latency will be O(1).
+
+PROFILE is the runtime twin: ``cursor.profile()`` returns the recorded
+span tree (see :mod:`repro.obs.trace`); tests assert the two agree.
+"""
+
+from __future__ import annotations
+
+from repro.xquery import ast
+
+__all__ = ["Explain", "describe_compiled", "explain_query",
+           "predict_barriers"]
+
+
+def predict_barriers(query: ast.Query,
+                     range_plans: dict | None = None) -> list[str]:
+    """Static prediction of the streaming pipeline's materialization
+    barriers, one human-readable entry per site (document order-ish)."""
+    barriers: list[str] = []
+    for node in ast.walk(query):
+        if isinstance(node, ast.FLWOR):
+            if node.order:
+                barriers.append("order-by FLWOR (rows sort before emit)")
+            elif range_plans and range_plans.get(id(node)) is not None:
+                barriers.append("range-plan FLWOR (index probe materializes)")
+        elif isinstance(node, ast.Step) and node.axis == "self":
+            barriers.append("self-axis filter (positional over the "
+                            "whole sequence)")
+    return barriers
+
+
+def _describe_path_plan(plan) -> dict:
+    out = {"kind": plan.kind}
+    if plan.kind == "id_lookup":
+        out["id"] = plan.id_value
+    elif plan.kind == "path_index":
+        out["prefix"] = "/".join(plan.prefix)
+        out["source"] = plan.source
+    elif plan.kind in ("value_probe", "range_probe"):
+        out["prefix"] = "/".join(plan.prefix)
+        out["accessor"] = "/".join(plan.accessor)
+        if plan.kind == "value_probe":
+            out["value"] = plan.probe_value
+        else:
+            out["op"] = plan.op
+            out["bound"] = plan.bound
+        out["est_rows"] = plan.est_rows
+        out["scan_rows"] = plan.scan_rows
+    return out
+
+
+def _describe_join_plan(plan) -> dict:
+    return {
+        "strategy": plan.strategy,
+        "op": plan.op,
+        "inner_var": plan.inner_var,
+        "index_kind": plan.index_kind,
+        "index_path": "/".join(plan.index_path),
+        "index_accessor": "/".join(plan.index_accessor),
+    }
+
+
+def _describe_range_plan(plan) -> dict:
+    return {
+        "var": plan.var,
+        "path": "/".join(plan.path),
+        "accessor": "/".join(plan.accessor),
+        "op": plan.op,
+        "bound": plan.bound,
+        "est_rows": plan.est_rows,
+        "scan_rows": plan.scan_rows,
+    }
+
+
+def describe_compiled(compiled) -> dict:
+    """The planner's decisions for one compiled query, as plain data."""
+    indexed = [_describe_path_plan(plan)
+               for plan in compiled.path_plans.values()
+               if plan.kind != "steps"]
+    scans = sum(1 for plan in compiled.path_plans.values()
+                if plan.kind == "steps")
+    return {
+        "optimizer": compiled.profile.optimizer,
+        "access_paths": indexed,
+        "plain_scans": scans,
+        "joins": [_describe_join_plan(plan)
+                  for plan in compiled.join_plans.values()],
+        "ranges": [_describe_range_plan(plan)
+                   for plan in compiled.range_plans.values()],
+        "plans_considered": compiled.plans_considered,
+        "metadata_accesses": compiled.metadata_accesses,
+        "warnings": list(compiled.warnings),
+        "barriers": predict_barriers(compiled.query, compiled.range_plans),
+    }
+
+
+class Explain:
+    """A rendered plan: dict via :meth:`as_dict`, text via ``str()``."""
+
+    def __init__(self, data: dict) -> None:
+        self._data = data
+
+    def as_dict(self) -> dict:
+        return dict(self._data)
+
+    def __getitem__(self, key: str):
+        return self._data[key]
+
+    def render(self) -> str:
+        data = self._data
+        lines = [f"EXPLAIN system={data['system']} mode={data['mode']}"]
+        shard = data.get("shard")
+        if shard is not None:
+            lines.append(f"  distributed plan: {shard['kind']} over "
+                         f"{shard['shards']} shard(s) "
+                         f"[{'/'.join(shard['backends'])}]")
+        plan = data.get("plan")
+        if plan is not None:
+            lines.append(f"  optimizer: {plan['optimizer']} "
+                         f"(plans considered: {plan['plans_considered']}, "
+                         f"metadata accesses: {plan['metadata_accesses']})")
+            for access in plan["access_paths"]:
+                detail = " ".join(f"{key}={value}"
+                                  for key, value in access.items()
+                                  if key != "kind")
+                lines.append(f"  access path: {access['kind']} {detail}")
+            if plan["plain_scans"]:
+                lines.append(f"  plain scans: {plan['plain_scans']}")
+            for join in plan["joins"]:
+                index = (f" via {join['index_kind']} index"
+                         if join["index_kind"] else " (per-query build)")
+                lines.append(f"  join: {join['strategy']} on "
+                             f"{join['op']}{index}")
+            for rng in plan["ranges"]:
+                lines.append(f"  range: ${rng['var']} in /{rng['path']} "
+                             f"where {rng['accessor']} {rng['op']} "
+                             f"{rng['bound']} "
+                             f"(est {rng['est_rows']} vs scan "
+                             f"{rng['scan_rows']})")
+            for barrier in plan["barriers"]:
+                lines.append(f"  streaming barrier: {barrier}")
+            if not plan["barriers"]:
+                lines.append("  streaming barrier: none (fully pipelined)")
+            for warning in plan["warnings"]:
+                lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Explain({self._data['system']!r}, {self._data['mode']!r})"
+
+
+def explain_query(database, system: str | None, query) -> Explain:
+    """Build the EXPLAIN for one query on one connection — no execution,
+    no caches touched (compiles fresh against the live store)."""
+    from repro.benchmark.systems import get_profile
+    from repro.xquery.planner import compile_query
+
+    name = database.resolve_system(system)
+    text = database.query_text(query)
+    data: dict = {"system": name, "query": text}
+
+    if name == database.shard_system:
+        executor = (database.service._shard_executor
+                    if database.service is not None else database._scatter)
+        sharded = database.store(name)
+        data["mode"] = "scatter"
+        data["shard"] = {
+            "kind": executor.explain(text),
+            "shards": sharded.shard_count,
+            "backends": list(sharded.backends),
+        }
+        compiled = compile_query(text, sharded, _sharded_profile())
+        data["plan"] = describe_compiled(compiled)
+        return Explain(data)
+
+    data["mode"] = "service" if database.service is not None else "direct"
+    store = database.store(name)
+    compiled = compile_query(text, store, get_profile(name))
+    data["plan"] = describe_compiled(compiled)
+    return Explain(data)
+
+
+def _sharded_profile():
+    from repro.shard.scatter import SHARDED_PROFILE
+    return SHARDED_PROFILE

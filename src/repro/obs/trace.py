@@ -1,0 +1,382 @@
+"""Tracing spans: where a query spends its time, as a tree.
+
+A :class:`Tracer` produces trees of :class:`Span` objects — name,
+monotonic start, duration, structured attributes, children — that every
+execution layer (facade, service, planner, evaluator, scatter-gather,
+update engine) feeds while a query runs.  The design constraints:
+
+* **Zero dependencies, near-zero cost when off.**  The disabled path is
+  the shared :data:`NULL_TRACER` / :data:`NULL_SPAN` singletons whose
+  methods are no-ops; hot loops additionally guard on
+  ``tracer.enabled`` so the instrumentation costs one attribute read.
+* **Implicit parenting on one thread, explicit across threads.**
+  ``tracer.span(name)`` is a context manager that parents under the
+  thread-local current span.  Worker threads (service pool, scatter
+  pool) have an empty stack, so cross-thread children are created with
+  ``tracer.begin(name, parent=...)`` and finished manually — the attach
+  happens under the tracer lock.
+* **Bounded retention.**  Finished root spans land in a fixed-size
+  deque (``keep``); an optional ``on_root`` sink receives each finished
+  root, which is how JSON-lines trace logs are written.
+
+Span trees serialize to plain dicts (:meth:`Span.to_dict`) — the
+JSON-lines workload-log schema the future ``repro.tuning`` module will
+ingest; see docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from contextlib import nullcontext
+from time import perf_counter
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceLogWriter",
+    "Tracer",
+]
+
+#: JSON-lines trace-log schema version (one root-span dict per line).
+TRACE_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One timed node in a trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children",
+                 "_tracer", "_is_root", "_on_stack")
+
+    def __init__(self, name: str, attrs: dict, start: float, tracer,
+                 *, is_root: bool, on_stack: bool) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.duration: float | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+        self._is_root = is_root
+        self._on_stack = on_stack
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    def set(self, **attrs) -> "Span":
+        """Attach structured attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self) -> "Span":
+        """Record the duration (idempotent) and hand roots to the tracer."""
+        if self.duration is None:
+            self.duration = perf_counter() - self.start
+            tracer = self._tracer
+            if tracer is not None and self._is_root:
+                tracer._record_root(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if self._on_stack:
+            self._tracer._pop(self)
+        self.finish()
+
+    # -- navigation --------------------------------------------------------
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (including self)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every span named ``name`` in this subtree, document order."""
+        return [span for span in self.walk() if span.name == name]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the trace JSON-lines record payload)."""
+        return {
+            "name": self.name,
+            "start": round(self.start, 6),
+            "duration_ms": (None if self.duration is None
+                            else round(self.duration * 1000.0, 4)),
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, *, indent: int = 0) -> str:
+        """Human-readable tree, one span per line."""
+        lines: list[str] = []
+        self._render_into(lines, indent)
+        return "\n".join(lines)
+
+    def _render_into(self, lines: list[str], depth: int) -> None:
+        took = ("..." if self.duration is None
+                else f"{self.duration * 1000.0:.3f}ms")
+        attrs = ""
+        if self.attrs:
+            attrs = " " + " ".join(f"{key}={value!r}"
+                                   for key, value in self.attrs.items())
+        lines.append(f"{'  ' * depth}{self.name} [{took}]{attrs}")
+        for child in self.children:
+            child._render_into(lines, depth + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Span({self.name!r}, children={len(self.children)}, "
+                f"duration={self.duration})")
+
+
+class _NullSpan:
+    """Shared no-op span: every mutation is swallowed, every query empty."""
+
+    __slots__ = ()
+
+    name = "null"
+    attrs: dict = {}
+    start = 0.0
+    duration = 0.0
+    children: tuple = ()
+    finished = True
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def finish(self) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def find_all(self, name: str) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {"name": "null", "start": 0.0, "duration_ms": 0.0,
+                "attrs": {}, "children": []}
+
+    def render(self, *, indent: int = 0) -> str:
+        return ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+#: Reusable no-op context manager (``contextlib.nullcontext`` is re-enterable).
+_NULL_CONTEXT = nullcontext()
+
+
+class NullTracer:
+    """Disabled tracer: every call is a no-op returning shared singletons."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    @property
+    def roots(self) -> tuple:
+        return ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def begin(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def activate(self, span):
+        return _NULL_CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        # The shared singleton is a default argument across the public
+        # API; a stable repr keeps docs/PUBLIC_API.txt deterministic.
+        return "NULL_TRACER"
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Activation:
+    """Context manager that pushes a span on the stack without finishing it."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Produces span trees with thread-local context propagation.
+
+    Parameters
+    ----------
+    keep:
+        How many finished root spans to retain (bounded deque).
+    on_root:
+        Optional callable invoked with each finished root span — the
+        hook :class:`TraceLogWriter` plugs into.
+    """
+
+    enabled = True
+
+    def __init__(self, *, keep: int = 64, on_root=None) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: deque[Span] = deque(maxlen=keep)
+        self.on_root = on_root
+
+    # -- span creation -----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Start a span parented under the thread's current span.
+
+        Use as a context manager: exiting pops it from the thread-local
+        stack and finishes it.
+        """
+        span = Span(name, attrs, perf_counter(), self,
+                    is_root=self.current() is None, on_stack=True)
+        self._attach(span)
+        self._push(span)
+        return span
+
+    def begin(self, name: str, parent: Span | None = None, **attrs) -> Span:
+        """Start a manually-finished span.
+
+        Not pushed on any stack — the caller owns its lifetime and must
+        call :meth:`Span.finish`.  ``parent`` may name a span owned by
+        another thread (scatter workers attach to the caller's root);
+        when omitted, the creating thread's current span is used, and a
+        span with no parent at all becomes a root.
+        """
+        if parent is None:
+            parent = self.current()
+        span = Span(name, attrs, perf_counter(), self,
+                    is_root=parent is None, on_stack=False)
+        if parent is not None:
+            with self._lock:
+                parent.children.append(span)
+        return span
+
+    def activate(self, span: Span | None):
+        """Context manager making ``span`` the thread's current span.
+
+        Unlike :meth:`span`'s context manager this neither creates nor
+        finishes anything — it only scopes implicit parenting, so a
+        manually-managed root (e.g. one that outlives the call because a
+        streaming cursor finishes it later) can adopt children.
+        """
+        if span is None:
+            return _NULL_CONTEXT
+        return _Activation(self, span)
+
+    # -- context stack -----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _attach(self, span: Span) -> None:
+        parent = self.current()
+        if parent is not None:
+            with self._lock:
+                parent.children.append(span)
+
+    # -- finished roots ----------------------------------------------------
+
+    @property
+    def roots(self) -> tuple[Span, ...]:
+        """Finished root spans, oldest first (bounded by ``keep``)."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def _record_root(self, span: Span) -> None:
+        with self._lock:
+            self._roots.append(span)
+        if self.on_root is not None:
+            self.on_root(span)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+class TraceLogWriter:
+    """Append finished root spans to a JSON-lines workload log.
+
+    One line per root span tree: ``{"v": 1, "span": {...}}`` — the
+    input format the future ``repro.tuning`` module ingests.  Plug an
+    instance into ``Tracer(on_root=...)``; writes are serialized by an
+    internal lock so multi-threaded services can share one writer.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+
+    def __call__(self, span: Span) -> None:
+        line = json.dumps({"v": TRACE_SCHEMA_VERSION, "span": span.to_dict()},
+                          sort_keys=True)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()

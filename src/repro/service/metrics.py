@@ -1,120 +1,101 @@
-"""Service-side measurement: throughput and latency percentiles.
+"""Service-side measurement — now a shim over the unified registry.
 
-The single-user benchmark reports per-query wall/CPU splits
-(:class:`repro.benchmark.runner.QueryTiming`); a serving layer needs the
-aggregate view instead — queries per second over the measurement window and
-the latency distribution clients actually experience.  Percentiles use the
-standard linear-interpolation estimator (the one NumPy calls ``linear``),
-implemented here so the service stays dependency-free.
+The public surface (``percentile``, :class:`LatencySummary`,
+:class:`ServiceMetrics`) is unchanged from the original collector, but
+the storage moved to :mod:`repro.obs.metrics`: latency, compile and
+queue-wait samples live in fixed-size ring-buffer histograms instead of
+unbounded lists, so a long-running workload no longer grows memory with
+every query.  Counts (``completed``, cache hits, errors) stay exact —
+they are totals, not samples; percentiles are estimated over the most
+recent ``window`` samples.
+
+``ServiceMetrics.registry`` exposes the backing
+:class:`~repro.obs.metrics.MetricsRegistry`, which is how the service's
+numbers reach the shared text/JSON exporters (``xmark stats``,
+``xmark serve-bench``).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
 
-from repro.errors import BenchmarkError
+from repro.obs.metrics import LatencySummary, MetricsRegistry, percentile
 
+__all__ = ["LatencySummary", "ServiceMetrics", "percentile"]
 
-def percentile(samples: list[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) by linear interpolation.
-
-    For a sorted sample ``x`` of size ``n`` the rank is
-    ``r = q/100 * (n - 1)``; the estimate interpolates between
-    ``x[floor(r)]`` and ``x[ceil(r)]``.
-    """
-    if not samples:
-        raise BenchmarkError("percentile of an empty sample")
-    if not 0.0 <= q <= 100.0:
-        raise BenchmarkError(f"percentile out of range: {q}")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = q / 100.0 * (len(ordered) - 1)
-    lower = int(rank)
-    upper = min(lower + 1, len(ordered) - 1)
-    fraction = rank - lower
-    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
-
-
-@dataclass(frozen=True, slots=True)
-class LatencySummary:
-    """Latency distribution of one measurement window (seconds)."""
-
-    count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    maximum: float
-
-    @classmethod
-    def from_samples(cls, samples: list[float]) -> "LatencySummary":
-        if not samples:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
-        return cls(
-            count=len(samples),
-            mean=sum(samples) / len(samples),
-            p50=percentile(samples, 50.0),
-            p95=percentile(samples, 95.0),
-            p99=percentile(samples, 99.0),
-            maximum=max(samples),
-        )
-
-    def as_dict(self) -> dict[str, float | int]:
-        return {
-            "count": self.count,
-            "mean_ms": round(self.mean * 1000.0, 3),
-            "p50_ms": round(self.p50 * 1000.0, 3),
-            "p95_ms": round(self.p95 * 1000.0, 3),
-            "p99_ms": round(self.p99 * 1000.0, 3),
-            "max_ms": round(self.maximum * 1000.0, 3),
-        }
+#: Samples each latency histogram retains for percentile estimation.
+DEFAULT_WINDOW = 2048
 
 
 class ServiceMetrics:
-    """Thread-safe collector for one service measurement window."""
+    """Thread-safe collector for one service measurement window.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._latencies: list[float] = []
-        self._compile_latencies: list[float] = []
-        self._queue_waits: list[float] = []
-        self._errors = 0
-        self._plan_hits = 0
-        self._result_hits = 0
+    Compatibility shim: same API and ``snapshot()`` shape as the
+    original list-backed collector, bounded memory underneath.
+    """
+
+    def __init__(self, *, window: int = DEFAULT_WINDOW,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._latency = self.registry.histogram(
+            "service.latency_seconds", window=window)
+        self._compile = self.registry.histogram(
+            "service.compile_seconds", window=window)
+        self._queue = self.registry.histogram(
+            "service.queue_wait_seconds", window=window)
+        self._completed = self.registry.counter("service.queries_total")
+        self._errors = self.registry.counter("service.errors_total")
+        self._plan_hits = self.registry.counter(
+            "service.plan_cache_hits_total")
+        self._result_hits = self.registry.counter(
+            "service.result_cache_hits_total")
+        self._window_gauge = self.registry.gauge("service.window_seconds")
         self._first_start: float | None = None
         self._last_finish: float | None = None
+        self._edge_lock = threading.Lock()
 
-    def record(self, *, started: float, finished: float, compile_seconds: float,
-               queue_seconds: float, plan_cache_hit: bool,
-               result_cache_hit: bool) -> None:
-        """Record one completed query (timestamps from ``perf_counter``)."""
-        with self._lock:
-            self._latencies.append(finished - started)
-            self._compile_latencies.append(compile_seconds)
-            self._queue_waits.append(queue_seconds)
-            if plan_cache_hit:
-                self._plan_hits += 1
-            if result_cache_hit:
-                self._result_hits += 1
+    def record(self, *, started: float, finished: float,
+               compile_seconds: float, queue_seconds: float,
+               plan_cache_hit: bool, result_cache_hit: bool,
+               system: str | None = None) -> None:
+        """Record one completed query (timestamps from ``perf_counter``).
+
+        ``system`` additionally feeds a per-system labeled counter and
+        latency histogram in the shared registry.
+        """
+        latency = finished - started
+        self._latency.observe(latency)
+        self._compile.observe(compile_seconds)
+        self._queue.observe(queue_seconds)
+        self._completed.inc()
+        if plan_cache_hit:
+            self._plan_hits.inc()
+        if result_cache_hit:
+            self._result_hits.inc()
+        if system is not None:
+            self.registry.counter("service.queries_total",
+                                  system=system).inc()
+            self.registry.histogram("service.latency_seconds",
+                                    window=self._latency.window,
+                                    system=system).observe(latency)
+        with self._edge_lock:
             if self._first_start is None or started < self._first_start:
                 self._first_start = started
             if self._last_finish is None or finished > self._last_finish:
                 self._last_finish = finished
 
-    def record_error(self) -> None:
-        with self._lock:
-            self._errors += 1
+    def record_error(self, system: str | None = None) -> None:
+        self._errors.inc()
+        if system is not None:
+            self.registry.counter("service.errors_total", system=system).inc()
 
     @property
     def completed(self) -> int:
-        with self._lock:
-            return len(self._latencies)
+        return self._completed.value
 
     def elapsed_seconds(self) -> float:
         """Width of the window from first submit-start to last finish."""
-        with self._lock:
+        with self._edge_lock:
             if self._first_start is None or self._last_finish is None:
                 return 0.0
             return self._last_finish - self._first_start
@@ -124,29 +105,22 @@ class ServiceMetrics:
         return self.completed / elapsed if elapsed > 0 else 0.0
 
     def latency_summary(self) -> LatencySummary:
-        with self._lock:
-            samples = list(self._latencies)
-        return LatencySummary.from_samples(samples)
+        return self._latency.summary()
 
     def snapshot(self) -> dict:
         """One JSON-ready dict: qps, latency distribution, cache hit counts."""
-        with self._lock:
-            latencies = list(self._latencies)
-            compiles = list(self._compile_latencies)
-            waits = list(self._queue_waits)
-            errors = self._errors
-            plan_hits = self._plan_hits
-            result_hits = self._result_hits
-        completed = len(latencies)
+        completed = self.completed
         elapsed = self.elapsed_seconds()
+        self._window_gauge.set(elapsed)
         return {
             "completed": completed,
-            "errors": errors,
+            "errors": self._errors.value,
             "elapsed_seconds": round(elapsed, 4),
-            "throughput_qps": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
-            "latency": LatencySummary.from_samples(latencies).as_dict(),
-            "compile_latency": LatencySummary.from_samples(compiles).as_dict(),
-            "queue_wait": LatencySummary.from_samples(waits).as_dict(),
-            "plan_cache_hits": plan_hits,
-            "result_cache_hits": result_hits,
+            "throughput_qps": (round(completed / elapsed, 2)
+                               if elapsed > 0 else 0.0),
+            "latency": self._latency.summary().as_dict(),
+            "compile_latency": self._compile.summary().as_dict(),
+            "queue_wait": self._queue.summary().as_dict(),
+            "plan_cache_hits": self._plan_hits.value,
+            "result_cache_hits": self._result_hits.value,
         }

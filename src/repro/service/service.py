@@ -35,11 +35,12 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import ExitStack, contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.benchmark.queries import QUERIES
 from repro.benchmark.systems import SYSTEMS, get_profile, load_stores
 from repro.errors import BenchmarkError, ShardError
+from repro.obs.trace import NULL_TRACER
 from repro.service.cache import PlanCache, ResultCache
 from repro.service.invalidation import affected, query_footprint
 from repro.service.metrics import ServiceMetrics
@@ -92,6 +93,7 @@ class QueryOutcome:
     plan_cache_hit: bool
     result_cache_hit: bool
     result: QueryResult
+    span: object = None                 # the service.query root span when traced
 
     @property
     def latency_seconds(self) -> float:
@@ -112,6 +114,7 @@ class QueryService:
         plan_cache_size: int = 128,
         result_cache_size: int = 1024,
         shard_spec: ShardSpec | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if max_workers <= 0:
             raise BenchmarkError(f"max_workers must be positive, got {max_workers}")
@@ -120,6 +123,7 @@ class QueryService:
                 f"shard system name {shard_spec.name!r} collides with a "
                 "benchmark system letter")
         self.shard_spec = shard_spec
+        self.tracer = tracer
         self._shard_executor: ScatterGatherExecutor | None = None
         self.stores: dict[str, Store] = {}
         self.load_reports: dict[str, BulkloadReport] = {}
@@ -164,6 +168,7 @@ class QueryService:
                     sharded,
                     per_shard_limit=spec.per_shard_limit,
                     partial_cache_size=spec.partial_cache_size,
+                    tracer=self.tracer,
                 )
                 if superseded is not None:
                     superseded.close()
@@ -255,26 +260,40 @@ class QueryService:
         fork their document lineages.
         """
         self._require_open()
+        tracer = self.tracer
+        root = (tracer.begin("service.update", op=op.token(),
+                             systems=len(self.stores))
+                if tracer.enabled else None)
         summary: dict[str, dict] = {}
         changes: ChangeSet | None = None
-        with self._update_lock:
-            for name, store in self.stores.items():
-                old_digest = store.document_digest() or ""
-                with self._exclusive(name):
-                    changes = engine_apply_update(store, op,
-                                                  maintenance_mode=maintenance)
-                kept, dropped = self.result_cache.rekey_document(
-                    name, old_digest, changes.digest or "",
-                    lambda text: not affected(query_footprint(text), changes))
-                summary[name] = {
-                    "maintenance": changes.maintenance,
-                    "mutate_ms": round(changes.mutate_seconds * 1000.0, 3),
-                    "index_ms": round(changes.index_seconds * 1000.0, 3),
-                    "nodes_indexed": changes.nodes_indexed,
-                    "results_kept": kept,
-                    "results_dropped": dropped,
-                }
-            self.updates_applied += 1
+        try:
+            with tracer.activate(root), self._update_lock:
+                for name, store in self.stores.items():
+                    old_digest = store.document_digest() or ""
+                    with self._exclusive(name):
+                        changes = engine_apply_update(
+                            store, op, maintenance_mode=maintenance,
+                            tracer=tracer)
+                    with tracer.span("service.invalidate",
+                                     system=name) as inv:
+                        kept, dropped = self.result_cache.rekey_document(
+                            name, old_digest, changes.digest or "",
+                            lambda text: not affected(query_footprint(text),
+                                                      changes))
+                        inv.set(results_kept=kept, results_dropped=dropped,
+                                footprint=len(changes.changed_tokens))
+                    summary[name] = {
+                        "maintenance": changes.maintenance,
+                        "mutate_ms": round(changes.mutate_seconds * 1000.0, 3),
+                        "index_ms": round(changes.index_seconds * 1000.0, 3),
+                        "nodes_indexed": changes.nodes_indexed,
+                        "results_kept": kept,
+                        "results_dropped": dropped,
+                    }
+                self.updates_applied += 1
+        finally:
+            if root is not None:
+                root.finish()
         return {"op": op.token(), "systems": summary}
 
     def apply_transaction(self, ops: list[UpdateOp], *,
@@ -304,34 +323,52 @@ class QueryService:
         from repro.update.engine import apply_transaction_ops
         from repro.update.ops import transaction_token
         summary: dict[str, dict] = {}
-        with self._update_lock, ExitStack() as gates:
-            for name in self.stores:
-                gates.enter_context(self._exclusive(name))
-            old_digests = {name: store.document_digest() or ""
-                           for name, store in self.stores.items()}
-            try:
-                costs, changed_tokens, ancestor_tags = apply_transaction_ops(
-                    self.stores, ops, maintenance_mode=maintenance)
-            except TransactionError:
-                # the committed prefix's digests are already re-chained;
-                # drop those stores' cached results conservatively
-                for digest in old_digests.values():
-                    self.result_cache.invalidate_document(digest)
-                raise
-            union = ChangeSet(
-                op_token=transaction_token(ops),
-                changed_tokens=changed_tokens,
-                ancestor_tags=ancestor_tags,
-            )
-            digest = None
-            for name, store in self.stores.items():
-                digest = store.advance_digest(union.op_token)
-                kept, dropped = self.result_cache.rekey_document(
-                    name, old_digests[name], digest,
-                    lambda text: not affected(query_footprint(text), union))
-                summary[name] = dict(costs[name],
-                                     results_kept=kept, results_dropped=dropped)
-            self.updates_applied += 1
+        tracer = self.tracer
+        root = (tracer.begin("service.transaction", ops=len(ops),
+                             systems=len(self.stores))
+                if tracer.enabled else None)
+        try:
+            with tracer.activate(root), \
+                    self._update_lock, ExitStack() as gates:
+                for name in self.stores:
+                    gates.enter_context(self._exclusive(name))
+                old_digests = {name: store.document_digest() or ""
+                               for name, store in self.stores.items()}
+                try:
+                    costs, changed_tokens, ancestor_tags = \
+                        apply_transaction_ops(
+                            self.stores, ops, maintenance_mode=maintenance,
+                            tracer=tracer)
+                except TransactionError:
+                    # the committed prefix's digests are already re-chained;
+                    # drop those stores' cached results conservatively
+                    for digest in old_digests.values():
+                        self.result_cache.invalidate_document(digest)
+                    if root is not None:
+                        root.set(error="TransactionError")
+                    raise
+                union = ChangeSet(
+                    op_token=transaction_token(ops),
+                    changed_tokens=changed_tokens,
+                    ancestor_tags=ancestor_tags,
+                )
+                digest = None
+                for name, store in self.stores.items():
+                    digest = store.advance_digest(union.op_token)
+                    with tracer.span("service.invalidate",
+                                     system=name) as inv:
+                        kept, dropped = self.result_cache.rekey_document(
+                            name, old_digests[name], digest,
+                            lambda text: not affected(query_footprint(text),
+                                                      union))
+                        inv.set(results_kept=kept, results_dropped=dropped,
+                                footprint=len(union.changed_tokens))
+                    summary[name] = dict(costs[name], results_kept=kept,
+                                         results_dropped=dropped)
+                self.updates_applied += 1
+        finally:
+            if root is not None:
+                root.finish()
         return {"ops": [op.token() for op in ops], "systems": summary,
                 "digest": digest}
 
@@ -397,16 +434,24 @@ class QueryService:
     # -- the worker body ------------------------------------------------------------
 
     def _serve(self, system: str, text: str, submitted: float) -> QueryOutcome:
-        gate = self._admission[system]
-        gate.acquire()
-        started = time.perf_counter()
-        try:
-            outcome = self._run_query(system, text, submitted, started)
-        except Exception:
-            self.metrics.record_error()
-            raise
-        finally:
-            gate.release()
+        tracer = self.tracer
+        root = (tracer.begin("service.query", system=system, query=text)
+                if tracer.enabled else None)
+        with tracer.activate(root):
+            gate = self._admission[system]
+            with tracer.span("service.admission") as admission:
+                gate.acquire()
+                started = time.perf_counter()
+                admission.set(queue_ms=round((started - submitted) * 1000.0, 3))
+            try:
+                outcome = self._run_query(system, text, submitted, started)
+            except Exception as exc:
+                self.metrics.record_error(system=system)
+                if root is not None:
+                    root.set(error=type(exc).__name__).finish()
+                raise
+            finally:
+                gate.release()
         self.metrics.record(
             started=submitted,
             finished=outcome.finished,
@@ -414,7 +459,13 @@ class QueryService:
             queue_seconds=outcome.queue_seconds,
             plan_cache_hit=outcome.plan_cache_hit,
             result_cache_hit=outcome.result_cache_hit,
+            system=system,
         )
+        if root is not None:
+            root.set(result_size=outcome.result_size,
+                     plan_cache_hit=outcome.plan_cache_hit,
+                     result_cache_hit=outcome.result_cache_hit).finish()
+            outcome = dataclass_replace(outcome, span=root)
         return outcome
 
     def _run_query(self, system: str, text: str, submitted: float,
@@ -422,7 +473,9 @@ class QueryService:
         store = self.store(system)
         digest = store.document_digest() or ""
         result_key = ResultCache.key(system, text, digest)
-        cached_result = self.result_cache.get(result_key)
+        with self.tracer.span("service.result_cache") as cache_span:
+            cached_result = self.result_cache.get(result_key)
+            cache_span.set(hit=cached_result is not None)
         if cached_result is not None:
             finished = time.perf_counter()
             return QueryOutcome(
@@ -440,19 +493,23 @@ class QueryService:
 
         compile_start = time.perf_counter()
         plan_key = PlanCache.key(system, text)
-        compiled, plan_hit = self.plan_cache.get_or_compute(
-            plan_key,
-            lambda: compile_query(text, store, get_profile(system)),
-        )
-        if compiled.store is not store:
-            # A reload raced this request: the cached plan is bound to the
-            # previous document's store.  Recompile against the current one
-            # so the result always matches the digest in the cache key.
-            compiled = compile_query(text, store, get_profile(system))
-            plan_hit = False
-            self.plan_cache.put(plan_key, compiled)
+        with self.tracer.span("service.plan_cache") as plan_span:
+            compiled, plan_hit = self.plan_cache.get_or_compute(
+                plan_key,
+                lambda: compile_query(text, store, get_profile(system),
+                                      tracer=self.tracer),
+            )
+            if compiled.store is not store:
+                # A reload raced this request: the cached plan is bound to the
+                # previous document's store.  Recompile against the current one
+                # so the result always matches the digest in the cache key.
+                compiled = compile_query(text, store, get_profile(system),
+                                         tracer=self.tracer)
+                plan_hit = False
+                self.plan_cache.put(plan_key, compiled)
+            plan_span.set(hit=plan_hit)
         compile_end = time.perf_counter()
-        result = evaluate(compiled)
+        result = evaluate(compiled, tracer=self.tracer)
         finished = time.perf_counter()
         self.result_cache.put(result_key, result)
         return QueryOutcome(
@@ -565,6 +622,30 @@ class QueryService:
         return snapshot
 
     # -- reporting -------------------------------------------------------------------
+
+    @property
+    def registry(self):
+        """The service's unified :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self.metrics.registry
+
+    def export_metrics(self, *, as_text: bool = False):
+        """One registry view of everything the service measures.
+
+        Refreshes the cache-layer gauges from the live cache counters
+        (those are mutated outside the registry), then returns either the
+        JSON-ready snapshot or the text rendering (``as_text=True``).
+        """
+        registry = self.registry
+        for cache_name, stats in (("plan", self.plan_cache.stats),
+                                  ("result", self.result_cache.stats)):
+            for field_name in ("hits", "misses", "evictions"):
+                registry.gauge(f"cache.{field_name}",
+                               cache=cache_name).set(getattr(stats,
+                                                             field_name))
+            registry.gauge("cache.hit_rate", cache=cache_name).set(
+                stats.hit_rate)
+        registry.gauge("service.updates_applied").set(self.updates_applied)
+        return registry.render_text() if as_text else registry.snapshot()
 
     def cache_stats(self) -> dict:
         return {

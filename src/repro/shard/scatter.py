@@ -52,6 +52,7 @@ from repro.benchmark.systems import get_profile
 from repro.errors import ShardError
 from repro.index.builder import extract_values
 from repro.index.indexes import normalize_key
+from repro.obs.trace import NULL_TRACER
 from repro.shard.partition import EXTENT_SPECS
 from repro.shard.store import ShardedStore
 from repro.xquery.ast import (
@@ -94,6 +95,7 @@ class ShardedOutcome:
     plan_cache_hit: bool
     partial_hits: int
     partial_misses: int
+    span: object = None                 # the scatter.query root span when traced
 
 
 # -- recognized plan shapes -----------------------------------------------------------
@@ -182,12 +184,14 @@ class ScatterGatherExecutor:
                  max_workers: int | None = None,
                  per_shard_limit: int = 2,
                  partial_cache_size: int = 512,
-                 plan_cache_size: int = 128) -> None:
+                 plan_cache_size: int = 128,
+                 tracer=NULL_TRACER) -> None:
         # Imported here, not at module level: repro.service.service imports
         # this module, and importing the service package from our body
         # would close that cycle mid-initialization.
         from repro.service.cache import LRUCache
         self.sharded = sharded
+        self.tracer = tracer
         self._profiles = [exec_profile(backend) for backend in sharded.backends]
         workers = max_workers or min(8, max(2, sharded.shard_count))
         self._pool = ThreadPoolExecutor(
@@ -224,6 +228,24 @@ class ScatterGatherExecutor:
     def execute(self, text: str) -> ShardedOutcome:
         if self._closed:
             raise ShardError("scatter-gather executor is closed")
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._execute(text)
+        root = tracer.begin("scatter.query", query=text)
+        try:
+            with tracer.activate(root):
+                outcome = self._execute(text)
+        except BaseException as exc:
+            root.set(error=type(exc).__name__).finish()
+            raise
+        root.set(plan=outcome.plan_kind, shards_used=outcome.shards_used,
+                 plan_cache_hit=outcome.plan_cache_hit,
+                 partial_hits=outcome.partial_hits,
+                 partial_misses=outcome.partial_misses,
+                 rows=len(outcome.result.items)).finish()
+        return replace(outcome, span=root)
+
+    def _execute(self, text: str) -> ShardedOutcome:
         if self.sharded.shard_count == 1:
             return self._single_shard(text)
         plan, plan_hit = self._plan(text)
@@ -418,7 +440,9 @@ class ScatterGatherExecutor:
 
     def _single_shard(self, text: str) -> ShardedOutcome:
         """One shard: nothing to scatter — the backend's own plan runs."""
-        result = self._evaluate_on_shard(0, text)
+        with self.tracer.span("scatter.shard", shard=0,
+                              backend=self.sharded.backends[0]):
+            result = self._evaluate_on_shard(0, text)
         return ShardedOutcome(result=result, plan_kind="single", shards_used=1,
                               plan_cache_hit=False, partial_hits=0,
                               partial_misses=0)
@@ -427,12 +451,14 @@ class ScatterGatherExecutor:
         key = (rank, text)
         compiled, _hit = self._compiled.get_or_compute(
             key, lambda: compile_query(text, self.sharded.shard_store(rank),
-                                       self._profiles[rank]))
+                                       self._profiles[rank],
+                                       tracer=self.tracer))
         return compiled
 
     def _evaluate_on_shard(self, rank: int, text: str) -> QueryResult:
         self._ensure_indexes(rank)
-        return evaluate(self._compile_for_shard(rank, text))
+        return evaluate(self._compile_for_shard(rank, text),
+                        tracer=self.tracer)
 
     def _ensure_indexes(self, rank: int) -> None:
         if self.sharded.shard_indexes_dirty(rank):
@@ -441,8 +467,31 @@ class ScatterGatherExecutor:
 
     def _scatter(self, ranks: list[int], fn) -> list:
         """Run ``fn(rank)`` for each rank on the pool under per-shard
-        admission; results come back in rank order."""
-        futures = [self._pool.submit(self._gated, rank, fn) for rank in ranks]
+        admission; results come back in rank order.
+
+        When tracing, each rank gets a ``scatter.shard`` child span
+        attached to the calling thread's current span — pool threads
+        have no context stack, so the parent is captured here and
+        activated on the worker (nested evaluator/plan spans land under
+        the right shard).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            futures = [self._pool.submit(self._gated, rank, fn)
+                       for rank in ranks]
+            return [future.result() for future in futures]
+        parent = tracer.current()
+
+        def traced(rank: int):
+            span = tracer.begin("scatter.shard", parent=parent, shard=rank,
+                                backend=self.sharded.backends[rank])
+            try:
+                with tracer.activate(span):
+                    return self._gated(rank, fn)
+            finally:
+                span.finish()
+
+        futures = [self._pool.submit(traced, rank) for rank in ranks]
         return [future.result() for future in futures]
 
     def _gated(self, rank: int, fn):
@@ -474,13 +523,15 @@ class ScatterGatherExecutor:
 
     def _gather_result(self, slices: list[list[tuple[int, list]]]) -> QueryResult:
         """Merge per-shard (global_seq, items) slices into document order."""
-        merged: list[tuple[int, list]] = []
-        for piece in slices:
-            merged.extend(piece)
-        merged.sort(key=lambda pair: pair[0])
-        items: list = []
-        for _seq, row in merged:
-            items.extend(row)
+        with self.tracer.span("scatter.merge") as span:
+            merged: list[tuple[int, list]] = []
+            for piece in slices:
+                merged.extend(piece)
+            merged.sort(key=lambda pair: pair[0])
+            items: list = []
+            for _seq, row in merged:
+                items.extend(row)
+            span.set(slices=len(slices), rows=len(items))
         return QueryResult(items, Navigator(self.sharded))
 
     # -- plan executions -----------------------------------------------------------
@@ -489,9 +540,13 @@ class ScatterGatherExecutor:
         if plan.empty:
             return QueryResult([], Navigator(self.sharded)), 0
         rank = plan.target_shard
-        result = self._partial(
-            rank, "routed", text,
-            lambda: self._gated(rank, lambda r: self._evaluate_on_shard(r, text)))
+        with self.tracer.span("scatter.shard", shard=rank,
+                              backend=self.sharded.backends[rank],
+                              routed=True):
+            result = self._partial(
+                rank, "routed", text,
+                lambda: self._gated(rank,
+                                    lambda r: self._evaluate_on_shard(r, text)))
         return result, 1
 
     def _execute_count(self, text: str, plan: _Plan) -> tuple[QueryResult, int]:
@@ -510,7 +565,7 @@ class ScatterGatherExecutor:
             pushed = self._count_pushdown(rank, compiled, plan)
             if pushed is not None:
                 return pushed
-        result = evaluate(compiled)
+        result = evaluate(compiled, tracer=self.tracer)
         return int(result.items[0])
 
     def _count_pushdown(self, rank: int, compiled: CompiledQuery,
@@ -542,7 +597,11 @@ class ScatterGatherExecutor:
         if index is None or index.nodes_empty or index.nodes_multi:
             return None
         store.stats.index_lookups += 1
-        return index.count(range_plan.op, range_plan.bound)
+        with self.tracer.span("index.probe", kind="count_pushdown",
+                              shard=rank) as span:
+            count = index.count(range_plan.op, range_plan.bound)
+            span.set(count=count)
+        return count
 
     def _execute_join(self, text: str, plan: _Plan) -> tuple[QueryResult, int]:
         ranks = list(range(self.sharded.shard_count))
@@ -633,8 +692,9 @@ class ScatterGatherExecutor:
         """The compatibility path: the full stack over the virtual view."""
         key = ("*", text)
         compiled, _hit = self._compiled.get_or_compute(
-            key, lambda: compile_query(text, self.sharded, SHARDED_PROFILE))
-        return evaluate(compiled)
+            key, lambda: compile_query(text, self.sharded, SHARDED_PROFILE,
+                                       tracer=self.tracer))
+        return evaluate(compiled, tracer=self.tracer)
 
 
 #: The optimizer profile of the compatibility path (the sharded store's

@@ -34,6 +34,7 @@ from functools import lru_cache
 
 from repro.errors import UpdateError
 from repro.index import maintenance
+from repro.obs.trace import NULL_TRACER
 from repro.schema.auction import REGIONS, auction_dtd
 from repro.storage.interface import Store, store_document_text
 from repro.update.ops import (
@@ -319,7 +320,8 @@ def _delete_item(app: _Application, op: DeleteItem) -> None:
 
 def apply_update(store: Store, op: UpdateOp, *,
                  maintenance_mode: str | None = None,
-                 advance_digest: bool = True) -> ChangeSet:
+                 advance_digest: bool = True,
+                 tracer=NULL_TRACER) -> ChangeSet:
     """Apply one operation to one store with full logical bookkeeping.
 
     ``maintenance_mode`` overrides the store's ``index_maintenance``
@@ -331,7 +333,28 @@ def apply_update(store: Store, op: UpdateOp, *,
     several operations under one digest advance; the caller then owns
     chaining the digest over the whole batch — see
     :func:`repro.db.transaction_token`.
+
+    A ``tracer`` records one ``update.op`` span per call carrying the
+    maintenance mode, timing split, and change-footprint width.
     """
+    if not tracer.enabled:
+        return _apply_update(store, op, maintenance_mode=maintenance_mode,
+                             advance_digest=advance_digest)
+    with tracer.span("update.op", op=op.token(),
+                     architecture=store.architecture) as span:
+        changes = _apply_update(store, op, maintenance_mode=maintenance_mode,
+                                advance_digest=advance_digest)
+        span.set(maintenance=changes.maintenance,
+                 mutate_ms=round(changes.mutate_seconds * 1000.0, 3),
+                 index_ms=round(changes.index_seconds * 1000.0, 3),
+                 nodes_indexed=changes.nodes_indexed,
+                 footprint=len(changes.changed_tokens))
+    return changes
+
+
+def _apply_update(store: Store, op: UpdateOp, *,
+                  maintenance_mode: str | None = None,
+                  advance_digest: bool = True) -> ChangeSet:
     store.require_loaded()
     mode = maintenance_mode or store.index_maintenance
     if mode not in ("incremental", "rebuild"):
@@ -387,6 +410,7 @@ def apply_update(store: Store, op: UpdateOp, *,
 
 def apply_transaction_ops(stores: dict[str, Store], ops, *,
                           maintenance_mode: str | None = None,
+                          tracer=NULL_TRACER,
                           ) -> tuple[dict, frozenset[str], frozenset[str]]:
     """The shared commit core of a transaction: apply a batch to a set of
     stores with the digest chain suppressed.
@@ -413,7 +437,7 @@ def apply_transaction_ops(stores: dict[str, Store], ops, *,
             for name, store in stores.items():
                 changes = apply_update(store, op,
                                        maintenance_mode=maintenance_mode,
-                                       advance_digest=False)
+                                       advance_digest=False, tracer=tracer)
                 counts[name] += 1
                 changed |= changes.changed_tokens
                 ancestors |= changes.ancestor_tags

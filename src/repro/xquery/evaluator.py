@@ -13,6 +13,7 @@ from bisect import bisect_left, bisect_right
 from itertools import chain
 
 from repro.errors import QueryError
+from repro.obs.trace import NULL_TRACER
 from repro.xmlio.dom import Element
 from repro.xmlio.serialize import serialize
 from repro.xmlio.canonical import canonicalize
@@ -85,10 +86,17 @@ class QueryResult:
         return canonicalize(self.to_element(), ordered=ordered, strip_whitespace=True)
 
 
-def evaluate(compiled: CompiledQuery) -> QueryResult:
+def evaluate(compiled: CompiledQuery, tracer=NULL_TRACER) -> QueryResult:
     """Execute a compiled query and return its result sequence."""
-    interpreter = _Interpreter(compiled)
-    items = interpreter.eval(compiled.query.body)
+    interpreter = _Interpreter(compiled, tracer=tracer)
+    if not tracer.enabled:
+        items = interpreter.eval(compiled.query.body)
+        return QueryResult(items, interpreter.navigator)
+    with tracer.span("evaluator.eval", system=compiled.profile.name) as span:
+        items = interpreter.eval(compiled.query.body)
+        span.set(items=len(items),
+                 index_probes=interpreter.index_probes,
+                 index_degrades=interpreter.index_degrades)
     return QueryResult(items, interpreter.navigator)
 
 
@@ -102,11 +110,14 @@ class StreamingResult:
     must be drawn strictly sequentially (which is what a cursor does).
     """
 
-    __slots__ = ("_iterator", "navigator")
+    __slots__ = ("_iterator", "navigator", "span")
 
-    def __init__(self, iterator, navigator: Navigator) -> None:
+    def __init__(self, iterator, navigator: Navigator, span=None) -> None:
         self._iterator = iterator
         self.navigator = navigator
+        #: The live ``evaluator.stream`` span when tracing; finished when
+        #: the pipeline is exhausted (or its generator is closed).
+        self.span = span
 
     def __iter__(self):
         return self._iterator
@@ -123,7 +134,7 @@ class StreamingResult:
         return QueryResult(list(self._iterator), self.navigator)
 
 
-def evaluate_stream(compiled: CompiledQuery) -> StreamingResult:
+def evaluate_stream(compiled: CompiledQuery, tracer=NULL_TRACER) -> StreamingResult:
     """Execute a compiled query, yielding result items lazily.
 
     Plans whose shape admits pipelining (path scans and probes, FLWOR
@@ -132,13 +143,37 @@ def evaluate_stream(compiled: CompiledQuery) -> StreamingResult:
     behind the same iterator.  ``list(evaluate_stream(c))`` equals
     ``evaluate(c).items`` bit-for-bit.
     """
-    interpreter = _Interpreter(compiled)
-    return StreamingResult(
-        interpreter.stream(compiled.query.body), interpreter.navigator)
+    interpreter = _Interpreter(compiled, tracer=tracer)
+    iterator = interpreter.stream(compiled.query.body)
+    if not tracer.enabled:
+        return StreamingResult(iterator, interpreter.navigator)
+    span = tracer.begin("evaluator.stream", system=compiled.profile.name)
+    return StreamingResult(_traced_stream(iterator, interpreter, span),
+                           interpreter.navigator, span=span)
+
+
+def _traced_stream(iterator, interpreter: "_Interpreter", span):
+    """Count rows out of the pipeline; close the span when it drains.
+
+    The ``finally`` fires on exhaustion *and* on generator close, so an
+    abandoned cursor still finishes its span with whatever ran.
+    """
+    rows = 0
+    try:
+        for item in iterator:
+            rows += 1
+            yield item
+    finally:
+        span.set(rows=rows,
+                 index_probes=interpreter.index_probes,
+                 index_degrades=interpreter.index_degrades,
+                 barriers=interpreter.barriers,
+                 stage_rows=dict(interpreter.stage_rows))
+        span.finish()
 
 
 class _Interpreter:
-    def __init__(self, compiled: CompiledQuery) -> None:
+    def __init__(self, compiled: CompiledQuery, tracer=NULL_TRACER) -> None:
         self.compiled = compiled
         self.store = compiled.store
         self.navigator = Navigator(compiled.store)
@@ -147,6 +182,16 @@ class _Interpreter:
         self.position = 0
         self.size = 0
         self.join_cache: dict[int, object] = {}
+        self.tracer = tracer
+        #: Per-stage row counting happens only when tracing is live.
+        self.trace = tracer.enabled
+        #: Execution-fact counters, always maintained (integer adds are
+        #: cheap and they make PROFILE exact even across threads, unlike
+        #: the shared ``store.stats`` totals).
+        self.index_probes = 0
+        self.index_degrades = 0
+        self.barriers = 0
+        self.stage_rows: dict[int, int] = {}
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -191,11 +236,13 @@ class _Interpreter:
         if plan is not None and plan.kind in ("value_probe", "range_probe"):
             handles = self._probe_handles(plan)
             if handles is None:         # indexes dropped: degrade to the scan
+                self.index_degrades += 1
                 return self._apply_steps([_DOC_ROOT], node.steps, 0)
             return self._apply_steps_raw(handles, node.steps, plan.id_step + 1)
         if plan is not None and plan.kind == "path_index":
             handles = self._path_extent(plan)
             if handles is None:         # indexes dropped: degrade to the scan
+                self.index_degrades += 1
                 return self._apply_steps([_DOC_ROOT], node.steps, 0)
             return self._apply_steps(handles, node.steps, plan.prefix_len)
         if node.root is None:
@@ -221,6 +268,7 @@ class _Interpreter:
             extent = indexes.path_extent(plan.prefix)
             if extent is not None:
                 self.store.stats.index_lookups += 1
+                self.index_probes += 1
             return extent
         return self.store.nodes_at_path(plan.prefix) or []
 
@@ -235,14 +283,17 @@ class _Interpreter:
             if index is None:
                 return None
             self.store.stats.index_lookups += 1
+            self.index_probes += 1
             return [handle for _seq, handle in index.probe(plan.probe_value)]
         index = indexes.sorted_field(plan.prefix, plan.accessor)
         if index is None:
             return None
         self.store.stats.index_lookups += 1
+        self.index_probes += 1
         return _doc_order_handles(index.range(plan.op, plan.bound))
 
     def _eval_id_lookup(self, node: Path, plan) -> list:
+        self.index_probes += 1
         handle = self.store.lookup_id(plan.id_value)
         if handle is None:
             return []
@@ -326,6 +377,7 @@ class _Interpreter:
         if plan is not None and plan.kind in ("value_probe", "range_probe"):
             handles = self._probe_handles(plan)
             if handles is None:         # indexes dropped: degrade to the scan
+                self.index_degrades += 1
                 yield from self._stream_steps(iter((_DOC_ROOT,)), node.steps, 0)
             else:
                 yield from self._stream_steps(iter(handles), node.steps,
@@ -334,6 +386,7 @@ class _Interpreter:
         if plan is not None and plan.kind == "path_index":
             handles = self._path_extent(plan)
             if handles is None:
+                self.index_degrades += 1
                 yield from self._stream_steps(iter((_DOC_ROOT,)), node.steps, 0)
             else:
                 yield from self._stream_steps(iter(handles), node.steps,
@@ -360,6 +413,8 @@ class _Interpreter:
             for handle in handles:
                 yield handle if isinstance(handle, str) else NodeItem(handle)
             return
+        if self.trace:
+            handles = self._count_stage(handles, start)
         step = steps[start]
         axis = step.axis
         nav = self.navigator
@@ -384,6 +439,7 @@ class _Interpreter:
         if axis == "self":
             # Filter-expression semantics are positional over the whole
             # sequence: this step is a pipeline barrier.
+            self.barriers += 1
             wrapped = [h if isinstance(h, str) else NodeItem(h) for h in handles]
             filtered = self._filter_sequence(wrapped, step.predicates)
             yield from self._stream_steps(
@@ -399,6 +455,7 @@ class _Interpreter:
             if second is not _EXHAUSTED:
                 # Multi-context descendants dedupe and re-sort globally in
                 # document order: another barrier, same as the eager path.
+                self.barriers += 1
                 out: list = []
                 for handle in chain((first, second), source):
                     out.extend(self._expand_step(handle, step))
@@ -411,6 +468,13 @@ class _Interpreter:
             for handle in source:
                 yield from self._expand_step(handle, step)
         yield from self._stream_steps(expanded(), steps, start + 1)
+
+    def _count_stage(self, handles, stage: int):
+        """Tracing only: count rows entering one step of the pipeline."""
+        counts = self.stage_rows
+        for handle in handles:
+            counts[stage] = counts.get(stage, 0) + 1
+            yield handle
 
     def _dedupe_doc_order(self, handles: list) -> list:
         nav = self.navigator
@@ -483,6 +547,7 @@ class _Interpreter:
             probed = self._eval_range_flwor(node, range_plan)
             if probed is not None:
                 return probed
+            self.index_degrades += 1
         results: list = []
         ordered_rows: list[tuple] = []
         clauses = node.clauses
@@ -537,6 +602,7 @@ class _Interpreter:
         they are the one safely-streamable shape.
         """
         if node.order or self.compiled.range_plans.get(id(node)) is not None:
+            self.barriers += 1
             yield from self.eval_flwor(node)
             return
         clauses = node.clauses
@@ -580,6 +646,7 @@ class _Interpreter:
         if index is None:
             return None
         self.store.stats.index_lookups += 1
+        self.index_probes += 1
         clause = node.clauses[0]
         results: list = []
         previous = self.variables.get(clause.var)
@@ -608,6 +675,7 @@ class _Interpreter:
             probed = self._indexed_hash_probe(plan)
             if probed is not None:
                 return self._join_returns(clause, plan, probed)
+            self.index_degrades += 1
         cache = self.join_cache.get(id(clause))
         if cache is None:
             table: dict = {}
@@ -640,6 +708,7 @@ class _Interpreter:
         if index is None:
             return None
         self.store.stats.index_lookups += 1
+        self.index_probes += 1
         entries: list[tuple[int, object]] = []
         for value in atomize(self.eval(plan.outer_key), self.navigator):
             entries.extend(index.probe(value))
@@ -661,6 +730,7 @@ class _Interpreter:
         if outer is None:
             return []
         self.store.stats.index_lookups += 1
+        self.index_probes += 1
         entries = index.outer_compare(plan.op, outer, plan.index_scale)
         return [NodeItem(handle) for _seq, handle in entries]
 
@@ -669,6 +739,7 @@ class _Interpreter:
             probed = self._indexed_sorted_probe(plan)
             if probed is not None:
                 return self._join_returns(clause, plan, probed)
+            self.index_degrades += 1
         cache = self.join_cache.get(id(clause))
         if cache is None:
             keys: list[float] = []

@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.obs.trace import NULL_TRACER
 from repro.storage.fragment_store import FragmentStore
 from repro.storage.heap_store import HeapStore
 from repro.storage.interface import Store
@@ -155,16 +156,55 @@ class CompiledQuery:
     plans_considered: int = 0
 
 
-def compile_query(text: str, store: Store, profile: SystemProfile) -> CompiledQuery:
+def compile_query(text: str, store: Store, profile: SystemProfile,
+                  tracer=NULL_TRACER) -> CompiledQuery:
     """Full compilation pipeline for one system."""
-    query = parse_query(text)
-    compiled = CompiledQuery(query, store, profile)
-    _resolve_paths(compiled)
-    _plan_joins(compiled)
-    _plan_ranges(compiled)
-    _enumerate_plans(compiled)
-    _validate_tags(compiled)
+    if not tracer.enabled:
+        query = parse_query(text)
+        compiled = CompiledQuery(query, store, profile)
+        _resolve_paths(compiled)
+        _plan_joins(compiled)
+        _plan_ranges(compiled)
+        _enumerate_plans(compiled)
+        _validate_tags(compiled)
+        return compiled
+    with tracer.span("plan", system=profile.name,
+                     optimizer=profile.optimizer) as span:
+        with tracer.span("plan.parse"):
+            query = parse_query(text)
+        compiled = CompiledQuery(query, store, profile)
+        _resolve_paths(compiled)
+        _plan_joins(compiled)
+        _plan_ranges(compiled)
+        _enumerate_plans(compiled)
+        _validate_tags(compiled)
+        _trace_plan_choices(compiled, tracer)
+        span.set(plans_considered=compiled.plans_considered,
+                 metadata_accesses=compiled.metadata_accesses,
+                 warnings=len(compiled.warnings))
     return compiled
+
+
+def _trace_plan_choices(compiled: CompiledQuery, tracer) -> None:
+    """One zero-width child span per optimizer decision: the chosen
+    access path / join / range, with the est-vs-scan numbers that won
+    the probe-vs-scan cost comparison."""
+    for plan in compiled.path_plans.values():
+        if plan.kind == "steps":
+            continue
+        with tracer.span("plan.access_path", kind=plan.kind,
+                         prefix="/".join(plan.prefix),
+                         est_rows=plan.est_rows, scan_rows=plan.scan_rows):
+            pass
+    for join in compiled.join_plans.values():
+        with tracer.span("plan.join", strategy=join.strategy, op=join.op,
+                         index_kind=join.index_kind or "none"):
+            pass
+    for rng in compiled.range_plans.values():
+        with tracer.span("plan.range", var=rng.var, op=rng.op,
+                         bound=rng.bound, est_rows=rng.est_rows,
+                         scan_rows=rng.scan_rows):
+            pass
 
 
 # -- access-path resolution ----------------------------------------------------------

@@ -118,7 +118,10 @@ class TestCli:
         assert main(["serve-bench", "-f", "0.0005", "-s", "D", "-c", "2",
                      "-n", "4", "--think-ms", "0.5", "--json", str(report)]) == 0
         out = capsys.readouterr().out
-        assert "throughput" in out and "qps" in out
+        assert "qps" in out
+        # stats now print through the unified registry's text exporter
+        assert "service.latency_seconds" in out
+        assert 'service.queries_total{system="D"} 8' in out
         import json
         snapshot = json.loads(report.read_text())
         assert snapshot["completed"] == 8

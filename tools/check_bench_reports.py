@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Benchmark-report schema gate: every ``BENCH_*.json`` must be well-formed.
+
+The committed benchmark reports at the repo root (and any freshly
+generated ones in CI) all come out of :func:`benchmarks._emit.build_report`,
+and downstream tooling — report diffing, the EXPERIMENTS.md tables —
+assumes their common shape.  This gate pins that shape:
+
+* top level: ``machine_info``, ``commit_info``, ``benchmarks``,
+  ``version``, ``config``, plus optional ``acceptance``;
+* every benchmark record: ``group``, ``name``, ``fullname``, ``params``,
+  ``stats``, ``extra_info``;
+* every record's stats: ``min``/``max``/``mean``/``stddev`` (numbers)
+  and ``rounds``/``iterations`` (positive integers);
+* when ``acceptance`` is present it must carry an ``ok`` bool (plus an
+  optional ``criterion`` string) — and ``ok`` must be true: a report
+  whose own acceptance failed has no business being committed.
+
+Usage::
+
+    python tools/check_bench_reports.py [paths...]
+
+With no arguments, checks every ``BENCH_*.json`` at the repo root.
+Exit status 1 on any violation, listing all of them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TOP_LEVEL_REQUIRED = ("machine_info", "commit_info", "benchmarks",
+                      "version", "config")
+RECORD_REQUIRED = ("group", "name", "fullname", "params", "stats",
+                   "extra_info")
+STATS_NUMBERS = ("min", "max", "mean", "stddev")
+STATS_COUNTS = ("rounds", "iterations")
+
+
+def check_report(path: Path) -> list[str]:
+    """All schema violations in one report file (empty = clean)."""
+    label = path.name
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{label}: unreadable or invalid JSON ({exc})"]
+    if not isinstance(report, dict):
+        return [f"{label}: top level is {type(report).__name__}, expected object"]
+
+    problems = []
+    for key in TOP_LEVEL_REQUIRED:
+        if key not in report:
+            problems.append(f"{label}: missing top-level key {key!r}")
+    records = report.get("benchmarks")
+    if not isinstance(records, list) or not records:
+        problems.append(f"{label}: 'benchmarks' must be a non-empty list")
+        records = []
+    for i, record in enumerate(records):
+        where = f"{label}: benchmarks[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where} is {type(record).__name__}, "
+                            "expected object")
+            continue
+        for key in RECORD_REQUIRED:
+            if key not in record:
+                problems.append(f"{where} missing key {key!r}")
+        stats = record.get("stats")
+        if not isinstance(stats, dict):
+            continue
+        for key in STATS_NUMBERS:
+            value = stats.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{where} stats[{key!r}] must be a number, "
+                                f"got {value!r}")
+        for key in STATS_COUNTS:
+            value = stats.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                problems.append(f"{where} stats[{key!r}] must be a positive "
+                                f"integer, got {value!r}")
+    if "acceptance" in report:
+        acceptance = report["acceptance"]
+        if not isinstance(acceptance, dict):
+            problems.append(f"{label}: 'acceptance' must be an object")
+        else:
+            if "criterion" in acceptance \
+                    and not isinstance(acceptance["criterion"], str):
+                problems.append(f"{label}: acceptance.criterion must be a "
+                                "string")
+            ok = acceptance.get("ok")
+            if not isinstance(ok, bool):
+                problems.append(f"{label}: acceptance.ok must be a bool")
+            elif not ok:
+                problems.append(
+                    f"{label}: acceptance.ok is false — a failing report "
+                    "must not be committed "
+                    f"(failures: {acceptance.get('failures')})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json reports found", file=sys.stderr)
+        return 1
+
+    problems = []
+    for path in paths:
+        found = check_report(path)
+        problems.extend(found)
+        status = "FAIL" if found else "ok"
+        print(f"  {path.name}: {status}")
+    if problems:
+        print(f"\n{len(problems)} schema violation(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"all {len(paths)} report(s) match the shared schema")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
