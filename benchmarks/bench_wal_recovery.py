@@ -1,0 +1,306 @@
+"""Durability pricing: WAL append overhead and recovery vs cold rebuild.
+
+PR 7 adds a write-ahead log, snapshots, and crash recovery.  Two claims
+need numbers:
+
+* **Append overhead** — a durable connection logs (and, under
+  ``sync="commit"``, fsyncs) every commit *before* applying it.  This
+  bench applies the same deterministic update history through four
+  connections — non-durable baseline, then ``sync="none"`` (framing
+  only), ``sync="batch"`` (group commit), ``sync="commit"`` (fsync per
+  commit) — and reports per-op cost per mode.  Overhead is reported,
+  not gated: fsync cost is the storage stack's, not ours.
+* **Recovery beats rebuild** — the point of durability here: reopening
+  a durable directory (load snapshot + replay the WAL suffix through
+  the real update engine) must be strictly cheaper than reconstructing
+  the same state cold (generate the document + bulkload + re-apply the
+  history).  Measured both with the base snapshot (full-history replay)
+  and after ``checkpoint()`` (snapshot only, zero replay); both must
+  beat the cold path — that is the acceptance gate (exit 1).
+
+Correctness is asserted in-run: every recovery must land on the live
+connection's digest-chain value.
+
+Runs two ways:
+
+* under pytest-benchmark like the sibling benches (``bench_*`` functions);
+* standalone — ``python benchmarks/bench_wal_recovery.py [--tiny]
+  [--json out.json]`` — emitting a pytest-benchmark-shaped JSON
+  document, which is what CI's durability gate step exercises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from _emit import build_report, emit_report
+
+BENCH_SCALE = 0.005
+TINY_SCALE = 0.002
+DEFAULT_OPS = 30
+SYNC_MODES = ("none", "batch", "commit")
+
+
+def build_history(text: str, n_ops: int, seed: int = 97):
+    """A fixed op list, generated against (a scratch copy of) ``text``."""
+    from repro.benchmark.systems import make_store
+    from repro.update.engine import apply_update
+    from repro.update.stream import UpdateStream
+
+    store = make_store("F")
+    store.load(text)
+    stream = UpdateStream(store, seed=seed)
+    ops = []
+    for _ in range(n_ops):
+        op = stream.next_op()
+        stream.note_applied(op)
+        apply_update(store, op)
+        ops.append(op)
+    return ops
+
+
+def time_apply(text: str, ops, directory: str | None, sync: str,
+               rounds: int) -> float:
+    """Best-of-``rounds`` seconds to commit ``ops`` through one
+    connection; each round starts from a fresh connection (and a fresh
+    durable directory, when durable)."""
+    import repro
+
+    best = float("inf")
+    for _ in range(rounds):
+        workdir = Path(tempfile.mkdtemp(prefix="walbench-")) if directory \
+            else None
+        db = repro.connect(
+            text, systems=("F",),
+            durable=str(workdir / "d") if workdir else None, sync=sync)
+        try:
+            started = time.perf_counter()
+            for op in ops:
+                db.apply_transaction([op])
+            best = min(best, time.perf_counter() - started)
+        finally:
+            db.close()
+            if workdir:
+                shutil.rmtree(workdir, ignore_errors=True)
+    return best
+
+
+def measure_append(text: str, ops, rounds: int) -> list[dict]:
+    baseline = time_apply(text, ops, None, "commit", rounds)
+    cells = [{"mode": "baseline", "total_ms": round(baseline * 1000.0, 3),
+              "per_op_us": round(baseline / len(ops) * 1e6, 1),
+              "overhead_pct": 0.0}]
+    for mode in SYNC_MODES:
+        seconds = time_apply(text, ops, "durable", mode, rounds)
+        cells.append({
+            "mode": mode,
+            "total_ms": round(seconds * 1000.0, 3),
+            "per_op_us": round(seconds / len(ops) * 1e6, 1),
+            "overhead_pct": round((seconds / baseline - 1.0) * 100.0, 2)
+            if baseline > 0 else 0.0,
+        })
+    return cells
+
+
+def measure_recovery(factor: float, text: str, ops, rounds: int) -> dict:
+    """Recovery (base snapshot + replay, then post-checkpoint) vs the
+    cold path (generate + load + re-apply), digests verified equal."""
+    import repro
+    from repro.benchmark.systems import make_store
+    from repro.storage.wal import recover
+    from repro.update.engine import apply_update
+
+    workdir = Path(tempfile.mkdtemp(prefix="walbench-"))
+    try:
+        deploy = str(workdir / "d")
+        db = repro.connect(text, systems=("F",), durable=deploy,
+                           sync="commit")
+        for op in ops:
+            db.apply_transaction([op])
+        live_digest = db.store("F").document_digest()
+        db.close()
+
+        def time_recover() -> tuple[float, object]:
+            best, report = float("inf"), None
+            for _ in range(rounds):
+                started = time.perf_counter()
+                report = recover(deploy)
+                best = min(best, time.perf_counter() - started)
+            return best, report
+
+        replay_s, report = time_recover()
+        if report.digest != live_digest:
+            raise AssertionError("recovery diverged from the live digest")
+        if report.replayed != len(ops):
+            raise AssertionError(
+                f"expected {len(ops)} replayed, got {report.replayed}")
+
+        db = repro.connect(None, durable=deploy)
+        db.checkpoint()
+        db.close()
+        snapshot_s, report = time_recover()
+        if report.digest != live_digest or report.replayed != 0:
+            raise AssertionError("post-checkpoint recovery diverged")
+
+        def cold() -> None:
+            rebuilt = make_store("F")
+            rebuilt.load(repro.generate_string(factor))
+            for op in ops:
+                apply_update(rebuilt, op)
+
+        cold_s = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            cold()
+            cold_s = min(cold_s, time.perf_counter() - started)
+
+        return {
+            "cold_rebuild_ms": round(cold_s * 1000.0, 3),
+            "recover_replay_ms": round(replay_s * 1000.0, 3),
+            "recover_snapshot_ms": round(snapshot_s * 1000.0, 3),
+            "replay_speedup": round(cold_s / replay_s, 2)
+            if replay_s > 0 else 0.0,
+            "snapshot_speedup": round(cold_s / snapshot_s, 2)
+            if snapshot_s > 0 else 0.0,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def check_acceptance(recovery: dict) -> list[str]:
+    """Both recovery paths must strictly beat the cold rebuild."""
+    failures = []
+    for key, label in (("recover_replay_ms", "snapshot+replay recovery"),
+                       ("recover_snapshot_ms", "post-checkpoint recovery")):
+        if recovery[key] >= recovery["cold_rebuild_ms"]:
+            failures.append(
+                f"{label} ({recovery[key]:.3f} ms) does not strictly beat "
+                f"cold generate+load+re-apply "
+                f"({recovery['cold_rebuild_ms']:.3f} ms)")
+    return failures
+
+
+# -- pytest-benchmark entry points (same harness as the sibling benches) ------------
+
+
+@pytest.mark.parametrize("mode", SYNC_MODES)
+def bench_wal_append(benchmark, bench_text, mode):
+    ops = build_history(bench_text, 10)
+    benchmark.pedantic(
+        lambda: time_apply(bench_text, ops, "durable", mode, rounds=1),
+        rounds=3, iterations=1)
+
+
+def bench_wal_recovery_shape(benchmark, bench_text):
+    """One-shot gate check: recovery strictly beats the cold rebuild."""
+    ops = build_history(bench_text, 10)
+
+    def run():
+        return measure_recovery(BENCH_SCALE, bench_text, ops, rounds=2)
+
+    recovery = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(recovery)
+    failures = check_acceptance(recovery)
+    assert not failures, failures
+
+
+# -- standalone runner ---------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="WAL append overhead per sync mode; recovery vs "
+                    "cold rebuild (gated)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke mode: smaller document")
+    parser.add_argument("--factor", type=float, default=None,
+                        help=f"document scaling factor (default {BENCH_SCALE}; "
+                             f"--tiny: {TINY_SCALE})")
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS,
+                        help=f"update history length (default {DEFAULT_OPS})")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per cell, best-of (default 3)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the report to this file (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    factor = args.factor if args.factor is not None else (
+        TINY_SCALE if args.tiny else BENCH_SCALE)
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    import repro
+    text = repro.generate_string(factor)
+    print(f"building a {args.ops}-op history ({len(text):,} bytes) ...",
+          file=sys.stderr)
+    ops = build_history(text, args.ops)
+
+    append_cells = measure_append(text, ops, args.rounds)
+    for cell in append_cells:
+        print(f"  append {cell['mode']:<9s} {cell['total_ms']:>9.3f} ms "
+              f"({cell['per_op_us']:>8.1f} us/op, "
+              f"{cell['overhead_pct']:>+7.2f}%)", file=sys.stderr)
+
+    recovery = measure_recovery(factor, text, ops, args.rounds)
+    print(f"  cold rebuild        {recovery['cold_rebuild_ms']:>9.3f} ms\n"
+          f"  recover (replay)    {recovery['recover_replay_ms']:>9.3f} ms "
+          f"({recovery['replay_speedup']:.2f}x)\n"
+          f"  recover (snapshot)  {recovery['recover_snapshot_ms']:>9.3f} ms "
+          f"({recovery['snapshot_speedup']:.2f}x)", file=sys.stderr)
+
+    failures = check_acceptance(recovery)
+    records = [{
+        "group": "wal-append",
+        "name": f"wal_append[{cell['mode']}]",
+        "fullname": f"bench_wal_recovery.py::wal_append[{cell['mode']}]",
+        "params": {"mode": cell["mode"], "ops": args.ops},
+        "stats": {"min": cell["total_ms"] / 1000.0,
+                  "max": cell["total_ms"] / 1000.0,
+                  "mean": cell["total_ms"] / 1000.0,
+                  "stddev": 0.0, "rounds": args.rounds, "iterations": 1},
+        "extra_info": dict(cell),
+    } for cell in append_cells]
+    for key in ("cold_rebuild_ms", "recover_replay_ms",
+                "recover_snapshot_ms"):
+        records.append({
+            "group": "wal-recovery",
+            "name": f"wal_recovery[{key}]",
+            "fullname": f"bench_wal_recovery.py::wal_recovery[{key}]",
+            "params": {"ops": args.ops},
+            "stats": {"min": recovery[key] / 1000.0,
+                      "max": recovery[key] / 1000.0,
+                      "mean": recovery[key] / 1000.0,
+                      "stddev": 0.0, "rounds": args.rounds, "iterations": 1},
+            "extra_info": dict(recovery),
+        })
+    acceptance = {
+        "criterion": "reopening the durable directory (snapshot + WAL "
+                     "replay, and snapshot-only after checkpoint) is "
+                     "strictly faster than rebuilding the same state cold "
+                     "(generate + load + re-apply); recovered digest equals "
+                     "the live digest",
+        "ok": not failures,
+        "failures": failures,
+        **recovery,
+    }
+    report = build_report(
+        version="1.0",
+        records=records,
+        config={"factor": factor, "ops": args.ops, "rounds": args.rounds,
+                "sync_modes": list(SYNC_MODES)},
+        acceptance=acceptance,
+    )
+    emit_report("wal_recovery", report, args.json_path)
+    for failure in failures:
+        print(f"ACCEPTANCE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

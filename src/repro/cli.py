@@ -9,6 +9,8 @@
     xmark shard  -f 0.005 -n 3 -q 1 -q 8
     xmark trace  -f 0.005 -q 8 -s D
     xmark stats  -f 0.005 -s D -n 25
+    xmark recover --dir ./durable
+    xmark checkpoint --dir ./durable
     xmark validate auction.xml
 """
 
@@ -218,6 +220,41 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", dest="json_path", default=None,
                        help="also write the registry snapshot to this file")
 
+    recover_cmd = commands.add_parser(
+        "recover",
+        help="recover a durable directory (snapshot load + WAL replay)",
+        description="Rebuild the committed state of a durable deployment "
+                    "(repro.connect(durable=dir)): load the manifest's "
+                    "snapshot, replay the WAL suffix through the update "
+                    "engine, verify the digest chain record by record, and "
+                    "report what was replayed, skipped, and dropped from "
+                    "torn stream tails.")
+    recover_cmd.add_argument("--dir", dest="directory", required=True,
+                             help="the durable directory to recover")
+    recover_cmd.add_argument("--backend", default="F",
+                             choices=list("ABCDEFG"),
+                             help="scratch architecture for replaying a "
+                                  "document snapshot (default F)")
+    recover_cmd.add_argument("--out", default=None,
+                             help="write the recovered document to this file")
+    recover_cmd.add_argument("--json", dest="json_path", default=None,
+                             help="also write the recovery report to this "
+                                  "file")
+
+    checkpoint_cmd = commands.add_parser(
+        "checkpoint",
+        help="snapshot a durable directory's state and compact its WAL",
+        description="Recover the durable directory, write a fresh snapshot "
+                    "at the last committed LSN, flip the manifest to it, "
+                    "truncate every WAL stream down to the records the "
+                    "snapshot does not cover, and drop the superseded "
+                    "snapshot file.")
+    checkpoint_cmd.add_argument("--dir", dest="directory", required=True,
+                                help="the durable directory to checkpoint")
+    checkpoint_cmd.add_argument("--json", dest="json_path", default=None,
+                                help="also write the checkpoint report to "
+                                     "this file")
+
     validate_cmd = commands.add_parser("validate", help="validate a document against the DTD")
     validate_cmd.add_argument("path")
     return parser
@@ -414,6 +451,76 @@ def _shard_report(args) -> int:
             json.dump(report, handle, indent=2)
         print(f"wrote {args.json_path}")
     return 1 if failures else 0
+
+
+def _recover_command(args) -> int:
+    """``xmark recover``: offline crash recovery + digest verification."""
+    from repro.errors import XMarkError
+    from repro.storage.wal import recover
+
+    try:
+        report = recover(args.directory, backend=args.backend)
+    except XMarkError as exc:
+        print(f"recover: {exc}", file=sys.stderr)
+        return 1
+    print(f"recovered {args.directory}")
+    print(f"  snapshot lsn {report.snapshot_lsn} "
+          f"(digest {report.snapshot_digest}), "
+          f"loaded in {report.load_seconds * 1000:.1f} ms")
+    print(f"  replayed {report.replayed} record(s), skipped {report.skipped}, "
+          f"in {report.replay_seconds * 1000:.1f} ms")
+    for stream, tail in sorted(report.torn_tails.items()):
+        print(f"  stream {stream}: dropped a {tail} tail")
+    if report.dropped_after_gap:
+        print(f"  dropped {report.dropped_after_gap} record(s) logged after "
+              "a damaged commit")
+    print(f"  state at lsn {report.last_lsn}, digest {report.digest}"
+          + (" (sharded)" if report.sharded_store is not None else ""))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.document)
+        print(f"wrote recovered document to {args.out}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report.summary(), handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _checkpoint_command(args) -> int:
+    """``xmark checkpoint``: offline snapshot + WAL compaction."""
+    from repro.errors import XMarkError
+    from repro.storage.wal import DurabilityManager, recover
+    from repro.storage.wal.snapshot import document_snapshot, sharded_snapshot
+
+    try:
+        report = recover(args.directory)
+        with DurabilityManager(args.directory) as manager:
+            manager.attach(report.last_lsn)
+            sharded = report.sharded_store
+            if sharded is not None:
+                state = sharded.partition_state()
+                snapshot = sharded_snapshot(
+                    report.last_lsn, report.digest,
+                    backends=list(sharded.backends),
+                    fragments=sharded.shard_fragment_texts(),
+                    extent_seqs=state["extent_seqs"],
+                    id_map=state["id_map"])
+            else:
+                snapshot = document_snapshot(
+                    report.last_lsn, report.digest, report.document)
+            outcome = manager.checkpoint(snapshot)
+    except XMarkError as exc:
+        print(f"checkpoint: {exc}", file=sys.stderr)
+        return 1
+    print(f"checkpointed {args.directory} at lsn {outcome['lsn']}: "
+          f"wrote {outcome['snapshot']}, dropped {outcome['records_dropped']} "
+          "WAL record(s)")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(outcome, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
 
 
 def _query_command(args) -> int:
@@ -661,6 +768,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "shard":
         return _shard_report(args)
+
+    if args.command == "recover":
+        return _recover_command(args)
+
+    if args.command == "checkpoint":
+        return _checkpoint_command(args)
 
     if args.command == "query":
         return _query_command(args)

@@ -30,11 +30,13 @@ from repro.benchmark.queries import query_text as benchmark_query_text
 from repro.benchmark.systems import SYSTEMS, get_profile, load_stores
 from repro.db.cursor import Cursor
 from repro.db.session import Session
-from repro.errors import BenchmarkError, ClosedSessionError, UnknownSystemError
+from repro.errors import (
+    BenchmarkError, ClosedSessionError, DurabilityError, UnknownSystemError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, TraceLogWriter, Tracer
-from repro.storage.bulkload import bulkload
-from repro.storage.interface import Store
+from repro.storage.bulkload import BulkloadReport, bulkload
+from repro.storage.interface import Store, chain_digest, store_document_text
 from repro.update.engine import apply_transaction_ops
 from repro.update.ops import UpdateOp, transaction_token
 from repro.xquery.evaluator import evaluate, evaluate_stream
@@ -46,7 +48,7 @@ DEFAULT_SHARD_SYSTEM = "S"
 
 
 def connect(
-    document: str,
+    document: str | None,
     *,
     systems: tuple[str, ...] = ("D",),
     shards: int | None = None,
@@ -60,6 +62,9 @@ def connect(
     per_shard_limit: int = 2,
     tracing: bool = False,
     trace_log: str | None = None,
+    durable: str | None = None,
+    sync: str = "commit",
+    group_size: int = 8,
 ) -> "Database":
     """Open an embedded database over a generated (or any) XML document.
 
@@ -75,6 +80,16 @@ def connect(
     ``trace_log`` additionally appends each finished tree to a
     JSON-lines workload log.  Off by default: the disabled path costs
     one attribute read per instrumentation point.
+
+    ``durable=directory`` makes the connection crash-consistent: every
+    commit is logged to a write-ahead log in ``directory`` *before* it
+    applies in memory (``sync`` picks the fsync policy — ``"commit"``,
+    ``"batch"`` with ``group_size``, or ``"none"``).  Reconnecting to an
+    existing durable directory recovers it first — snapshot load plus
+    WAL replay — and serves the recovered state; ``document`` may then
+    be ``None``, and when given it must be the deployment's original
+    base document (lineages are never silently forked).  See
+    docs/DURABILITY.md.
     """
     return Database(
         document,
@@ -90,6 +105,9 @@ def connect(
         per_shard_limit=per_shard_limit,
         tracing=tracing,
         trace_log=trace_log,
+        durable=durable,
+        sync=sync,
+        group_size=group_size,
     )
 
 
@@ -98,7 +116,7 @@ class Database:
 
     def __init__(
         self,
-        document: str,
+        document: str | None,
         *,
         systems: tuple[str, ...] = ("D",),
         shards: int | None = None,
@@ -112,13 +130,15 @@ class Database:
         per_shard_limit: int = 2,
         tracing: bool = False,
         trace_log: str | None = None,
+        durable: str | None = None,
+        sync: str = "commit",
+        group_size: int = 8,
     ) -> None:
         for name in systems:
             if name not in SYSTEMS:
                 raise UnknownSystemError(name, tuple(SYSTEMS))
         if shards is not None and shards <= 0:
             raise BenchmarkError(f"shards must be positive, got {shards}")
-        self.document = document
         self.shard_system = shard_system if shards is not None else None
         self._closed = False
         self.service = None
@@ -130,6 +150,19 @@ class Database:
         #: Live streaming cursors, poisoned when a transaction commits
         #: (their suspended pipelines hold pre-commit store handles).
         self._streaming_cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
+
+        self._durability = None
+        self.recovery = None            # RecoveryReport when a reconnect replayed
+        recovered_sharded = None
+        if durable is not None:
+            document, recovered_sharded = self._open_durable(
+                durable, document, sync=sync, group_size=group_size,
+                shards=shards, backends=tuple(backends))
+        elif document is None:
+            raise BenchmarkError(
+                "document may only be omitted when reconnecting to an "
+                "existing durable directory")
+        self.document = document
 
         if service:
             from repro.service import QueryService, ShardSpec
@@ -159,20 +192,177 @@ class Database:
                     raise BenchmarkError(
                         f"shard system name {shard_system!r} collides with a "
                         "benchmark system letter")
-                sharded = ShardedStore(shards, tuple(backends))
-                try:
-                    self.load_reports[shard_system] = bulkload(
-                        sharded, document, shard_system)
-                except Exception as exc:
-                    self.failed_loads[shard_system] = str(exc)
-                else:
+                if recovered_sharded is not None:
+                    # Recovery already reassembled the exact pre-crash
+                    # partition (same placement, same order seeds) —
+                    # adopt it instead of re-partitioning the document.
+                    sharded = recovered_sharded
                     self.stores[shard_system] = sharded
+                    self.load_reports[shard_system] = BulkloadReport(
+                        store_name=shard_system,
+                        seconds=(self.recovery.load_seconds
+                                 + self.recovery.replay_seconds),
+                        cpu_seconds=0.0,
+                        database_bytes=0,
+                        document_bytes=len(document),
+                    )
                     self._scatter = ScatterGatherExecutor(
                         sharded, per_shard_limit=per_shard_limit,
                         tracer=self.tracer)
+                else:
+                    sharded = ShardedStore(shards, tuple(backends))
+                    try:
+                        self.load_reports[shard_system] = bulkload(
+                            sharded, document, shard_system)
+                    except Exception as exc:
+                        self.failed_loads[shard_system] = str(exc)
+                    else:
+                        self.stores[shard_system] = sharded
+                        self._scatter = ScatterGatherExecutor(
+                            sharded, per_shard_limit=per_shard_limit,
+                            tracer=self.tracer)
         self._serving = tuple(self.stores)
         self._registry = (MetricsRegistry() if self.service is None
                           else None)
+        if durable is not None:
+            self._finish_durable(durable, sync=sync, group_size=group_size,
+                                 shards=shards, backends=tuple(backends))
+
+    # -- durability -----------------------------------------------------------------
+
+    def _open_durable(self, durable, document, *, sync, group_size,
+                      shards, backends):
+        """Recover an existing durable directory (or pass through for a
+        fresh one); returns the document to load and, when recovery
+        reassembled one, the pre-crash sharded store to adopt."""
+        from repro.storage.wal import DurabilityManager, recover
+        if not DurabilityManager.exists(durable):
+            if document is None:
+                raise DurabilityError(
+                    f"{durable} holds no durable deployment; a document is "
+                    "required to create one")
+            return document, None
+        report = recover(durable, tracer=self.tracer)
+        manifest = DurabilityManager.read_manifest(durable)
+        if document is not None:
+            from repro.storage.interface import document_digest as content_of
+            if content_of(document) != manifest["base_digest"]:
+                raise DurabilityError(
+                    f"{durable} was created from a different base document "
+                    f"(base digest {manifest['base_digest']}); refusing to "
+                    "fork the lineage")
+        self.recovery = report
+        manager = DurabilityManager(durable, sync=sync,
+                                    group_size=group_size, tracer=self.tracer)
+        manager.attach(report.last_lsn)
+        self._durability = manager
+        recovered_sharded = None
+        candidate = report.sharded_store
+        if (candidate is not None and shards is not None
+                and candidate.shard_count == shards
+                and tuple(candidate.backends) == tuple(
+                    backends[i % len(backends)] for i in range(shards))):
+            recovered_sharded = candidate
+        return report.document, recovered_sharded
+
+    def _finish_durable(self, durable, *, sync, group_size,
+                        shards, backends) -> None:
+        """After the stores are serving: initialize a fresh durable
+        directory's base snapshot, or restore the recovered digest chain."""
+        from repro.storage.wal import DurabilityManager
+        from repro.storage.wal.snapshot import (
+            document_snapshot, sharded_snapshot,
+        )
+        sharded = (self.stores.get(self.shard_system)
+                   if self.shard_system is not None else None)
+        if self._durability is None:
+            if not self.stores:
+                raise DurabilityError(
+                    "no system loaded successfully; cannot create a "
+                    "durable deployment")
+            base_digest = next(iter(self.stores.values())).document_digest()
+            manager = DurabilityManager(durable, sync=sync,
+                                        group_size=group_size,
+                                        tracer=self.tracer)
+            if sharded is not None:
+                state = sharded.partition_state()
+                snapshot = sharded_snapshot(
+                    0, base_digest, backends=list(sharded.backends),
+                    fragments=sharded.shard_fragment_texts(),
+                    extent_seqs=state["extent_seqs"],
+                    id_map=state["id_map"])
+                manager.initialize(snapshot, streams=sharded.shard_count,
+                                   shard_backends=list(sharded.backends))
+            else:
+                snapshot = document_snapshot(0, base_digest, self.document)
+                manager.initialize(snapshot)
+            self._durability = manager
+        else:
+            # Reconnect: freshly loaded stores carry the recovered
+            # document's *content* digest; the lineage continues from the
+            # recovered *chain* value.
+            for store in self.stores.values():
+                store.restore_digest(self.recovery.digest)
+        self._durability.bind_registry(self.registry)
+        if self.service is not None:
+            self.service.durability = self._durability
+
+    @property
+    def durability(self):
+        """The connection's :class:`~repro.storage.wal.DurabilityManager`
+        (``None`` on a non-durable connection)."""
+        return self._durability
+
+    def _commit_stream(self, op: UpdateOp) -> int:
+        """The WAL stream one single-op commit routes to (its primary
+        shard on a matching sharded deployment, stream 0 otherwise)."""
+        manager = self._durability
+        if manager is None or manager.stream_count == 1:
+            return 0
+        sharded = (self.stores.get(self.shard_system)
+                   if self.shard_system is not None else None)
+        if sharded is None or sharded.shard_count != manager.stream_count:
+            return 0
+        return sharded.route_op(op)
+
+    def checkpoint(self) -> dict:
+        """Snapshot the current committed state and compact the WAL.
+
+        Quiesces writers (on a service connection, via the service's
+        write barrier), writes a snapshot at the last logged LSN, flips
+        the manifest to it, truncates every stream down to the records
+        the snapshot does not cover, and drops the superseded snapshot.
+        Returns the manager's compaction report.
+        """
+        from contextlib import nullcontext
+        from repro.storage.wal.snapshot import (
+            document_snapshot, sharded_snapshot,
+        )
+        self._require_open()
+        if self._durability is None:
+            raise DurabilityError(
+                "connection is not durable; connect(durable=<dir>) first")
+        barrier = (self.service.write_barrier()
+                   if self.service is not None else nullcontext())
+        with barrier:
+            lsn = self._durability.last_lsn
+            sharded = (self.stores.get(self.shard_system)
+                       if self.shard_system is not None else None)
+            if sharded is not None:
+                state = sharded.partition_state()
+                snapshot = sharded_snapshot(
+                    lsn, sharded.document_digest(),
+                    backends=list(sharded.backends),
+                    fragments=sharded.shard_fragment_texts(),
+                    extent_seqs=state["extent_seqs"],
+                    id_map=state["id_map"])
+            else:
+                store = self.store(self.default_system())
+                snapshot = document_snapshot(
+                    lsn, store.document_digest(), store_document_text(store))
+            report = self._durability.checkpoint(snapshot)
+        self.registry.counter("db.checkpoints_total").inc()
+        return report
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -188,6 +378,8 @@ class Database:
             self._scatter.close()
         if self._trace_writer is not None:
             self._trace_writer.close()
+        if self._durability is not None:
+            self._durability.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -407,10 +599,18 @@ class Database:
                 if tracer.enabled else None)
         try:
             with tracer.activate(root):
+                token = transaction_token(ops)
+                if self._durability is not None and self.stores:
+                    # WAL-before-apply: the commit is durable before any
+                    # store mutates; a crash in between replays it.
+                    prev = (next(iter(self.stores.values()))
+                            .document_digest() or "")
+                    self._durability.log_commit(
+                        ops, kind="txn", prev_digest=prev,
+                        digest=chain_digest(prev, token))
                 costs, _changed, _ancestors = apply_transaction_ops(
                     self.stores, ops, maintenance_mode=maintenance,
                     tracer=tracer)
-                token = transaction_token(ops)
                 digest = None
                 for store in self.stores.values():
                     digest = store.advance_digest(token)

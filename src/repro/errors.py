@@ -102,6 +102,22 @@ class ShardError(XMarkError):
     """Raised by the sharded document subsystem (bad partition, routing)."""
 
 
+class DurabilityError(XMarkError):
+    """Raised by the write-ahead-log subsystem (bad directory, bad config,
+    a commit that cannot be made durable)."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when crash recovery cannot reconstruct a consistent store.
+
+    A *torn tail* — an append cut short by the crash — is not an error
+    (recovery drops it and reports it); this is for the states that must
+    never be served: a snapshot that fails its checksum, a WAL whose
+    replayed digest chain contradicts the digests the records recorded,
+    or a record sequence with a gap.
+    """
+
+
 class SessionError(XMarkError):
     """Base class for embedded-database session/cursor misuse."""
 

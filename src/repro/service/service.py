@@ -115,6 +115,7 @@ class QueryService:
         result_cache_size: int = 1024,
         shard_spec: ShardSpec | None = None,
         tracer=NULL_TRACER,
+        durability=None,
     ) -> None:
         if max_workers <= 0:
             raise BenchmarkError(f"max_workers must be positive, got {max_workers}")
@@ -144,6 +145,10 @@ class QueryService:
         self.updates_applied = 0
         self._update_lock = threading.RLock()   # writers serialize globally
         self._update_stream: UpdateStream | None = None
+        #: Optional :class:`~repro.storage.wal.DurabilityManager`: when
+        #: set, every write logs to the WAL *before* the engine applies
+        #: it (see docs/DURABILITY.md).  Usually wired by the connection.
+        self.durability = durability
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -205,6 +210,11 @@ class QueryService:
                     and all(store.document_digest() == new_digest
                             for store in self.stores.values())):
                 return
+            if self.durability is not None:
+                from repro.errors import DurabilityError
+                raise DurabilityError(
+                    "a durable service cannot reload a different document; "
+                    "the WAL lineage would fork")
             systems = tuple(self._admission)
             old_stores = list(self.stores.values())
             old_digests = {store.document_digest() for store in old_stores}
@@ -221,6 +231,43 @@ class QueryService:
                     self.result_cache.invalidate_document(digest)
 
     # -- the write path ------------------------------------------------------------
+
+    @contextmanager
+    def write_barrier(self):
+        """Hold the global update lock: no write commits while held.
+
+        Checkpoints use this to snapshot a commit-consistent state;
+        readers are unaffected (they never mutate the stores).
+        """
+        with self._update_lock:
+            yield
+
+    def _log_commit(self, ops, *, kind: str, stream: int = 0) -> None:
+        """WAL-before-apply: make the commit durable before any store
+        mutates (no-op on a non-durable service).  Caller holds the
+        update lock."""
+        if self.durability is None or not self.stores:
+            return
+        from repro.storage.interface import chain_digest
+        from repro.update.ops import transaction_token
+        prev = next(iter(self.stores.values())).document_digest() or ""
+        token = (transaction_token(ops) if kind == "txn"
+                 else ops[0].token())
+        self.durability.log_commit(ops, kind=kind, prev_digest=prev,
+                                   digest=chain_digest(prev, token),
+                                   stream=stream)
+
+    def _commit_stream(self, op: UpdateOp) -> int:
+        """The WAL stream one single-op commit routes to: its primary
+        shard when the durable deployment is per-shard, stream 0 else."""
+        manager = self.durability
+        if manager is None or manager.stream_count == 1:
+            return 0
+        spec = self.shard_spec
+        sharded = self.stores.get(spec.name) if spec is not None else None
+        if sharded is None or sharded.shard_count != manager.stream_count:
+            return 0
+        return sharded.route_op(op)
 
     @contextmanager
     def _exclusive(self, system: str):
@@ -268,6 +315,8 @@ class QueryService:
         changes: ChangeSet | None = None
         try:
             with tracer.activate(root), self._update_lock:
+                self._log_commit([op], kind="op",
+                                 stream=self._commit_stream(op))
                 for name, store in self.stores.items():
                     old_digest = store.document_digest() or ""
                     with self._exclusive(name):
@@ -334,6 +383,7 @@ class QueryService:
                     gates.enter_context(self._exclusive(name))
                 old_digests = {name: store.document_digest() or ""
                                for name, store in self.stores.items()}
+                self._log_commit(ops, kind="txn")
                 try:
                     costs, changed_tokens, ancestor_tags = \
                         apply_transaction_ops(

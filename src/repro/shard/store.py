@@ -54,7 +54,7 @@ from repro.errors import ShardError, StorageError
 from repro.index import maintenance
 from repro.shard.partition import (
     EXTENT_SPECS, DocumentPartition, DocumentPartitioner, ExtentSpec,
-    route_entity,
+    route_entity, shard_of_key,
 )
 from repro.storage.interface import Handle, Store
 from repro.xmlio.dom import Element
@@ -149,11 +149,43 @@ class ShardedStore(Store):
     # -- lifecycle ---------------------------------------------------------------
 
     def load(self, text: str) -> None:
-        from repro.benchmark.systems import make_store
         partition = DocumentPartitioner(self.shard_count).partition(text)
+        self._install_partition(partition)
+        self.mark_loaded(text)
+
+    def load_partition(self, partition: DocumentPartition, *,
+                       parallel: bool = False) -> None:
+        """Load from an already-materialized partition (crash recovery).
+
+        Skips re-partitioning: the fragments, order seeds, and id map are
+        adopted as-is, so the reassembled store is the *exact* pre-crash
+        layout, not merely an equivalent one.  ``parallel=True`` loads
+        the shard fragments concurrently — the recovery-time analogue of
+        the scatter pool.  The caller owns the digest: the loaded flag is
+        set against the empty text (the merged serialization is never
+        materialized here), and recovery immediately restores the
+        checkpointed chain value via :meth:`restore_digest`.
+        """
+        if partition.shard_count != self.shard_count:
+            raise ShardError(
+                f"partition has {partition.shard_count} shards, store wants "
+                f"{self.shard_count}")
+        self._install_partition(partition, parallel=parallel)
+        self.mark_loaded("")
+
+    def _install_partition(self, partition: DocumentPartition, *,
+                           parallel: bool = False) -> None:
+        from repro.benchmark.systems import make_store
         shards = [make_store(backend) for backend in self.backends]
-        for store, fragment in zip(shards, partition.shard_texts):
-            store.load(fragment)
+        if parallel and self.shard_count > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(max_workers=self.shard_count,
+                                    thread_name_prefix="xmark-recover") as pool:
+                list(pool.map(lambda pair: pair[0].load(pair[1]),
+                              zip(shards, partition.shard_texts)))
+        else:
+            for store, fragment in zip(shards, partition.shard_texts):
+                store.load(fragment)
         self._shards = shards
         self._partition = partition
         self._id_map = dict(partition.id_map)
@@ -170,7 +202,6 @@ class ShardedStore(Store):
             self._extent_by_virtual[extent.virtual] = extent
             for rank, container in enumerate(containers):
                 self._container_extent[rank][container] = extent
-        self.mark_loaded(text)
 
     def _native_container(self, rank: int, path: tuple[str, ...]) -> Handle:
         store = self._shards[rank]
@@ -244,6 +275,55 @@ class ShardedStore(Store):
         summary = self._partition.summary() if self._partition else {}
         summary["backends"] = list(self.backends)
         return summary
+
+    # -- durability (checkpoints, per-shard WAL routing) ---------------------------
+
+    def partition_state(self) -> dict:
+        """The *current* partition metadata, JSON-ready (checkpointing).
+
+        Seqs are read from the live extents (they evolve with inserts and
+        removals), not from the load-time partition; together with
+        :meth:`shard_fragment_texts` this is everything
+        :func:`repro.shard.partition.restore_partition` needs to
+        reassemble the exact layout.
+        """
+        return {
+            "extent_seqs": {"/".join(path): [list(seqs)
+                                             for seqs in extent.seqs]
+                            for path, extent in self._extents.items()},
+            "id_map": {identifier: [rank, "/".join(path)]
+                       for identifier, (rank, path) in self._id_map.items()},
+        }
+
+    def shard_fragment_texts(self) -> list[str]:
+        """Every shard's current fragment, serialized through its own
+        navigation API (each is a complete loadable ``site`` document)."""
+        from repro.storage.interface import store_document_text
+        return [store_document_text(store) for store in self._shards]
+
+    def route_op(self, op) -> int:
+        """The primary shard of one typed update operation — the WAL
+        stream its commit record belongs to.
+
+        Routing mirrors the partition policies and is resolvable *before*
+        the op applies: a new person hashes by its own id, bids and
+        closings follow the open auction, a retirement follows the item.
+        Cascades may touch other shards; recovery replays the logical op
+        through the whole store, so one stream per commit suffices.
+        """
+        from repro.update.ops import (
+            CloseAuction, DeleteItem, PlaceBid, RegisterPerson,
+        )
+        if isinstance(op, RegisterPerson):
+            return shard_of_key(op.person.attributes.get("id", ""),
+                                self.shard_count)
+        if isinstance(op, (PlaceBid, CloseAuction)):
+            target = self.shard_of_id(op.auction_id)
+        elif isinstance(op, DeleteItem):
+            target = self.shard_of_id(op.item_id)
+        else:
+            target = None
+        return target if target is not None else 0
 
     # -- internal helpers --------------------------------------------------------
 

@@ -30,6 +30,18 @@ def document_digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
+def chain_digest(previous: str | None, op_token: str) -> str:
+    """One link of the digest hash chain over applied operation tokens.
+
+    Factored out of :meth:`Store.advance_digest` so the write-ahead log
+    can compute the post-commit digest of an operation *before* applying
+    it — the WAL record must carry the digest the store will have, and
+    recovery verifies the replayed chain against exactly these values.
+    """
+    return hashlib.sha256(
+        f"{previous or ''}|{op_token}".encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass(slots=True)
 class StoreStats:
     """Work counters; read by tests and the benchmark report."""
@@ -127,10 +139,20 @@ class Store(ABC):
         on the digest without ever comparing texts, which is exactly what
         the result cache keys need.
         """
-        self._document_digest = hashlib.sha256(
-            f"{self._document_digest or ''}|{op_token}".encode("utf-8")
-        ).hexdigest()[:16]
+        self._document_digest = chain_digest(self._document_digest, op_token)
         return self._document_digest
+
+    def restore_digest(self, digest: str | None) -> None:
+        """Adopt a recovered digest-chain value.
+
+        After crash recovery the store holds the recovered *content* (it
+        was bulkloaded from the recovered serialization), but its digest
+        is the content digest of that text, not the operation hash chain
+        the pre-crash lineage carried.  Recovery restores the chain value
+        here so caches, result keys, and digest-equality proofs line up
+        with the never-crashed oracle.
+        """
+        self._document_digest = digest
 
     def require_loaded(self) -> None:
         if not self._loaded:

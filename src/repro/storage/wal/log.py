@@ -1,0 +1,209 @@
+"""Append-only WAL streams: durable appends, group commit, torn-tail scans.
+
+A :class:`WriteAheadLog` owns one stream file.  ``append()`` writes one
+encoded record and makes it durable according to the sync policy:
+
+* ``"commit"`` (the default) — flush + fsync on every append: a commit
+  that returned is on stable storage.
+* ``"batch"`` — group commit: appends accumulate and one fsync covers
+  the group, forced every ``group_size`` records, on :meth:`sync`, and
+  on :meth:`close`.  The classic latency/durability trade: a crash can
+  lose the unsynced suffix of the group, but never tear the log into an
+  unreadable state (the tail scanner drops a half-record either way).
+* ``"none"`` — no explicit fsync (tests, benchmarks measuring the
+  append path without device latency).
+
+Reading is one function: :func:`scan_wal` returns every intact record
+plus a :class:`WalScan` describing how the file ends.  Recovery treats a
+non-clean tail as a crash artifact — :meth:`WriteAheadLog.repair`
+truncates the file back to its valid prefix before the stream accepts
+new appends, so a recovered database never writes after garbage.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DurabilityError
+from repro.obs.trace import NULL_TRACER
+from repro.storage.wal.records import TAIL_CLEAN, WalRecord, iter_records
+
+#: Valid sync policies, strictest first.
+SYNC_MODES = ("commit", "batch", "none")
+
+
+@dataclass(slots=True)
+class WalScan:
+    """What one pass over a WAL stream found."""
+
+    path: str
+    records: list[WalRecord] = field(default_factory=list)
+    #: TAIL_* constant: how the byte stream ended.
+    tail: str = TAIL_CLEAN
+    #: File offset up to which the stream is intact (== file size iff clean).
+    valid_bytes: int = 0
+    #: Bytes dropped after the valid prefix (0 iff clean).
+    torn_bytes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.tail == TAIL_CLEAN
+
+    def last_lsn(self) -> int | None:
+        return self.records[-1].lsn if self.records else None
+
+
+def scan_wal(path: str | Path) -> WalScan:
+    """Read every intact record of one stream; never raises on torn tails."""
+    data = Path(path).read_bytes()
+    scan = WalScan(path=str(path))
+    for offset, item in iter_records(data):
+        if isinstance(item, WalRecord):
+            scan.records.append(item)
+        else:
+            scan.tail = item
+            scan.valid_bytes = offset
+            scan.torn_bytes = len(data) - offset
+    return scan
+
+
+class WriteAheadLog:
+    """One append-only, CRC-guarded record stream."""
+
+    def __init__(self, path: str | Path, *, sync: str = "commit",
+                 group_size: int = 8, tracer=NULL_TRACER,
+                 registry=None, stream: int = 0) -> None:
+        if sync not in SYNC_MODES:
+            raise DurabilityError(
+                f"unknown WAL sync mode {sync!r}; choose from {SYNC_MODES}")
+        if group_size < 1:
+            raise DurabilityError(f"group_size must be >= 1, got {group_size}")
+        self.path = Path(path)
+        self.sync_mode = sync
+        self.group_size = group_size
+        self.stream = stream
+        self._tracer = tracer
+        self._registry = registry
+        self._pending = 0               # appends not yet covered by an fsync
+        self._file = None
+        self.appended_records = 0
+        self.appended_bytes = 0
+        self.fsyncs = 0
+
+    # -- the append path ---------------------------------------------------------
+
+    def _handle(self):
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record; returns its starting offset.
+
+        Durability on return is the sync policy's promise: everything up
+        to and including this record under ``"commit"``, possibly less
+        under ``"batch"``/``"none"``.
+        """
+        encoded = record.encode()
+        handle = self._handle()
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("wal.append", stream=self.stream,
+                             lsn=record.lsn, kind=record.kind,
+                             bytes=len(encoded)):
+                offset = handle.tell()
+                handle.write(encoded)
+        else:
+            offset = handle.tell()
+            handle.write(encoded)
+        self._pending += 1
+        self.appended_records += 1
+        self.appended_bytes += len(encoded)
+        if self._registry is not None:
+            self._registry.counter("wal.records_total",
+                                   stream=str(self.stream)).inc()
+            self._registry.counter("wal.bytes_total",
+                                   stream=str(self.stream)).inc(len(encoded))
+        if self.sync_mode == "commit" or (
+                self.sync_mode == "batch" and self._pending >= self.group_size):
+            self.sync()
+        return offset
+
+    def sync(self) -> None:
+        """Force the pending appends to stable storage (one group commit)."""
+        if self._file is None or self._pending == 0:
+            return
+        covered = self._pending
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("wal.fsync", stream=self.stream,
+                             records=covered):
+                self._fsync()
+        else:
+            self._fsync()
+        self._pending = 0
+        self.fsyncs += 1
+        if self._registry is not None:
+            self._registry.counter("wal.fsyncs_total",
+                                   stream=str(self.stream)).inc()
+            self._registry.histogram("wal.group_commit_records").observe(
+                float(covered))
+
+    def _fsync(self) -> None:
+        self._file.flush()
+        if self.sync_mode != "none":
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recovery-side maintenance ------------------------------------------------
+
+    def repair(self) -> WalScan:
+        """Drop a torn tail so the stream is clean for new appends.
+
+        Returns the scan (with the pre-repair tail classification);
+        truncation happens only when the scan found damage, and the
+        truncated file is fsynced before returning.
+        """
+        if self._file is not None:
+            raise DurabilityError("repair an unopened stream, not a live one")
+        if not self.path.exists():
+            return WalScan(path=str(self.path))
+        scan = scan_wal(self.path)
+        if not scan.clean:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return scan
+
+    def rewrite(self, records: list[WalRecord]) -> None:
+        """Atomically replace the stream's contents (checkpoint compaction).
+
+        The surviving records are written to a sibling temp file, fsynced,
+        and renamed over the stream — a crash anywhere leaves either the
+        old complete stream or the new complete stream, both consistent.
+        """
+        if self._file is not None:
+            raise DurabilityError("rewrite an unopened stream, not a live one")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(".compact")
+        with open(temp, "wb") as handle:
+            for record in records:
+                handle.write(record.encode())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)

@@ -1,0 +1,295 @@
+"""The durable directory: manifest, WAL streams, snapshots, commit protocol.
+
+On disk::
+
+    <dir>/
+      MANIFEST.json            # deployment shape + current snapshot pointer
+      wal/stream-0000.wal      # one stream per shard (one for unsharded)
+      snapshots/snap-<lsn>.json
+
+The manifest is the recovery root: it names the stream count, the shard
+backends (``null`` for unsharded deployments), the base document's
+content digest (the start of the digest chain — a reopened connection
+offering a *different* base document is refused rather than silently
+forked), and the current snapshot.  It is always replaced atomically,
+so recovery sees either the pre- or post-checkpoint root, and both are
+complete.
+
+Commit protocol (the WAL invariant): :meth:`DurabilityManager.log_commit`
+appends the record — and, under ``sync="commit"``, fsyncs — *before* the
+caller applies the operations in memory.  A crash between the two
+replays the record at recovery; a crash during the append leaves a torn
+tail the scanner drops.  Either way the recovered state is some exact
+prefix of the commit history.
+
+Per-shard streams: a sharded deployment routes each single-op commit to
+its primary shard's stream (the shard its target entity lives on);
+transaction batches and unsharded deployments use stream 0.  LSNs are
+global across streams — writers already serialize on the update lock —
+so recovery merges the streams back into one totally-ordered logical
+log and a torn tail in any stream cuts the merged history at exactly
+that commit.
+
+Checkpoints: :meth:`checkpoint` durably writes a new snapshot, points
+the manifest at it, then compacts every stream down to the records the
+snapshot does not cover and deletes superseded snapshot files.  A crash
+anywhere in that sequence recovers: the manifest flip is the commit
+point, and compaction only removes what the flipped manifest proves
+redundant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import DurabilityError, RecoveryError
+from repro.obs.trace import NULL_TRACER
+from repro.storage.wal.log import WalScan, WriteAheadLog, scan_wal
+from repro.storage.wal.records import KIND_OP, KIND_TXN, WalRecord
+from repro.storage.wal.snapshot import read_snapshot, write_snapshot
+
+MANIFEST_FORMAT = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def _atomic_write_json(path: Path, document: dict) -> None:
+    temp = path.with_suffix(path.suffix + ".tmp")
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+class DurabilityManager:
+    """One durable directory's layout, manifest, and WAL streams."""
+
+    def __init__(self, directory: str | Path, *, sync: str = "commit",
+                 group_size: int = 8, tracer=NULL_TRACER,
+                 registry=None) -> None:
+        self.directory = Path(directory)
+        self.sync_mode = sync
+        self.group_size = group_size
+        self.tracer = tracer
+        self.registry = registry
+        self._streams: list[WriteAheadLog] = []
+        self._manifest: dict | None = None
+        self._next_lsn = 1
+        self._closed = False
+
+    # -- layout ------------------------------------------------------------------
+
+    @classmethod
+    def exists(cls, directory: str | Path) -> bool:
+        """Is there a durable deployment rooted at ``directory``?"""
+        return (Path(directory) / MANIFEST_NAME).exists()
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def stream_path(self, stream: int) -> Path:
+        return self.directory / "wal" / f"stream-{stream:04d}.wal"
+
+    def snapshot_path(self, lsn: int) -> Path:
+        return self.directory / "snapshots" / f"snap-{lsn:012d}.json"
+
+    # -- manifest ----------------------------------------------------------------
+
+    @property
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            self._manifest = self.read_manifest(self.directory)
+        return self._manifest
+
+    @classmethod
+    def read_manifest(cls, directory: str | Path) -> dict:
+        path = Path(directory) / MANIFEST_NAME
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise RecoveryError(
+                f"{directory} is not a durable directory (no {MANIFEST_NAME})"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise RecoveryError(f"manifest {path} is unreadable: {exc}") from exc
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise RecoveryError(
+                f"manifest {path} has unsupported format "
+                f"{manifest.get('format')!r}")
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        _atomic_write_json(self.manifest_path, manifest)
+        self._manifest = manifest
+
+    # -- creation ----------------------------------------------------------------
+
+    def initialize(self, snapshot: dict, *, streams: int = 1,
+                   base_digest: str | None = None,
+                   shard_backends: list[str] | None = None) -> None:
+        """Create a fresh durable directory around a base snapshot.
+
+        The base snapshot is the loaded document at LSN 0: recovery of a
+        never-written deployment is just a snapshot load.
+        """
+        if self.exists(self.directory):
+            raise DurabilityError(
+                f"{self.directory} already holds a durable deployment")
+        if streams < 1:
+            raise DurabilityError(f"streams must be >= 1, got {streams}")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        write_snapshot(self.snapshot_path(snapshot["lsn"]), snapshot)
+        self._write_manifest({
+            "format": MANIFEST_FORMAT,
+            "streams": streams,
+            "base_digest": base_digest or snapshot["digest"],
+            "shard_backends": shard_backends,
+            "snapshot": {"lsn": snapshot["lsn"],
+                         "digest": snapshot["digest"],
+                         "file": self.snapshot_path(snapshot["lsn"]).name},
+        })
+        self._open_streams(streams)
+        self._next_lsn = snapshot["lsn"] + 1
+
+    def attach(self, last_lsn: int) -> None:
+        """Bind to an existing directory after recovery scanned it.
+
+        Repairs every stream's torn tail (recovery already proved the
+        valid prefix is the whole usable history) so appends never land
+        after garbage, then continues the LSN sequence.
+        """
+        streams = self.manifest["streams"]
+        self._open_streams(streams)
+        for stream in self._streams:
+            stream.repair()
+        self._next_lsn = last_lsn + 1
+
+    def _open_streams(self, count: int) -> None:
+        self._streams = [
+            WriteAheadLog(self.stream_path(index), sync=self.sync_mode,
+                          group_size=self.group_size, tracer=self.tracer,
+                          registry=self.registry, stream=index)
+            for index in range(count)
+        ]
+
+    def bind_registry(self, registry) -> None:
+        """Late-bind the metrics registry (connections build it after the
+        durable directory is opened)."""
+        self.registry = registry
+        for stream in self._streams:
+            stream._registry = registry
+
+    # -- the commit path ---------------------------------------------------------
+
+    @property
+    def stream_count(self) -> int:
+        return len(self._streams)
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def log_commit(self, ops, *, kind: str, prev_digest: str, digest: str,
+                   stream: int = 0) -> WalRecord:
+        """Make one commit durable *before* it is applied in memory.
+
+        ``kind`` is ``"op"`` (digest advances over the op token) or
+        ``"txn"`` (one advance over the batch token) — it must match how
+        the caller will advance the digest, because recovery re-derives
+        the chain from exactly this record.
+        """
+        self._require_open()
+        if kind not in (KIND_OP, KIND_TXN):
+            raise DurabilityError(f"unknown commit kind {kind!r}")
+        if not 0 <= stream < len(self._streams):
+            raise DurabilityError(
+                f"stream {stream} out of range (deployment has "
+                f"{len(self._streams)})")
+        record = WalRecord(lsn=self._next_lsn, kind=kind, ops=tuple(ops),
+                           prev_digest=prev_digest, digest=digest)
+        self._streams[stream].append(record)
+        self._next_lsn += 1
+        return record
+
+    def sync(self) -> None:
+        """Force every stream's pending group to stable storage."""
+        for stream in self._streams:
+            stream.sync()
+
+    # -- checkpoints --------------------------------------------------------------
+
+    def checkpoint(self, snapshot: dict) -> dict:
+        """Install a new snapshot and compact the WAL streams behind it.
+
+        ``snapshot`` must carry ``lsn`` (the last commit it covers —
+        normally :attr:`last_lsn`) and ``digest`` (the chain value
+        there).  Returns a small report of what was dropped.
+        """
+        self._require_open()
+        lsn = snapshot["lsn"]
+        if lsn > self.last_lsn:
+            raise DurabilityError(
+                f"snapshot claims lsn {lsn} but only {self.last_lsn} "
+                "commits were logged")
+        self.sync()
+        write_snapshot(self.snapshot_path(lsn), snapshot)
+        old_snapshot = self.manifest["snapshot"]
+        manifest = dict(self.manifest)
+        manifest["snapshot"] = {"lsn": lsn, "digest": snapshot["digest"],
+                                "file": self.snapshot_path(lsn).name}
+        self._write_manifest(manifest)     # <- the checkpoint commit point
+        dropped = 0
+        for stream in self._streams:
+            stream.close()
+            scan = stream.repair()
+            kept = [record for record in scan.records if record.lsn > lsn]
+            if len(kept) != len(scan.records):
+                dropped += len(scan.records) - len(kept)
+                stream.rewrite(kept)
+        if old_snapshot["file"] != manifest["snapshot"]["file"]:
+            old_path = self.directory / "snapshots" / old_snapshot["file"]
+            old_path.unlink(missing_ok=True)
+        return {"lsn": lsn, "records_dropped": dropped,
+                "snapshot": manifest["snapshot"]["file"]}
+
+    def current_snapshot(self) -> dict:
+        """The manifest's snapshot payload, verified."""
+        pointer = self.manifest["snapshot"]
+        return read_snapshot(self.directory / "snapshots" / pointer["file"])
+
+    # -- reading -----------------------------------------------------------------
+
+    def scan_streams(self) -> list[WalScan]:
+        """Scan every stream file (used offline by recovery and tools)."""
+        streams = self.manifest["streams"]
+        scans = []
+        for index in range(streams):
+            path = self.stream_path(index)
+            scans.append(scan_wal(path) if path.exists()
+                         else WalScan(path=str(path)))
+        return scans
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DurabilityError("durability manager is closed")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for stream in self._streams:
+                stream.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

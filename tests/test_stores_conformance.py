@@ -146,6 +146,9 @@ class TestIdLookup:
     def test_item_lookup(self, any_store):
         store = any_store
         if not store.has_id_index():
-            pytest.skip("no ID index")
+            # stores without an ID index must still answer (with a miss),
+            # not crash — lookup_id is part of the Store contract
+            assert store.lookup_id("item0") is None
+            return
         handle = store.lookup_id("item0")
         assert store.tag(handle) == "item"
