@@ -134,6 +134,256 @@ def bench_concurrency_speedup(benchmark, service_text):
     assert speedup >= 2.0, f"8 clients only {speedup:.2f}x over 1"
 
 
+# -- the wire sweep (--wire): hundreds of asyncio clients vs xmark serve -------------
+
+WIRE_SWEEP = (10, 50, 100, 200)
+WIRE_TINY_SWEEP = (10, 50, 100)
+WIRE_QUERY_MIX = (1, 2, 5, 13, 17)
+WIRE_MAX_RETRIES = 60               # bounded: a busy reply is retried, never spun on
+WIRE_RETRY_SLEEP = 0.005
+WIRE_CELL_TIMEOUT = 300.0           # a cell exceeding this is called a deadlock
+
+
+async def _wire_roundtrip(reader, writer, payload: dict) -> dict:
+    from repro.server import protocol
+    writer.write(protocol.encode_frame(payload))
+    await writer.drain()
+    reply, _ = await protocol.read_frame(reader)
+    if reply is None:
+        raise ConnectionError("server closed the connection")
+    return reply
+
+
+def _is_busy(reply: dict) -> bool:
+    return reply["kind"] == "error" and reply.get("code") == "server_busy"
+
+
+async def _retry_busy(reader, writer, payload: dict, tally: dict) -> dict:
+    """Send, retrying ``server_busy`` with bounded backoff.
+
+    Returns the last reply — still a busy error when the server stayed
+    saturated through every retry (the caller counts that as refused;
+    the point is the reply is always *typed*, never a hang).
+    """
+    import asyncio
+
+    reply = await _wire_roundtrip(reader, writer, payload)
+    for _attempt in range(WIRE_MAX_RETRIES):
+        if not _is_busy(reply):
+            break
+        tally["busy"] += 1
+        await asyncio.sleep(WIRE_RETRY_SLEEP)
+        reply = await _wire_roundtrip(reader, writer, payload)
+    return reply
+
+
+async def _wire_client(host: str, port: int, queries: list[int],
+                       baseline: dict[int, str], tally: dict) -> None:
+    """One closed-loop asyncio client: handshake, then the query list.
+
+    Every reply is accounted for: served (and byte-compared against the
+    in-process baseline), busy-retried, or refused after bounded
+    retries — execute and page fetches alike go through admission
+    control, so both retry.  A dropped connection or a mismatch is a
+    hard failure.
+    """
+    import asyncio
+
+    from repro.server import PROTOCOL_VERSION
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        reply = await _wire_roundtrip(reader, writer, {
+            "kind": "hello", "protocol": PROTOCOL_VERSION, "document": ""})
+        if reply["kind"] != "welcome":
+            raise ConnectionError(f"handshake refused: {reply}")
+        for number in queries:
+            started = time.perf_counter()
+            reply = await _retry_busy(reader, writer, {
+                "kind": "execute", "query": number, "fetch": True}, tally)
+            if _is_busy(reply):
+                tally["refused"] += 1   # stayed saturated; typed, not hung
+                continue
+            if reply["kind"] != "cursor":
+                raise ConnectionError(f"Q{number} failed: {reply}")
+            rows = list(reply.get("rows", ()))
+            done = reply.get("done", False)
+            abandoned = False
+            while not done:
+                page = await _retry_busy(reader, writer, {
+                    "kind": "fetch", "cursor_id": reply["cursor_id"]}, tally)
+                if _is_busy(page):
+                    tally["refused"] += 1
+                    await _wire_roundtrip(reader, writer, {
+                        "kind": "close_cursor",
+                        "cursor_id": reply["cursor_id"]})
+                    abandoned = True
+                    break
+                if page["kind"] != "rows":
+                    raise ConnectionError(f"fetch failed: {page}")
+                rows.extend(page["rows"])
+                done = page["done"]
+            if abandoned:
+                continue
+            tally["latencies"].append(time.perf_counter() - started)
+            tally["served"] += 1
+            if "\n".join(rows) != baseline[number]:
+                tally["mismatches"].append(number)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def _run_wire_cell(host: str, port: int, clients: int, requests: int,
+                   baseline: dict[int, str]) -> dict:
+    """One sweep cell: ``clients`` concurrent connections, timed."""
+    import asyncio
+
+    from repro.obs.metrics import percentile
+
+    tally = {"served": 0, "busy": 0, "refused": 0,
+             "latencies": [], "mismatches": [], "dropped": 0}
+
+    async def run() -> float:
+        jobs = []
+        for index in range(clients):
+            mix = [WIRE_QUERY_MIX[(index + n) % len(WIRE_QUERY_MIX)]
+                   for n in range(requests)]
+            jobs.append(_wire_client(host, port, mix, baseline, tally))
+        started = time.perf_counter()
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*jobs, return_exceptions=True),
+            timeout=WIRE_CELL_TIMEOUT)
+        elapsed = time.perf_counter() - started
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                tally["dropped"] += 1
+                tally.setdefault("errors", []).append(repr(outcome))
+        return elapsed
+
+    try:
+        elapsed = asyncio.run(run())
+        deadlocked = False
+    except TimeoutError:
+        elapsed = WIRE_CELL_TIMEOUT
+        deadlocked = True
+    latencies = tally["latencies"]
+    return {
+        "clients": clients,
+        "requests_per_client": requests,
+        "elapsed_seconds": round(elapsed, 3),
+        "throughput_qps": round(tally["served"] / elapsed, 1) if elapsed else 0.0,
+        "served": tally["served"],
+        "busy_retries": tally["busy"],
+        "refused": tally["refused"],
+        "dropped_connections": tally["dropped"],
+        "errors": tally.get("errors", [])[:5],
+        "mismatches": sorted(set(tally["mismatches"])),
+        "deadlocked": deadlocked,
+        "p50_ms": round(percentile(latencies, 50.0) * 1000.0, 3) if latencies else None,
+        "p95_ms": round(percentile(latencies, 95.0) * 1000.0, 3) if latencies else None,
+        "p99_ms": round(percentile(latencies, 99.0) * 1000.0, 3) if latencies else None,
+    }
+
+
+def _wire_main(args, factor: float, requests: int) -> int:
+    """``--wire``: the C10k-style sweep against a live ``xmark serve``."""
+    import repro
+
+    from repro.obs.metrics import percentile
+    from repro.server import TenantQuota, XMarkServer, serve_in_thread
+
+    sweep = WIRE_TINY_SWEEP if args.tiny else WIRE_SWEEP
+    requests = min(requests, 4) if args.tiny else requests
+
+    print(f"generating document at f={factor} ...", file=sys.stderr)
+    text = generate_string(factor)
+    database = repro.connect(text, systems=(SWEEP_SYSTEM,))
+    # Quotas off: this sweep measures pool backpressure, not tenant caps.
+    server = XMarkServer(
+        max_workers=8, queue_depth=32,
+        default_quota=TenantQuota(max_sessions=0, max_inflight=0,
+                                  max_cursors=0))
+    server.add_document("auction", database, owned=True)
+    handle = serve_in_thread(server)
+
+    records: list[dict] = []
+    failures: list[str] = []
+    try:
+        # In-process baseline: the byte-identical oracle and the qps/p95
+        # yardstick the wire cells are compared against.
+        session = database.session()
+        baseline = {n: session.execute(n).serialize() for n in WIRE_QUERY_MIX}
+        latencies: list[float] = []
+        rounds = 3
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for number in WIRE_QUERY_MIX:
+                t0 = time.perf_counter()
+                session.execute(number).serialize()
+                latencies.append(time.perf_counter() - t0)
+        base_elapsed = time.perf_counter() - started
+        base = {
+            "throughput_qps": round(len(latencies) / base_elapsed, 1),
+            "p50_ms": round(percentile(latencies, 50.0) * 1000.0, 3),
+            "p95_ms": round(percentile(latencies, 95.0) * 1000.0, 3),
+            "p99_ms": round(percentile(latencies, 99.0) * 1000.0, 3),
+        }
+        records.append(_record("wire_baseline[in-process]",
+                               {"mode": "in-process"}, base_elapsed, base))
+        print(f"  in-process baseline  {base['throughput_qps']:8.1f} qps  "
+              f"p95 {base['p95_ms']:7.2f} ms", file=sys.stderr)
+
+        for clients in sweep:
+            cell = _run_wire_cell(handle.host, handle.port, clients,
+                                  requests, baseline)
+            records.append(_record(
+                f"wire_throughput[c{clients}]",
+                {"clients": clients, "mode": "wire"},
+                cell["elapsed_seconds"],
+                {k: v for k, v in cell.items()
+                 if k not in ("elapsed_seconds", "errors")}))
+            print(f"  wire clients={clients:4d}  "
+                  f"{cell['throughput_qps']:8.1f} qps  "
+                  f"p95 {cell['p95_ms'] if cell['p95_ms'] is not None else '?':>7} ms  "
+                  f"busy={cell['busy_retries']} refused={cell['refused']}",
+                  file=sys.stderr)
+            if cell["deadlocked"]:
+                failures.append(f"{clients} clients: deadlocked (no progress "
+                                f"within {WIRE_CELL_TIMEOUT}s)")
+            if cell["dropped_connections"]:
+                failures.append(
+                    f"{clients} clients: {cell['dropped_connections']} "
+                    f"connection(s) dropped: {cell['errors']}")
+            if cell["mismatches"]:
+                failures.append(f"{clients} clients: wire results diverged "
+                                f"from in-process on Q{cell['mismatches']}")
+            if not cell["served"]:
+                failures.append(f"{clients} clients: nothing served")
+        busy_total = server.registry.counter("server.busy_total").value
+    finally:
+        handle.stop()
+
+    ok = not failures
+    report = build_report(
+        "server-throughput-1", records,
+        config={"factor": factor, "requests_per_client": requests,
+                "client_sweep": list(sweep), "system": SWEEP_SYSTEM,
+                "query_mix": list(WIRE_QUERY_MIX),
+                "max_workers": 8, "queue_depth": 32,
+                "busy_replies_total": busy_total,
+                "max_retries": WIRE_MAX_RETRIES},
+        acceptance={"ok": ok, "failures": failures},
+    )
+    emit_report("server_throughput", report, args.json_path)
+    if not ok:
+        print("ACCEPTANCE NOT MET:", "; ".join(failures), file=sys.stderr)
+    return 0 if ok else 1
+
+
 # -- standalone runner ---------------------------------------------------------------
 
 
@@ -161,11 +411,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="requests per client (default 20; --tiny: 8)")
     parser.add_argument("--json", dest="json_path", default=None,
                         help="write the report to this file (default: stdout only)")
+    parser.add_argument("--wire", action="store_true",
+                        help="sweep hundreds of asyncio clients against a "
+                             "live wire server (xmark serve) instead, "
+                             "emitting BENCH_server_throughput.json")
     args = parser.parse_args(argv)
 
     factor = args.factor if args.factor is not None else (
         TINY_SCALE if args.tiny else BENCH_SCALE)
     requests = args.requests if args.requests is not None else (8 if args.tiny else 20)
+    if args.wire:
+        return _wire_main(args, factor, requests)
     sweep = CLIENT_SWEEP[:4] if args.tiny else CLIENT_SWEEP
 
     print(f"generating document at f={factor} ...", file=sys.stderr)

@@ -11,6 +11,8 @@
     xmark stats  -f 0.005 -s D -n 25
     xmark recover --dir ./durable
     xmark checkpoint --dir ./durable
+    xmark serve  -f 0.005 -s D --port 7720
+    xmark client xmark://127.0.0.1:7720/auction -q 8
     xmark validate auction.xml
 """
 
@@ -254,6 +256,68 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint_cmd.add_argument("--json", dest="json_path", default=None,
                                 help="also write the checkpoint report to "
                                      "this file")
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve documents over the wire protocol (xmark://)",
+        description="Generate (or read) a document, open an embedded "
+                    "database over it, and serve it on a TCP socket with "
+                    "the length-prefixed JSON wire protocol: handshake, "
+                    "prepared queries, paged cursor fetches, transactions, "
+                    "checkpoints — with per-tenant quotas and bounded "
+                    "backpressure.  Connect with repro.connect("
+                    "'xmark://host:port/NAME') or `xmark client`.")
+    serve_cmd.add_argument("-f", "--factor", type=float, default=0.005,
+                           help="document scaling factor (default 0.005)")
+    serve_cmd.add_argument("--doc", dest="doc_path", default=None,
+                           help="serve this XML file instead of generating")
+    serve_cmd.add_argument("-s", "--systems", default="D",
+                           help="system letters to load (default D)")
+    serve_cmd.add_argument("--name", default="auction",
+                           help="document name in the URL path "
+                                "(default auction)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=7720,
+                           help="TCP port (0 picks an ephemeral port; "
+                                "default 7720)")
+    serve_cmd.add_argument("--workers", type=int, default=8,
+                           help="worker pool size (default 8)")
+    serve_cmd.add_argument("--queue-depth", type=int, default=16,
+                           help="admitted requests beyond the pool before "
+                                "server_busy replies (default 16)")
+    serve_cmd.add_argument("--page-size", type=int, default=64,
+                           help="default rows per cursor page (default 64)")
+    serve_cmd.add_argument("--durable", default=None,
+                           help="write-ahead-log directory (enables "
+                                "checkpoint requests)")
+    serve_cmd.add_argument("--max-sessions", type=int, default=64,
+                           help="per-tenant connection quota (default 64)")
+    serve_cmd.add_argument("--max-inflight", type=int, default=16,
+                           help="per-tenant in-flight request quota "
+                                "(default 16)")
+    serve_cmd.add_argument("--max-cursors", type=int, default=32,
+                           help="per-tenant open-cursor quota (default 32)")
+
+    client_cmd = commands.add_parser(
+        "client",
+        help="run a query against a running xmark serve",
+        description="Connect to a wire server, execute one query (a "
+                    "benchmark number or raw XQuery text) through a "
+                    "session, and print rows as the pages stream in; "
+                    "--stats instead prints the server's live stats.")
+    client_cmd.add_argument("url", help="xmark://host:port/document")
+    client_cmd.add_argument("text", nargs="?", default=None,
+                            help="raw XQuery text (omit with -q or --stats)")
+    client_cmd.add_argument("-q", "--query", type=int, default=None,
+                            choices=sorted(QUERIES),
+                            help="benchmark query number to execute")
+    client_cmd.add_argument("-s", "--system", default=None,
+                            help="system letter (default: the server's "
+                                 "default system)")
+    client_cmd.add_argument("--tenant", default=None,
+                            help="tenant name for the handshake")
+    client_cmd.add_argument("--stats", action="store_true",
+                            help="print the server's live stats as JSON")
 
     validate_cmd = commands.add_parser("validate", help="validate a document against the DTD")
     validate_cmd.add_argument("path")
@@ -724,6 +788,97 @@ def _serve_bench(args) -> int:
     return 0
 
 
+def _serve_command(args) -> int:
+    """``xmark serve``: the wire server on a socket until interrupted."""
+    import asyncio
+
+    from repro.benchmark.systems import parse_system_letters
+    from repro.db import connect
+    from repro.errors import XMarkError
+    from repro.server import TenantQuota, XMarkServer
+
+    try:
+        systems = parse_system_letters(args.systems)
+        if args.doc_path is not None:
+            with open(args.doc_path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        else:
+            text = generate_string(args.factor)
+        database = connect(text, systems=systems, durable=args.durable)
+    except (OSError, XMarkError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = XMarkServer(
+        args.host, args.port,
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        page_size=args.page_size,
+        default_quota=TenantQuota(max_sessions=args.max_sessions,
+                                  max_inflight=args.max_inflight,
+                                  max_cursors=args.max_cursors),
+    )
+    server.add_document(args.name, database, owned=True)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"serving {args.name} ({'/'.join(systems)}) at "
+              f"xmark://{server.host}:{server.port}/{args.name}",
+              flush=True)
+        try:
+            await server.wait_stopped()
+        except asyncio.CancelledError:
+            await server.stop()
+            raise
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _client_command(args) -> int:
+    """``xmark client``: one query (or a stats dump) over the wire."""
+    import time as _time
+
+    from repro.errors import XMarkError
+    from repro.server import connect_url
+
+    if not args.stats and args.query is None and args.text is None:
+        print("client: give -q NUMBER, raw XQuery text, or --stats",
+              file=sys.stderr)
+        return 2
+    try:
+        database = connect_url(args.url, tenant=args.tenant)
+    except (OSError, XMarkError) as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 1
+    with database:
+        if args.stats:
+            stats = database.stats()
+            stats.pop("kind", None)
+            stats.pop("id", None)
+            json.dump(stats, sys.stdout, indent=2)
+            print()
+            return 0
+        query = args.query if args.query is not None else args.text
+        started = _time.perf_counter()
+        try:
+            with database.session(tenant=args.tenant) as session:
+                cursor = session.execute(query, system=args.system)
+                count = 0
+                for item in cursor:     # rows print as the pages stream in
+                    print(cursor.rowtext(item), flush=True)
+                    count += 1
+        except XMarkError as exc:
+            print(f"client: {exc}", file=sys.stderr)
+            return 1
+        elapsed = (_time.perf_counter() - started) * 1000.0
+        print(f"\n-- {count} item(s) in {elapsed:.1f} ms over the wire "
+              f"({cursor.system} on {database.document})", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -774,6 +929,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "checkpoint":
         return _checkpoint_command(args)
+
+    if args.command == "serve":
+        return _serve_command(args)
+
+    if args.command == "client":
+        return _client_command(args)
 
     if args.command == "query":
         return _query_command(args)

@@ -90,7 +90,17 @@ def connect(
     be ``None``, and when given it must be the deployment's original
     base document (lineages are never silently forked).  See
     docs/DURABILITY.md.
+
+    A ``document`` of the form ``xmark://host:port/doc`` connects to a
+    running wire server instead (``xmark serve``): the returned
+    :class:`~repro.server.client.RemoteDatabase` serves the same
+    sessions / prepared queries / cursors / transactions over the
+    network, and the other keywords (which configure an in-process
+    engine) do not apply.  See docs/SERVING.md.
     """
+    if isinstance(document, str) and document.startswith("xmark://"):
+        from repro.server.client import connect_url
+        return connect_url(document)
     return Database(
         document,
         systems=tuple(systems),

@@ -118,6 +118,38 @@ class RecoveryError(DurabilityError):
     """
 
 
+class ServerError(XMarkError):
+    """Base class for the network serving layer (wire protocol, quotas)."""
+
+
+class ProtocolError(ServerError):
+    """Raised on a malformed frame or message on the wire.
+
+    ``code`` is the machine-readable wire error code the server replies
+    with (``bad_frame``, ``bad_message``, ``frame_too_large``,
+    ``truncated``, ``bad_params``, ``unknown_document``,
+    ``protocol_mismatch``) — see docs/SERVING.md for the taxonomy.
+    """
+
+    def __init__(self, message: str, code: str = "bad_message") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServerBusyError(ServerError):
+    """The server's worker pool and bounded request queue are saturated.
+
+    The typed backpressure reply: overflow requests are refused
+    immediately — never queued without bound, never left hanging — and
+    the client is expected to back off and retry.
+    """
+
+
+class TenantQuotaError(ServerError):
+    """A per-tenant quota was exceeded (sessions, in-flight requests,
+    or open cursors)."""
+
+
 class SessionError(XMarkError):
     """Base class for embedded-database session/cursor misuse."""
 

@@ -1,0 +1,745 @@
+"""The asyncio wire server: many tenants, many documents, one process.
+
+The server fronts ordinary :class:`repro.db.Database` connections with
+the length-prefixed JSON protocol of :mod:`repro.server.protocol`.  Each
+accepted connection handshakes onto one served document as one tenant,
+then issues requests strictly in order; the event loop interleaves
+connections while each connection's blocking work (query evaluation,
+page fetches, commits) runs on a bounded worker pool.
+
+Three mechanisms keep a saturated server honest:
+
+* **backpressure** — at most ``max_workers + queue_depth`` requests may
+  be admitted at once; the overflow request is refused immediately with
+  a typed ``server_busy`` error, never queued without bound and never
+  left hanging;
+* **tenant quotas** — sessions, in-flight requests, and open cursors are
+  bounded per tenant (:mod:`repro.server.tenants`), so one client cannot
+  starve the rest;
+* **a per-document read/write gate** — commits and checkpoints wait for
+  in-flight reads to drain and exclude new ones (writer priority), so a
+  suspended streaming cursor is never resumed over a mutating store.
+  The database additionally poisons open streaming cursors at commit, so
+  a later ``fetch`` on a pre-commit cursor gets a typed ``closed_cursor``
+  error rather than rows matching neither document state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import __version__
+from repro.db.cursor import Cursor
+from repro.db.database import Database
+from repro.errors import (
+    ClosedCursorError, ProtocolError, ServerBusyError, XMarkError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.server import protocol
+from repro.server.tenants import (
+    DEFAULT_TENANT, TenantQuota, TenantRegistry, TenantState,
+)
+
+#: Default rows per ``fetch`` page when the request names no ``n``.
+DEFAULT_PAGE_SIZE = 64
+
+
+class _RWGate:
+    """A writer-priority read/write gate confined to one event loop.
+
+    Readers (query execution, page fetches) share; a writer (commit,
+    checkpoint) waits for in-flight readers to drain and excludes new
+    ones.  Waiting writers take priority — a steady read stream cannot
+    starve a commit.  Every reader job terminates (a page fetch pulls a
+    bounded number of rows), so writer waits are finite by construction.
+    """
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    async def acquire_read(self) -> None:
+        async with self._cond:
+            while self._writer or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    async def acquire_write(self) -> None:
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+@dataclass(slots=True)
+class ServedDocument:
+    """One document the server exposes: a database plus its write gate."""
+
+    name: str
+    database: Database
+    owned: bool = False                 # close the database on server stop?
+    gate: _RWGate = field(default_factory=_RWGate)
+
+
+class _ServerCursor:
+    """One open cursor on one connection: a db cursor plus paging state."""
+
+    __slots__ = ("cursor", "system", "query")
+
+    def __init__(self, cursor: Cursor, system: str, query: str) -> None:
+        self.cursor = cursor
+        self.system = system
+        self.query = query
+
+    def page(self, n: int) -> tuple[list[str], bool]:
+        """Up to ``n`` rows as rowtext strings, plus the exhausted flag."""
+        cursor = self.cursor
+        rows = [cursor.rowtext(item) for item in cursor.fetchmany(n)]
+        return rows, cursor._exhausted
+
+
+class _Connection:
+    """Per-connection state: identity, prepared queries, cursors, txn."""
+
+    def __init__(self, conn_id: int, peer: str) -> None:
+        self.conn_id = conn_id
+        self.peer = peer
+        self.tenant: TenantState | None = None
+        self.document: ServedDocument | None = None
+        self.prepared: dict[str, tuple[str, str, object, list[str]]] = {}
+        self.cursors: dict[str, _ServerCursor] = {}
+        self.txn_ops: list | None = None
+        self.next_id = 0
+
+    def fresh_id(self, prefix: str) -> str:
+        self.next_id += 1
+        return f"{prefix}{self.conn_id}.{self.next_id}"
+
+
+#: Request kinds whose work is offloaded to the worker pool (and which
+#: therefore count toward backpressure and the tenant in-flight quota).
+_HEAVY_KINDS = frozenset(
+    {"execute", "fetch", "prepare", "commit", "checkpoint", "explain",
+     "digest"})
+
+#: Writers: exclusive on the document gate.
+_WRITE_KINDS = frozenset({"commit", "checkpoint"})
+
+
+class XMarkServer:
+    """The asyncio socket server over one or more served documents.
+
+    Construct, :meth:`add_document` at least once, then either ``await
+    start()`` inside a running loop or hand the instance to
+    :func:`serve_in_thread`.  ``port=0`` binds an ephemeral port
+    (``server.port`` holds the real one after start).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_workers: int = 8,
+        queue_depth: int = 16,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        registry: MetricsRegistry | None = None,
+        tracer=NULL_TRACER,
+        default_quota: TenantQuota | None = None,
+        tenant_quotas: dict[str, TenantQuota] | None = None,
+        max_frame: int = protocol.MAX_FRAME,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_workers = max_workers
+        self.queue_depth = queue_depth
+        self.page_size = page_size
+        self.max_frame = max_frame
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.tenants = TenantRegistry(
+            default_quota=default_quota or TenantQuota(),
+            quotas=dict(tenant_quotas or {}))
+        self.documents: dict[str, ServedDocument] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="xmark-server")
+        self._active = 0                # admitted (running or gate-waiting)
+        self._connections = 0
+        self._next_conn = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped: asyncio.Event | None = None
+        self._closing = False
+
+    # -- documents ------------------------------------------------------------------
+
+    def add_document(self, name: str, database: Database, *,
+                     owned: bool = False) -> ServedDocument:
+        """Serve ``database`` under ``name`` (the URL path component).
+
+        ``owned=True`` transfers the connection to the server: it is
+        closed when the server stops.  Served databases should be
+        *direct* connections (the default ``repro.connect``) so cursors
+        stream off the lazy evaluator; service/scatter connections work
+        too and simply materialize per execution.
+        """
+        if name in self.documents:
+            raise ProtocolError(f"document {name!r} is already served",
+                                code="unknown_document")
+        served = ServedDocument(name, database, owned)
+        self.documents[name] = served
+        return served
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting (idempotent; call inside the loop)."""
+        if self._server is not None:
+            return
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        await self.wait_stopped()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, close the pool, close owned databases."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=True)
+        for served in self.documents.values():
+            if served.owned:
+                served.database.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- backpressure ---------------------------------------------------------------
+
+    async def _offload(self, conn: _Connection, fn):
+        """Run ``fn`` on the worker pool under admission control.
+
+        Once ``max_workers + queue_depth`` requests are admitted, the
+        next one is refused with ``server_busy`` immediately — the typed
+        reply, never an unbounded queue, never a hang.  Gate waits
+        happen *before* admission, so a commit draining readers cannot
+        eat the queue; those waits are bounded by the per-tenant session
+        quota (one in-flight request per connection).
+        """
+        if self._active >= self.max_workers + self.queue_depth:
+            self.registry.counter("server.busy_total").inc()
+            raise ServerBusyError(
+                f"server saturated: {self._active} requests admitted "
+                f"(pool {self.max_workers}, queue {self.queue_depth}); "
+                "back off and retry")
+        tenant = conn.tenant
+        if tenant is not None:
+            self.tenants.begin_request(tenant)
+        self._active += 1
+        self.registry.gauge("server.active_requests").set(self._active)
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._pool, fn)
+        finally:
+            self._active -= 1
+            self.registry.gauge("server.active_requests").set(self._active)
+            if tenant is not None:
+                self.tenants.end_request(tenant)
+
+    # -- the connection loop --------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._next_conn += 1
+        conn = _Connection(self._next_conn, self._peer_name(writer))
+        self._connections += 1
+        self.registry.counter("server.accepts_total").inc()
+        self.registry.gauge("server.connections").set(self._connections)
+        span = (self.tracer.begin("server.accept", peer=conn.peer)
+                if self.tracer.enabled else None)
+        try:
+            await self._serve_connection(conn, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass                        # peer vanished; nothing to reply to
+        finally:
+            self._release_connection(conn)
+            self._connections -= 1
+            self.registry.gauge("server.connections").set(self._connections)
+            if span is not None:
+                span.set(tenant=(conn.tenant.name if conn.tenant else None))
+                span.finish()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _release_connection(self, conn: _Connection) -> None:
+        for held in conn.cursors.values():
+            try:
+                held.cursor.close()
+            except XMarkError:
+                pass
+        if conn.tenant is not None:
+            for _ in conn.cursors:
+                self.tenants.close_cursor(conn.tenant)
+            self.tenants.disconnect(conn.tenant)
+        conn.cursors.clear()
+
+    @staticmethod
+    def _peer_name(writer: asyncio.StreamWriter) -> str:
+        peer = writer.get_extra_info("peername")
+        return f"{peer[0]}:{peer[1]}" if peer else "?"
+
+    async def _send(self, conn: _Connection, writer: asyncio.StreamWriter,
+                    payload: dict) -> None:
+        data = protocol.encode_frame(payload)
+        labels = {"tenant": conn.tenant.name} if conn.tenant else {}
+        self.registry.counter("net.bytes_out_total", **labels).inc(len(data))
+        writer.write(data)
+        await writer.drain()
+
+    async def _serve_connection(self, conn: _Connection,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        while True:
+            try:
+                payload, nbytes = await protocol.read_frame(
+                    reader, self.max_frame)
+            except ProtocolError as exc:
+                self.registry.counter("server.errors_total",
+                                      code=exc.code).inc()
+                if exc.code == "truncated":
+                    return              # peer died mid-frame; no reply possible
+                # The length field lied or the payload was junk.  An
+                # oversized length means the stream is desynchronized —
+                # reply, then close; junk inside a well-framed payload
+                # leaves the stream aligned, so the connection survives.
+                await self._send(conn, writer,
+                                 protocol.error_payload(None, exc))
+                if exc.code == "frame_too_large":
+                    return
+                continue
+            if payload is None:
+                return                  # clean EOF at a frame boundary
+            labels = {"tenant": conn.tenant.name} if conn.tenant else {}
+            self.registry.counter("net.bytes_in_total", **labels).inc(nbytes)
+            if not await self._dispatch(conn, writer, payload):
+                return
+
+    async def _dispatch(self, conn: _Connection,
+                        writer: asyncio.StreamWriter,
+                        payload: dict) -> bool:
+        """Handle one request; returns False when the connection ends."""
+        kind = payload["kind"]
+        request_id = payload.get("id")
+        started = time.perf_counter()
+        tenant_label = conn.tenant.name if conn.tenant else "-"
+        self.registry.counter("server.requests_total", kind=kind,
+                              tenant=tenant_label).inc()
+        span = (self.tracer.begin("server.request", kind=kind,
+                                  tenant=tenant_label)
+                if self.tracer.enabled else None)
+        keep_open = True
+        try:
+            if kind == "bye":
+                await self._send(conn, writer,
+                                 {"kind": "bye", "id": request_id})
+                return False
+            if conn.document is None and kind != "hello":
+                raise ProtocolError("first message must be 'hello'",
+                                    code="bad_message")
+            reply = await self._handle(conn, kind, payload)
+            reply["id"] = request_id
+            await self._send(conn, writer, reply)
+        except XMarkError as exc:
+            code = protocol.error_code(exc)
+            self.registry.counter("server.errors_total", code=code).inc()
+            if span is not None:
+                span.set(error=code)
+            await self._send(conn, writer,
+                             protocol.error_payload(request_id, exc))
+            if conn.document is None:
+                keep_open = False       # failed handshake: hang up
+        except Exception as exc:        # never let one request kill the loop
+            self.registry.counter("server.errors_total",
+                                  code="internal").inc()
+            if span is not None:
+                span.set(error="internal")
+            await self._send(conn, writer,
+                             protocol.error_payload(request_id, exc))
+        finally:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self.registry.histogram("server.request_ms").observe(elapsed_ms)
+            if span is not None:
+                span.finish()
+        return keep_open
+
+    # -- request handlers -----------------------------------------------------------
+
+    async def _handle(self, conn: _Connection, kind: str,
+                      payload: dict) -> dict:
+        if kind == "hello":
+            return self._on_hello(conn, payload)
+        if kind == "ping":
+            return {"kind": "pong"}
+        if kind == "stats":
+            return self._on_stats()
+        if kind == "close_cursor":
+            return self._on_close_cursor(conn, payload)
+        if kind == "begin":
+            return self._on_begin(conn)
+        if kind == "txn_op":
+            return self._on_txn_op(conn, payload)
+        if kind == "rollback":
+            return self._on_rollback(conn)
+        if kind not in _HEAVY_KINDS:
+            raise ProtocolError(f"unknown message kind {kind!r}",
+                                code="bad_message")
+        served = conn.document
+        gate = served.gate
+        handler = {
+            "prepare": self._do_prepare,
+            "execute": self._do_execute,
+            "fetch": self._do_fetch,
+            "commit": self._do_commit,
+            "checkpoint": self._do_checkpoint,
+            "explain": self._do_explain,
+            "digest": self._do_digest,
+        }[kind]
+        if kind in _WRITE_KINDS:
+            await gate.acquire_write()
+            try:
+                return await self._offload(
+                    conn, lambda: handler(conn, served, payload))
+            finally:
+                await gate.release_write()
+        await gate.acquire_read()
+        try:
+            return await self._offload(
+                conn, lambda: handler(conn, served, payload))
+        finally:
+            await gate.release_read()
+
+    def _on_hello(self, conn: _Connection, payload: dict) -> dict:
+        if conn.document is not None:
+            raise ProtocolError("connection already handshook",
+                                code="bad_message")
+        version = payload.get("protocol")
+        if version != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol {version!r} not supported; this server speaks "
+                f"{protocol.PROTOCOL_VERSION}", code="protocol_mismatch")
+        name = payload.get("document")
+        if len(self.documents) == 1 and name in (None, ""):
+            name = next(iter(self.documents))
+        served = self.documents.get(name)
+        if served is None:
+            raise ProtocolError(
+                f"unknown document {name!r}; serving "
+                f"{', '.join(sorted(self.documents)) or 'nothing'}",
+                code="unknown_document")
+        tenant_name = payload.get("tenant") or DEFAULT_TENANT
+        if not isinstance(tenant_name, str):
+            raise ProtocolError("tenant must be a string",
+                                code="bad_message")
+        conn.tenant = self.tenants.connect(tenant_name)
+        conn.document = served
+        database = served.database
+        return {
+            "kind": "welcome",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "server": f"xmark/{__version__}",
+            "document": served.name,
+            "systems": list(database.systems),
+            "default_system": database.default_system(),
+            "shard_system": database.shard_system,
+            "tenant": tenant_name,
+            "page_size": self.page_size,
+        }
+
+    def _on_stats(self) -> dict:
+        return {
+            "kind": "stats",
+            "connections": self._connections,
+            "active_requests": self._active,
+            "documents": sorted(self.documents),
+            "tenants": self.tenants.snapshot(),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def _on_close_cursor(self, conn: _Connection, payload: dict) -> dict:
+        cursor_id = payload.get("cursor_id")
+        held = conn.cursors.pop(cursor_id, None)
+        if held is not None:
+            self.tenants.close_cursor(conn.tenant)
+            held.cursor.close()
+        return {"kind": "closed", "cursor_id": cursor_id,
+                "known": held is not None}
+
+    def _on_begin(self, conn: _Connection) -> dict:
+        if conn.txn_ops is not None:
+            raise ProtocolError("transaction already open on this "
+                                "connection", code="bad_message")
+        conn.txn_ops = []
+        return {"kind": "txn", "state": "open", "ops": 0}
+
+    def _on_txn_op(self, conn: _Connection, payload: dict) -> dict:
+        if conn.txn_ops is None:
+            raise ProtocolError("no open transaction; send 'begin' first",
+                                code="bad_message")
+        conn.txn_ops.append(protocol.decode_op(payload.get("op")))
+        return {"kind": "txn", "state": "open", "ops": len(conn.txn_ops)}
+
+    def _on_rollback(self, conn: _Connection) -> dict:
+        discarded = len(conn.txn_ops or ())
+        conn.txn_ops = None
+        return {"kind": "txn", "state": "aborted", "discarded": discarded}
+
+    # -- offloaded handlers (worker-pool threads) ------------------------------------
+
+    def _resolve_query(self, conn: _Connection, served: ServedDocument,
+                       payload: dict) -> tuple[str, str, object]:
+        """``(system, text, compiled)`` for an execute/explain payload."""
+        database = served.database
+        if "query_id" in payload:
+            entry = conn.prepared.get(payload["query_id"])
+            if entry is None:
+                raise ProtocolError(
+                    f"unknown query_id {payload['query_id']!r}",
+                    code="bad_message")
+            system, text, compiled, _warnings = entry
+            return system, text, compiled
+        query = payload.get("query")
+        if not isinstance(query, (str, int)) or isinstance(query, bool):
+            raise ProtocolError("query must be a string or a benchmark "
+                                "number", code="bad_message")
+        system = database.resolve_system(payload.get("system"))
+        text = database.query_text(query)
+        text = protocol.bind_params(text, payload.get("params") or {})
+        return system, text, None
+
+    def _do_prepare(self, conn: _Connection, served: ServedDocument,
+                    payload: dict) -> dict:
+        database = served.database
+        system, text, _ = self._resolve_query(conn, served, payload)
+        compiled = None
+        warnings: list[str] = []
+        # The shard pseudo-system and service connections compile inside
+        # their own engines; a prepared id still pins system + bound text.
+        if database.service is None and system != database.shard_system:
+            compiled = database.compile(system, text)
+            warnings = [str(w) for w in getattr(compiled, "warnings", ())]
+        query_id = conn.fresh_id("q")
+        conn.prepared[query_id] = (system, text, compiled, warnings)
+        return {"kind": "prepared", "query_id": query_id, "system": system,
+                "query": text, "warnings": warnings}
+
+    def _do_execute(self, conn: _Connection, served: ServedDocument,
+                    payload: dict) -> dict:
+        system, text, compiled = self._resolve_query(conn, served, payload)
+        cursor = served.database.execute(
+            system, text, stream=True, compiled=compiled,
+            tenant=conn.tenant.name)
+        self.tenants.open_cursor(conn.tenant)
+        held = _ServerCursor(cursor, system, text)
+        cursor_id = conn.fresh_id("c")
+        conn.cursors[cursor_id] = held
+        reply = {
+            "kind": "cursor", "cursor_id": cursor_id, "system": system,
+            "query": text,
+            "stats": {
+                "source": cursor.source,
+                "streaming": cursor.streaming,
+                "compile_seconds": cursor.compile_seconds,
+                "plan_cache_hit": cursor.plan_cache_hit,
+                "result_cache_hit": cursor.result_cache_hit,
+            },
+        }
+        first_page = payload.get("fetch")
+        if first_page:
+            rows, done = held.page(self._page_arg(first_page))
+            reply["rows"] = rows
+            reply["done"] = done
+            if done:
+                self._drop_cursor(conn, cursor_id)
+        return reply
+
+    def _page_arg(self, value) -> int:
+        if value is True:
+            return self.page_size
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise ProtocolError(f"fetch size must be a positive integer, "
+                                f"got {value!r}", code="bad_message")
+        return value
+
+    def _drop_cursor(self, conn: _Connection, cursor_id: str) -> None:
+        held = conn.cursors.pop(cursor_id, None)
+        if held is not None:
+            self.tenants.close_cursor(conn.tenant)
+            held.cursor.close()
+
+    def _do_fetch(self, conn: _Connection, served: ServedDocument,
+                  payload: dict) -> dict:
+        cursor_id = payload.get("cursor_id")
+        held = conn.cursors.get(cursor_id)
+        if held is None:
+            raise ClosedCursorError(
+                f"unknown or closed cursor {cursor_id!r}")
+        try:
+            rows, done = held.page(self._page_arg(payload.get("n", True)))
+        except ClosedCursorError:
+            # Poisoned by a commit while suspended: drop the server-side
+            # entry, then surface the typed error to the client.
+            self._drop_cursor(conn, cursor_id)
+            raise
+        if done:
+            self._drop_cursor(conn, cursor_id)
+        return {"kind": "rows", "cursor_id": cursor_id, "rows": rows,
+                "done": done}
+
+    def _do_commit(self, conn: _Connection, served: ServedDocument,
+                   payload: dict) -> dict:
+        if conn.txn_ops is None:
+            raise ProtocolError("no open transaction; send 'begin' first",
+                                code="bad_message")
+        ops, conn.txn_ops = conn.txn_ops, None
+        maintenance = payload.get("maintenance")
+        report = served.database.apply_transaction(
+            ops, maintenance=maintenance)
+        return {"kind": "committed", "report": report}
+
+    def _do_checkpoint(self, conn: _Connection, served: ServedDocument,
+                       payload: dict) -> dict:
+        report = served.database.checkpoint()
+        return {"kind": "checkpointed", "report": report}
+
+    def _do_explain(self, conn: _Connection, served: ServedDocument,
+                    payload: dict) -> dict:
+        system, text, _ = self._resolve_query(conn, served, payload)
+        explain = served.database.explain(text, system=system)
+        return {"kind": "explained", "system": system,
+                "explain": explain.as_dict()}
+
+    def _do_digest(self, conn: _Connection, served: ServedDocument,
+                   payload: dict) -> dict:
+        system = served.database.resolve_system(payload.get("system"))
+        return {"kind": "digest", "system": system,
+                "digest": served.database.document_digest(system)}
+
+
+# -- running in a thread ---------------------------------------------------------------
+
+
+@dataclass
+class ServerHandle:
+    """A running server on a daemon thread: address plus a stop switch."""
+
+    server: XMarkServer
+    loop: asyncio.AbstractEventLoop
+    thread: threading.Thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        name = next(iter(self.server.documents), "")
+        return f"xmark://{self.host}:{self.port}/{name}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the server and join its thread (idempotent)."""
+        if not self.thread.is_alive():
+            return
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop).result(timeout)
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(server: XMarkServer) -> ServerHandle:
+    """Start ``server`` on a fresh event loop in a daemon thread.
+
+    Returns once the socket is bound (``handle.port`` is live).  The
+    embedding process talks to it like any remote client — this is how
+    the tests, the benchmark harness, and ``xmark client --self-serve``
+    get a real socket without managing a second process.
+    """
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _main() -> None:
+            try:
+                await server.start()
+            except BaseException as exc:    # surface bind errors to the caller
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            await server.wait_stopped()
+
+        try:
+            loop.run_until_complete(_main())
+            # Connections the clients never closed still own handler
+            # tasks; cancel them so the loop shuts down quietly.
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="xmark-serve", daemon=True)
+    thread.start()
+    ready.wait(30.0)
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, loop, thread)

@@ -22,6 +22,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
+#: Sentinel distinguishing "key absent" from a cached ``None``/falsy value.
+#: A query whose result is legitimately empty must still count as a hit.
+_ABSENT = object()
+
 
 @dataclass(slots=True)
 class CacheStats:
@@ -81,15 +85,30 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable) -> Any | None:
-        """The cached value moved to most-recently-used, or None."""
+    def lookup(self, key: Hashable) -> tuple[Any, bool]:
+        """``(value, was_hit)`` with the entry moved to most-recently-used.
+
+        The hit flag — not the value — is what distinguishes a cached
+        ``None``/falsy value from an absent key, so callers that may cache
+        falsy values must branch on it rather than on the value.
+        """
         with self._lock:
-            if key not in self._entries:
+            value = self._entries.get(key, _ABSENT)
+            if value is _ABSENT:
                 self.stats.misses += 1
-                return None
+                return None, False
             self.stats.hits += 1
             self._entries.move_to_end(key)
-            return self._entries[key]
+            return value, True
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value moved to most-recently-used, or None.
+
+        Use :meth:`lookup` where a cached ``None`` must be told apart
+        from a miss.
+        """
+        value, _hit = self.lookup(key)
+        return value
 
     def put(self, key: Hashable, value: Any) -> None:
         if self.capacity <= 0:
@@ -109,8 +128,8 @@ class LRUCache:
         part and must not serialize unrelated lookups.  Two threads missing
         on the same key may both compute; the store is idempotent.
         """
-        value = self.get(key)
-        if value is not None:
+        value, hit = self.lookup(key)
+        if hit:
             return value, True
         value = compute()
         self.put(key, value)

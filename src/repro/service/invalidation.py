@@ -26,12 +26,33 @@ changed, never the reverse.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.errors import QuerySyntaxError
 from repro.update.engine import ChangeSet
 from repro.xquery.ast import Path, walk
 from repro.xquery.parser import parse_query
+
+#: Broad-footprint fallbacks taken because a query text failed to parse.
+#: Surfaced as the ``service.footprint_fallbacks`` gauge by
+#: :meth:`repro.service.service.QueryService.export_metrics` — a rising
+#: count means unparseable texts are defeating path-selective invalidation.
+_fallback_total = 0
+_fallback_lock = threading.Lock()
+
+
+def _note_fallback() -> None:
+    global _fallback_total
+    with _fallback_lock:
+        _fallback_total += 1
+
+
+def footprint_fallbacks() -> int:
+    """How many footprint computations fell back to the broad footprint."""
+    return _fallback_total
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,7 +72,13 @@ def query_footprint(text: str) -> QueryFootprint:
     broad = False
     try:
         query = parse_query(text)
-    except Exception:
+    except QuerySyntaxError:
+        # Only a *parse* failure justifies the broad fallback — the text
+        # can still have been served (sharded/legacy paths parse their
+        # own way), so assume it touches everything.  Any other failure
+        # is a real analysis bug and must surface, not silently turn
+        # every write into a full cache drop.
+        _note_fallback()
         return QueryFootprint(frozenset(), frozenset(), True)
     for node in walk(query):
         if not isinstance(node, Path) or not node.steps:

@@ -42,7 +42,9 @@ from repro.benchmark.systems import SYSTEMS, get_profile, load_stores
 from repro.errors import BenchmarkError, ShardError
 from repro.obs.trace import NULL_TRACER
 from repro.service.cache import PlanCache, ResultCache
-from repro.service.invalidation import affected, query_footprint
+from repro.service.invalidation import (
+    affected, footprint_fallbacks, query_footprint,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.workload import ClientRequest, WorkloadGenerator, WorkloadSpec
 from repro.shard.scatter import ScatterGatherExecutor
@@ -152,7 +154,15 @@ class QueryService:
 
     # -- lifecycle ----------------------------------------------------------------
 
-    def _load(self, document: str, systems: tuple[str, ...]) -> None:
+    def _load(self, document: str,
+              systems: tuple[str, ...]) -> ScatterGatherExecutor | None:
+        """Load the stores; returns the superseded scatter executor, if any.
+
+        The caller owns closing it: an in-flight scatter query may still
+        hold a reference, so the close must wait behind the shard system's
+        drained admission gate (:meth:`reload_document`), never happen
+        here mid-swap.
+        """
         spec = self.shard_spec
         plain = tuple(name for name in systems
                       if spec is None or name != spec.name)
@@ -160,6 +170,7 @@ class QueryService:
         self.stores.update(stores)
         self.load_reports.update(reports)
         self.failed_loads.update(failed)
+        superseded = None
         if spec is not None:
             sharded = ShardedStore(spec.shards, spec.backends)
             try:
@@ -175,8 +186,7 @@ class QueryService:
                     partial_cache_size=spec.partial_cache_size,
                     tracer=self.tracer,
                 )
-                if superseded is not None:
-                    superseded.close()
+        return superseded
 
     def reload_document(self, document: str) -> None:
         """Replace the loaded document on every serving system.
@@ -218,10 +228,28 @@ class QueryService:
             systems = tuple(self._admission)
             old_stores = list(self.stores.values())
             old_digests = {store.document_digest() for store in old_stores}
-            self.stores.clear()
+            # Overwrite the store map in place rather than clear-then-load:
+            # readers resolve stores without the update lock, and a cleared
+            # map would make every serving system flicker "unavailable"
+            # for the duration of the bulkloads.  The dict object itself is
+            # shared with embedded connections, so its identity must hold.
             self.load_reports.clear()
             self.failed_loads.clear()
-            self._load(document, systems)
+            superseded = self._load(document, systems)
+            for name in [name for name in self.stores
+                         if name in self.failed_loads]:
+                del self.stores[name]   # the old store must not keep serving
+            if superseded is not None:
+                # An in-flight scatter query may still hold the superseded
+                # executor (it grabbed the reference before the swap).
+                # Readers hold one admission permit for their whole
+                # execution, so draining the shard system's gate proves no
+                # such holder remains — only then is close() safe.
+                spec = self.shard_spec
+                if spec is not None and spec.name in self._admission:
+                    with self._exclusive(spec.name):
+                        pass
+                superseded.close()
             self.plan_cache.clear()
             self._update_stream = None
             for store in old_stores:
@@ -524,9 +552,9 @@ class QueryService:
         digest = store.document_digest() or ""
         result_key = ResultCache.key(system, text, digest)
         with self.tracer.span("service.result_cache") as cache_span:
-            cached_result = self.result_cache.get(result_key)
-            cache_span.set(hit=cached_result is not None)
-        if cached_result is not None:
+            cached_result, cache_hit = self.result_cache.lookup(result_key)
+            cache_span.set(hit=cache_hit)
+        if cache_hit:
             finished = time.perf_counter()
             return QueryOutcome(
                 system=system, query_text=text,
@@ -695,6 +723,8 @@ class QueryService:
             registry.gauge("cache.hit_rate", cache=cache_name).set(
                 stats.hit_rate)
         registry.gauge("service.updates_applied").set(self.updates_applied)
+        registry.gauge("service.footprint_fallbacks").set(
+            footprint_fallbacks())
         return registry.render_text() if as_text else registry.snapshot()
 
     def cache_stats(self) -> dict:

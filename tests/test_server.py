@@ -1,0 +1,602 @@
+"""The wire server: protocol, framing damage, quotas, backpressure, e2e.
+
+The damage tests follow tests/faultinject.py's philosophy: hit the frame
+codec at every structurally interesting offset — truncated header,
+truncated payload, lying length fields, junk inside a well-framed
+payload — and assert the server answers with a *typed* protocol error
+(or hangs up cleanly when no reply is possible) while other connections
+and the served state survive untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+import repro
+from repro.errors import (
+    ClosedCursorError, ProtocolError, QuerySyntaxError, ServerBusyError,
+    TenantQuotaError, TransactionError, UnknownSystemError,
+)
+from repro.server import (
+    PROTOCOL_VERSION, RemotePrepared, TenantQuota, TenantRegistry,
+    XMarkServer, connect_url, parse_url, serve_in_thread,
+)
+from repro.server import protocol
+from repro.update.ops import CloseAuction, DeleteItem, PlaceBid, RegisterPerson
+from repro.xmlio.parser import parse
+from repro.xmlio.serialize import serialize
+
+
+@pytest.fixture(scope="module")
+def served(tiny_text):
+    """A wire server over a direct D connection, plus the database."""
+    database = repro.connect(tiny_text, systems=("D",))
+    server = XMarkServer(queue_depth=64)
+    server.add_document("auction", database, owned=True)
+    handle = serve_in_thread(server)
+    yield handle, database, server
+    handle.stop()
+
+
+@pytest.fixture()
+def remote(served):
+    handle, _database, _server = served
+    database = connect_url(handle.url)
+    yield database
+    database.close()
+
+
+def raw_connection(handle) -> socket.socket:
+    sock = socket.create_connection((handle.host, handle.port), timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+def raw_send(sock: socket.socket, payload: dict) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    sock.sendall(struct.pack(">I", len(body)) + body)
+
+
+def raw_recv(sock: socket.socket) -> dict | None:
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            return None
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            return None
+        body += chunk
+    return json.loads(body)
+
+
+def raw_hello(sock: socket.socket, document: str = "auction",
+              tenant: str | None = None) -> dict:
+    raw_send(sock, {"kind": "hello", "protocol": PROTOCOL_VERSION,
+                    "document": document, "tenant": tenant})
+    reply = raw_recv(sock)
+    assert reply is not None and reply["kind"] == "welcome"
+    return reply
+
+
+# -- protocol units -------------------------------------------------------------------
+
+
+class TestProtocolUnits:
+    def test_frame_roundtrip(self):
+        frame = protocol.encode_frame({"kind": "ping", "id": 7})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert protocol.decode_payload(frame[4:]) == {"kind": "ping", "id": 7}
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_payload(b"\xff\x00 not json")
+        assert err.value.code == "bad_frame"
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_payload(b'["a", "list"]')
+        assert err.value.code == "bad_message"
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_payload(b'{"no": "kind"}')
+        assert err.value.code == "bad_message"
+
+    def test_bind_params(self):
+        text = "for $i in /site return $min + $i/x"
+        bound = protocol.bind_params(text, {"min": 5})
+        assert bound == "for $i in /site return 5 + $i/x"
+        bound = protocol.bind_params("$name", {"name": "abc"})
+        assert bound == '"abc"'
+        # $names must not be clobbered by a $name substitution
+        assert protocol.bind_params("$a + $ab", {"a": 1}) == "1 + $ab"
+
+    def test_bind_params_rejects_bad_values(self):
+        for params in ({"bad name": 1}, {"a": True}, {"a": None},
+                       {"a": [1]}, {"a": 'say "hi"'}):
+            with pytest.raises(ProtocolError) as err:
+                protocol.bind_params("$a $bad $name", params)
+            assert err.value.code == "bad_params"
+        with pytest.raises(ProtocolError) as err:
+            protocol.bind_params("no placeholder", {"a": 1})
+        assert err.value.code == "bad_params"
+
+    def test_op_roundtrip(self):
+        person = parse('<person id="p9"><name>N</name></person>').root
+        ops = [RegisterPerson(person),
+               PlaceBid("open_auction0", "person0", 3.5, "01/01/26", "00:00"),
+               CloseAuction("open_auction1", "02/02/26"),
+               DeleteItem("item0")]
+        for op in ops:
+            decoded = protocol.decode_op(protocol.encode_op(op))
+            assert decoded.token() == op.token()
+        rp = protocol.decode_op(protocol.encode_op(ops[0]))
+        assert serialize(rp.person) == serialize(person)
+
+    def test_decode_op_rejects_junk(self):
+        for bad in (None, [], {"kind": "nope"}, {"kind": "place_bid"}):
+            with pytest.raises(ProtocolError):
+                protocol.decode_op(bad)
+
+    def test_error_code_mapping(self):
+        assert protocol.error_code(ServerBusyError("x")) == "server_busy"
+        assert protocol.error_code(TenantQuotaError("x")) == "tenant_quota"
+        assert protocol.error_code(QuerySyntaxError("x")) == "query_syntax"
+        assert protocol.error_code(
+            ProtocolError("x", code="truncated")) == "truncated"
+        assert protocol.error_code(ValueError("x")) == "internal"
+
+    def test_error_payload_detail_roundtrip(self):
+        exc = UnknownSystemError("Z", ("D", "S"))
+        reply = protocol.error_payload(4, exc)
+        assert reply["code"] == "unknown_system"
+        with pytest.raises(UnknownSystemError) as err:
+            protocol.raise_wire_error(reply)
+        assert err.value.system == "Z"
+        assert err.value.available == ("D", "S")
+        reply = protocol.error_payload(None, TransactionError("t", applied=2))
+        with pytest.raises(TransactionError) as err:
+            protocol.raise_wire_error(reply)
+        assert err.value.applied == 2
+
+    def test_parse_url(self):
+        assert parse_url("xmark://h:17/doc") == ("h", 17, "doc")
+        assert parse_url("xmark://h:17/") == ("h", 17, "")
+        for bad in ("http://h:1/d", "xmark://nohost/d", "xmark://h:xx/d"):
+            with pytest.raises(ProtocolError):
+                parse_url(bad)
+
+
+class TestTenantRegistry:
+    def test_inflight_quota(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_inflight=2))
+        tenant = registry.connect("t")
+        registry.begin_request(tenant)
+        registry.begin_request(tenant)
+        with pytest.raises(TenantQuotaError):
+            registry.begin_request(tenant)
+        assert tenant.refused_total == 1
+        registry.end_request(tenant)
+        registry.begin_request(tenant)     # slot freed
+
+    def test_disabled_limit(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_sessions=0))
+        for _ in range(100):
+            registry.connect("t")
+        assert registry.state("t").sessions == 100
+
+    def test_per_tenant_override(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_sessions=1),
+            quotas={"vip": TenantQuota(max_sessions=3)})
+        registry.connect("vip")
+        registry.connect("vip")
+        registry.connect("plain")
+        with pytest.raises(TenantQuotaError):
+            registry.connect("plain")
+
+
+# -- handshake ------------------------------------------------------------------------
+
+
+class TestHandshake:
+    def test_protocol_mismatch(self, served):
+        handle, _, _ = served
+        sock = raw_connection(handle)
+        raw_send(sock, {"kind": "hello", "protocol": 99,
+                        "document": "auction"})
+        reply = raw_recv(sock)
+        assert reply["kind"] == "error"
+        assert reply["code"] == "protocol_mismatch"
+        sock.close()
+
+    def test_unknown_document(self, served):
+        handle, _, _ = served
+        with pytest.raises(ProtocolError) as err:
+            connect_url(f"xmark://{handle.host}:{handle.port}/nope")
+        assert err.value.code == "unknown_document"
+
+    def test_single_document_is_the_default(self, served):
+        handle, _, _ = served
+        database = connect_url(f"xmark://{handle.host}:{handle.port}/")
+        assert database._client.welcome["document"] == "auction"
+        database.close()
+
+    def test_request_before_hello(self, served):
+        handle, _, _ = served
+        sock = raw_connection(handle)
+        raw_send(sock, {"kind": "ping"})
+        reply = raw_recv(sock)
+        assert reply["kind"] == "error" and reply["code"] == "bad_message"
+        sock.close()
+
+
+# -- framing damage -------------------------------------------------------------------
+
+
+class TestFramingFuzz:
+    """Garbled wire bytes -> typed error + surviving connection/state."""
+
+    def test_truncated_header_then_eof(self, served, remote):
+        handle, _, _ = served
+        sock = raw_connection(handle)
+        sock.sendall(b"\x00\x00")       # half a length header
+        sock.close()                    # peer vanishes mid-header
+        # The server must survive: an established connection still works.
+        assert remote.session().execute(1).rowcount >= 0
+
+    def test_truncated_payload_then_eof(self, served, remote):
+        handle, _, _ = served
+        sock = raw_connection(handle)
+        body = json.dumps({"kind": "ping"}).encode()
+        sock.sendall(struct.pack(">I", len(body) + 64) + body)
+        sock.close()                    # length promised more than was sent
+        assert remote.session().execute(1).serialize() is not None
+
+    def test_oversized_length_is_typed_then_closed(self, served):
+        handle, _, server = served
+        sock = raw_connection(handle)
+        raw_hello(sock)
+        sock.sendall(struct.pack(">I", server.max_frame + 1))
+        reply = raw_recv(sock)
+        assert reply["kind"] == "error"
+        assert reply["code"] == "frame_too_large"
+        # The stream is desynchronized; the server hangs up.
+        assert raw_recv(sock) is None
+        sock.close()
+
+    def test_mid_payload_junk_survives(self, served):
+        handle, _, _ = served
+        sock = raw_connection(handle)
+        raw_hello(sock)
+        for junk in (b"\xfe\xed\xfa\xce not json at all",
+                     b'{"kind": "execute", "query": ',   # cut mid-JSON
+                     b'"just a string"',
+                     b"[1, 2, 3]",
+                     b'{"no_kind": true}'):
+            sock.sendall(struct.pack(">I", len(junk)) + junk)
+            reply = raw_recv(sock)
+            assert reply["kind"] == "error"
+            assert reply["code"] in ("bad_frame", "bad_message")
+        # Framing stayed aligned: the connection still serves queries.
+        raw_send(sock, {"kind": "execute", "query": 1, "fetch": True,
+                        "id": 9})
+        reply = raw_recv(sock)
+        assert reply["kind"] == "cursor" and reply["id"] == 9
+        assert reply["done"] is True
+        sock.close()
+
+    def test_unknown_kind_is_typed(self, served):
+        handle, _, _ = served
+        sock = raw_connection(handle)
+        raw_hello(sock)
+        raw_send(sock, {"kind": "frobnicate", "id": 1})
+        reply = raw_recv(sock)
+        assert reply == {"kind": "error", "id": 1, "code": "bad_message",
+                         "message": "unknown message kind 'frobnicate'"}
+        sock.close()
+
+    def test_oversized_outgoing_frame_refused(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.encode_frame({"kind": "x", "pad": "y" * protocol.MAX_FRAME})
+        assert err.value.code == "frame_too_large"
+
+    def test_damage_never_corrupts_served_state(self, served, remote):
+        handle, database, _ = served
+        before = database.document_digest()
+        for offset in (0, 1, 3, 4, 7, 20):
+            sock = raw_connection(handle)
+            frame = protocol.encode_frame(
+                {"kind": "hello", "protocol": PROTOCOL_VERSION,
+                 "document": "auction"})
+            sock.sendall(frame[:offset])
+            sock.close()
+        assert database.document_digest() == before
+        assert remote.document_digest() == before
+
+
+# -- queries over the wire ------------------------------------------------------------
+
+
+class TestRemoteQueries:
+    def test_q1_to_q20_bit_identical(self, served, remote):
+        _, database, _ = served
+        local = database.session()
+        session = remote.session()
+        for number in range(1, 21):
+            expected = local.execute(number).serialize()
+            got = session.execute(number).serialize()
+            assert got == expected, f"Q{number} diverged over the wire"
+
+    def test_small_pages_preserve_order(self, served, tiny_text):
+        handle, database, _ = served
+        paged = connect_url(handle.url, page_size=1)
+        try:
+            query = "for $p in /site/people/person return $p/name"
+            expected = database.session().execute(query).serialize()
+            assert paged.session().execute(query).serialize() == expected
+        finally:
+            paged.close()
+
+    def test_prepared_query_roundtrip(self, remote):
+        prepared = remote.session().prepare(2)
+        assert isinstance(prepared.compiled, RemotePrepared)
+        first = prepared.execute().serialize()
+        assert prepared.execute().serialize() == first
+
+    def test_params_bind_over_the_wire(self, served, remote):
+        _, database, _ = served
+        reply = remote._client.request({
+            "kind": "execute",
+            "query": "for $p in /site/people/person "
+                     "where $p/@id = $who return $p/name",
+            "params": {"who": "person0"},
+            "fetch": True,
+        })
+        expected = database.session().execute(
+            'for $p in /site/people/person '
+            'where $p/@id = "person0" return $p/name').serialize()
+        assert "\n".join(reply["rows"]) == expected
+
+    def test_unknown_system_typed(self, remote):
+        with pytest.raises(UnknownSystemError) as err:
+            remote.session().execute(1, system="Z")
+        assert err.value.available == ("D",)
+
+    def test_syntax_error_typed(self, remote):
+        with pytest.raises(QuerySyntaxError):
+            remote.session().execute("for $x in").serialize()
+
+    def test_explain_matches_in_process(self, served, remote):
+        _, database, _ = served
+        local = database.session().explain(8).as_dict()
+        wire = remote.session().explain(8).as_dict()
+        assert wire == local
+
+    def test_digest_matches_in_process(self, served, remote):
+        _, database, _ = served
+        assert remote.document_digest() == database.document_digest()
+
+    def test_cursor_quota_enforced(self, served):
+        handle, _, server = served
+        database = connect_url(handle.url, tenant="hoarder", page_size=1)
+        try:
+            limit = server.tenants.state("hoarder").quota.max_cursors
+            query = "for $p in /site/people/person return $p"
+            cursors = [database.session().execute(query)
+                       for _ in range(limit)]
+            with pytest.raises(TenantQuotaError):
+                database.session().execute(query)
+            for cursor in cursors:      # closing releases the slots
+                cursor.close()
+            database.session().execute(query).close()
+        finally:
+            database.close()
+
+    def test_session_quota_enforced(self, tiny_text):
+        database = repro.connect(tiny_text, systems=("D",))
+        server = XMarkServer(default_quota=TenantQuota(max_sessions=1))
+        server.add_document("auction", database, owned=True)
+        with serve_in_thread(server) as handle:
+            first = connect_url(handle.url)
+            with pytest.raises(TenantQuotaError):
+                connect_url(handle.url)
+            first.close()
+            connect_url(handle.url).close()     # slot released
+
+
+# -- the write path over the wire -----------------------------------------------------
+
+
+@pytest.fixture()
+def write_served(tiny_text):
+    """A function-scoped server (writes mutate the document)."""
+    database = repro.connect(tiny_text, systems=("D",))
+    server = XMarkServer()
+    server.add_document("auction", database, owned=True)
+    handle = serve_in_thread(server)
+    yield handle, database
+    handle.stop()
+
+
+class TestRemoteWrites:
+    def test_transaction_commits_and_digests_agree(self, write_served):
+        handle, database = write_served
+        remote = connect_url(handle.url)
+        try:
+            before = database.document_digest()
+            person = parse('<person id="personW1"><name>Wire W</name>'
+                           '</person>').root
+            with remote.session().transaction() as txn:
+                txn.register_person(person)
+                txn.place_bid("open_auction0", "person0", 4.5,
+                              "01/01/2026", "00:00:00")
+            assert txn.summary["digest"] is not None
+            assert database.document_digest() != before
+            assert remote.document_digest() == database.document_digest()
+        finally:
+            remote.close()
+
+    def test_rollback_leaves_state_untouched(self, write_served):
+        handle, database = write_served
+        remote = connect_url(handle.url)
+        try:
+            before = database.document_digest()
+            txn = remote.session().transaction()
+            txn.place_bid("open_auction0", "person0", 4.5,
+                          "01/01/2026", "00:00:00")
+            txn.rollback()
+            assert database.document_digest() == before
+        finally:
+            remote.close()
+
+    def test_commit_poisons_suspended_remote_cursor(self, write_served):
+        handle, _ = write_served
+        reader = connect_url(handle.url, page_size=1)
+        writer = connect_url(handle.url)
+        try:
+            cursor = reader.session().execute(
+                "for $p in /site/people/person return $p/name")
+            assert cursor.fetchone() is not None    # suspend mid-stream
+            with writer.session().transaction() as txn:
+                txn.place_bid("open_auction0", "person0", 4.5,
+                              "01/01/2026", "00:00:00")
+            with pytest.raises(ClosedCursorError):
+                cursor.fetchall()
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_checkpoint_over_the_wire(self, tiny_text, tmp_path):
+        database = repro.connect(tiny_text, systems=("D",),
+                                 durable=str(tmp_path / "wal"))
+        server = XMarkServer()
+        server.add_document("auction", database, owned=True)
+        with serve_in_thread(server) as handle:
+            remote = connect_url(handle.url)
+            try:
+                with remote.session().transaction() as txn:
+                    txn.place_bid("open_auction0", "person0", 4.5,
+                                  "01/01/2026", "00:00:00")
+                report = remote.checkpoint()
+                assert report["records_dropped"] >= 1
+            finally:
+                remote.close()
+
+
+# -- backpressure ---------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_saturation_is_typed_not_hung(self, served):
+        handle, _, server = served
+        loop, ceiling = handle.loop, server.max_workers + server.queue_depth
+
+        def _set_active(value: int):
+            event = threading.Event()
+
+            def apply():
+                server._active = value
+                event.set()
+            loop.call_soon_threadsafe(apply)
+            assert event.wait(10.0)
+
+        _set_active(ceiling)            # pool + queue artificially full
+        database = connect_url(handle.url)
+        try:
+            with pytest.raises(ServerBusyError):
+                database.session().execute(1)
+        finally:
+            _set_active(0)
+            database.close()
+        assert server.registry.counter("server.busy_total").value >= 1
+
+    def test_saturated_sweep_never_hangs(self, tiny_text):
+        """Many clients vs a 1-worker pool: every request completes —
+        rows or a typed ServerBusy — and every connection survives."""
+        database = repro.connect(tiny_text, systems=("D",))
+        server = XMarkServer(max_workers=1, queue_depth=1,
+                             default_quota=TenantQuota(max_sessions=0))
+        server.add_document("auction", database, owned=True)
+        outcomes: list[str] = []
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+        with serve_in_thread(server) as handle:
+            def client(worker: int) -> None:
+                try:
+                    remote = connect_url(handle.url, tenant=f"t{worker}")
+                    try:
+                        for _ in range(5):
+                            try:
+                                remote.session().execute(1).serialize()
+                                result = "served"
+                            except ServerBusyError:
+                                result = "busy"
+                            with lock:
+                                outcomes.append(result)
+                    finally:
+                        remote.close()
+                except BaseException as exc:
+                    with lock:
+                        failures.append(exc)
+
+            threads = [threading.Thread(target=client, args=(n,))
+                       for n in range(12)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not any(t.is_alive() for t in threads), \
+                "a client hung under saturation"
+        assert not failures, failures
+        assert len(outcomes) == 60
+        assert outcomes.count("served") >= 1
+
+
+# -- observability --------------------------------------------------------------------
+
+
+class TestServerObservability:
+    def test_counters_and_stats(self, tiny_text):
+        database = repro.connect(tiny_text, systems=("D",))
+        server = XMarkServer()
+        server.add_document("auction", database, owned=True)
+        with serve_in_thread(server) as handle:
+            remote = connect_url(handle.url, tenant="acme")
+            try:
+                remote.session().execute(1).serialize()
+                stats = remote.stats()
+            finally:
+                remote.close()
+        counters = stats["metrics"]["counters"]
+        assert counters["server.accepts_total"] == 1
+        assert counters['server.requests_total{kind="hello",tenant="-"}'] == 1
+        assert counters['server.requests_total{kind="execute",tenant="acme"}'] == 1
+        assert counters['net.bytes_in_total{tenant="acme"}'] > 0
+        assert counters['net.bytes_out_total{tenant="acme"}'] > 0
+        assert stats["tenants"]["acme"]["requests_total"] >= 1
+        assert "server.request_ms" in stats["metrics"]["histograms"]
+        # The served database keeps its own db.* accounting too.
+        assert database.registry.counter(
+            "db.queries_total", system="D", tenant="acme").value == 1
+
+    def test_accept_spans_recorded(self, tiny_text):
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
+        database = repro.connect(tiny_text, systems=("D",))
+        server = XMarkServer(tracer=tracer)
+        server.add_document("auction", database, owned=True)
+        with serve_in_thread(server) as handle:
+            remote = connect_url(handle.url)
+            remote.session().execute(1).serialize()
+            remote.close()
+        names = [span.name for span in tracer.roots]
+        assert "server.accept" in names
+        assert "server.request" in names

@@ -68,6 +68,32 @@ class TestLRUCache:
         value, hit = cache.get_or_compute("k", lambda: pytest.fail("must not run"))
         assert (value, hit) == (42, True)
 
+    def test_cached_none_is_a_hit(self):
+        """A legitimately-falsy cached value must not read as a miss.
+
+        Regression: ``get_or_compute`` used to test the value against
+        ``None``, so a cached ``None`` (or empty result) recomputed and
+        re-``put`` on every lookup."""
+        cache = LRUCache(4)
+        cache.put("empty", None)
+        value, hit = cache.lookup("empty")
+        assert (value, hit) == (None, True)
+        value, hit = cache.get_or_compute(
+            "empty", lambda: pytest.fail("cached None must not recompute"))
+        assert (value, hit) == (None, True)
+        assert cache.stats.hits == 2 and cache.stats.misses == 0
+
+    def test_cached_falsy_values_hit(self):
+        cache = LRUCache(8)
+        for key, falsy in (("zero", 0), ("empty-list", []), ("empty-str", "")):
+            cache.put(key, falsy)
+            value, hit = cache.get_or_compute(
+                key, lambda: pytest.fail("cached falsy must not recompute"))
+            assert hit and value == falsy
+        # An absent key still reads as a miss through the same surface.
+        value, hit = cache.lookup("absent")
+        assert (value, hit) == (None, False)
+
     def test_invalidate_where(self):
         cache = ResultCache(8)
         cache.put(ResultCache.key("D", "q", "digest1"), "old")
@@ -473,6 +499,88 @@ class TestServiceWritePath:
             assert svc.store("D") is not store_before
             assert store_before.indexes is None
             assert not svc.execute("D", 1).result_cache_hit
+
+    def test_reload_under_concurrent_scatter_readers(self, tiny_text,
+                                                     small_text):
+        """Regression: a reload must not close the superseded scatter
+        executor out from under in-flight scatter queries.
+
+        Eight readers hammer the shard pseudo-system while the main
+        thread reloads the document repeatedly; no reader may surface an
+        executor-closed error, and every result must match one of the two
+        documents' correct answers."""
+        from repro.service import ShardSpec
+
+        spec = ShardSpec(shards=2, backends=("F",))
+        with QueryService(tiny_text, ("S",), max_workers=8,
+                          shard_spec=spec, result_cache_size=0) as svc:
+            expected = {
+                svc.execute("S", 1).result.serialize(),
+            }
+            svc.reload_document(small_text)
+            expected.add(svc.execute("S", 1).result.serialize())
+            stop = threading.Event()
+            failures: list[BaseException] = []
+            wrong: list[str] = []
+
+            def read() -> None:
+                while not stop.is_set():
+                    try:
+                        text = svc.execute("S", 1).result.serialize()
+                    except BaseException as exc:
+                        failures.append(exc)
+                        return
+                    if text not in expected:
+                        wrong.append(text)
+                        return
+
+            readers = [threading.Thread(target=read) for _ in range(8)]
+            for thread in readers:
+                thread.start()
+            for document in (tiny_text, small_text, tiny_text):
+                svc.reload_document(document)
+            stop.set()
+            for thread in readers:
+                thread.join()
+            assert not failures, failures[0]
+            assert not wrong
+
+    def test_footprint_fallback_is_counted_and_narrow(self, monkeypatch):
+        """Regression: only a parse failure may take the broad-footprint
+        fallback; walker bugs must surface, and fallbacks are counted."""
+        from repro.service import invalidation
+        from repro.errors import QuerySyntaxError
+
+        before = invalidation.footprint_fallbacks()
+        footprint = invalidation.query_footprint("][ this does not parse 1")
+        assert footprint.broad
+        assert footprint.tokens == frozenset()
+        assert invalidation.footprint_fallbacks() == before + 1
+
+        def boom(_text):
+            raise RuntimeError("walker bug")
+
+        monkeypatch.setattr(invalidation, "parse_query", boom)
+        with pytest.raises(RuntimeError, match="walker bug"):
+            invalidation.query_footprint("this text was never seen before 2")
+        assert invalidation.footprint_fallbacks() == before + 1
+        monkeypatch.undo()
+
+        def syntax(_text):
+            raise QuerySyntaxError("bad", 1, 1)
+
+        monkeypatch.setattr(invalidation, "parse_query", syntax)
+        footprint = invalidation.query_footprint("nor was this one 3")
+        assert footprint.broad
+        assert invalidation.footprint_fallbacks() == before + 2
+
+    def test_footprint_fallback_gauge_exported(self, tiny_text):
+        from repro.service import invalidation
+
+        with QueryService(tiny_text, ("D",), max_workers=1) as svc:
+            snapshot = svc.export_metrics()
+            assert snapshot["gauges"]["service.footprint_fallbacks"] == \
+                invalidation.footprint_fallbacks()
 
     def test_mixed_read_write_workload(self, tiny_text):
         """A write-ratio workload completes with every update applied and
