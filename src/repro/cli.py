@@ -297,6 +297,37 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default 16)")
     serve_cmd.add_argument("--max-cursors", type=int, default=32,
                            help="per-tenant open-cursor quota (default 32)")
+    serve_cmd.add_argument("--tracing", action="store_true",
+                           help="trace served queries (span trees; see "
+                                "--trace-sample-rate)")
+    serve_cmd.add_argument("--trace-sample-rate", type=float, default=1.0,
+                           help="head-sampling rate for traces, 0..1 "
+                                "(default 1.0; deterministic per tenant)")
+    serve_cmd.add_argument("--slow-trace-ms", type=float, default=None,
+                           help="always keep traces of requests at least "
+                                "this slow, regardless of sampling")
+    serve_cmd.add_argument("--query-log", default=None,
+                           help="append one JSON line per served query to "
+                                "this file (schema v1, rotatable)")
+    serve_cmd.add_argument("--query-log-max-bytes", type=int, default=None,
+                           help="rotate the query log at this size "
+                                "(keeps 3 older files)")
+
+    top_cmd = commands.add_parser(
+        "top",
+        help="live per-tenant view over a running xmark serve",
+        description="Poll a wire server's stats and print a per-tenant "
+                    "table: qps, request latency percentiles, in-flight "
+                    "requests, busy (admission-refusal) rate, and cache "
+                    "hit ratio.  Ctrl-C exits.")
+    top_cmd.add_argument("url", help="xmark://host:port/document")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls (default 2)")
+    top_cmd.add_argument("-n", "--iterations", type=int, default=0,
+                         help="stop after N polls (default: run until "
+                              "interrupted)")
+    top_cmd.add_argument("--tenant", default=None,
+                         help="tenant name for the polling connection")
 
     client_cmd = commands.add_parser(
         "client",
@@ -795,6 +826,7 @@ def _serve_command(args) -> int:
     from repro.benchmark.systems import parse_system_letters
     from repro.db import connect
     from repro.errors import XMarkError
+    from repro.obs.trace import NULL_TRACER
     from repro.server import TenantQuota, XMarkServer
 
     try:
@@ -804,15 +836,25 @@ def _serve_command(args) -> int:
                 text = handle.read()
         else:
             text = generate_string(args.factor)
-        database = connect(text, systems=systems, durable=args.durable)
+        database = connect(text, systems=systems, durable=args.durable,
+                           tracing=args.tracing)
     except (OSError, XMarkError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
+    query_log = None
+    if args.query_log is not None:
+        from repro.obs.querylog import QueryLogWriter
+        query_log = QueryLogWriter(args.query_log,
+                                   max_bytes=args.query_log_max_bytes)
     server = XMarkServer(
         args.host, args.port,
         max_workers=args.workers,
         queue_depth=args.queue_depth,
         page_size=args.page_size,
+        tracer=database.tracer if args.tracing else NULL_TRACER,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_trace_ms=args.slow_trace_ms,
+        query_log=query_log,
         default_quota=TenantQuota(max_sessions=args.max_sessions,
                                   max_inflight=args.max_inflight,
                                   max_cursors=args.max_cursors),
@@ -835,6 +877,119 @@ def _serve_command(args) -> int:
     except KeyboardInterrupt:
         print("serve: interrupted, shutting down", file=sys.stderr)
     return 0
+
+
+def _parse_metric_labels(rendered: str) -> tuple[str, dict[str, str]]:
+    """``name{k="v",k2="v2"}`` -> ``(name, {k: v, k2: v2})``."""
+    name, brace, rest = rendered.partition("{")
+    if not brace:
+        return rendered, {}
+    labels = {}
+    for pair in rest.rstrip("}").split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value.strip('"')
+    return name, labels
+
+
+def _top_rows(stats: dict, previous: dict | None,
+              interval: float) -> list[dict]:
+    """One ``xmark top`` table: per-tenant live numbers from two polls."""
+    metrics = stats.get("metrics", {})
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    tenants = stats.get("tenants", {})
+
+    def tenant_counter(counter_name: str) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for rendered, value in counters.items():
+            name, labels = _parse_metric_labels(rendered)
+            if name == counter_name and set(labels) == {"tenant"}:
+                out[labels["tenant"]] = value
+        return out
+
+    executes = tenant_counter("server.executes_total")
+    busy = tenant_counter("server.busy_total")
+    plan_hits = tenant_counter("server.plan_cache_hits_total")
+    result_hits = tenant_counter("server.result_cache_hits_total")
+    latency: dict[str, dict] = {}
+    for rendered, summary in histograms.items():
+        name, labels = _parse_metric_labels(rendered)
+        if name == "server.request_ms" and set(labels) == {"tenant"}:
+            latency[labels["tenant"]] = summary
+
+    prev_executes = (previous or {}).get("executes", {})
+    rows = []
+    for tenant in sorted(set(tenants) | set(executes) | set(latency)):
+        total = executes.get(tenant, 0)
+        delta = total - prev_executes.get(tenant, 0)
+        qps = delta / interval if previous is not None else None
+        summary = latency.get(tenant, {})
+        requests = tenants.get(tenant, {}).get("requests_total", 0)
+        hits = plan_hits.get(tenant, 0) + result_hits.get(tenant, 0)
+        rows.append({
+            "tenant": tenant,
+            "qps": qps,
+            "queries": total,
+            "p50_ms": summary.get("p50_ms"),
+            "p95_ms": summary.get("p95_ms"),
+            "p99_ms": summary.get("p99_ms"),
+            "inflight": tenants.get(tenant, {}).get("inflight", 0),
+            "busy_rate": (busy.get(tenant, 0) / requests) if requests else 0.0,
+            "cache_hit_rate": (hits / (2 * total)) if total else 0.0,
+        })
+    return rows
+
+
+def _top_command(args) -> int:
+    """``xmark top``: a polling per-tenant terminal view over ``stats``."""
+    import time as _time
+
+    from repro.errors import XMarkError
+    from repro.server import connect_url
+
+    try:
+        database = connect_url(args.url, tenant=args.tenant)
+    except (OSError, XMarkError) as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
+    header = (f"{'TENANT':<12} {'QPS':>8} {'QUERIES':>8} {'P50MS':>8} "
+              f"{'P95MS':>8} {'P99MS':>8} {'INFLT':>6} {'BUSY%':>6} "
+              f"{'CACHE%':>7}")
+    polls = 0
+    previous = None
+    try:
+        with database:
+            while True:
+                stats = database.stats()
+                rows = _top_rows(stats, previous, args.interval)
+                print(f"-- {args.url}  connections={stats['connections']} "
+                      f"active={stats['active_requests']}")
+                print(header)
+                for row in rows:
+                    qps = ("-" if row["qps"] is None
+                           else f"{row['qps']:.1f}")
+                    fmt_ms = [("-" if row[key] is None else f"{row[key]:.2f}")
+                              for key in ("p50_ms", "p95_ms", "p99_ms")]
+                    print(f"{row['tenant']:<12} {qps:>8} "
+                          f"{row['queries']:>8.0f} {fmt_ms[0]:>8} "
+                          f"{fmt_ms[1]:>8} {fmt_ms[2]:>8} "
+                          f"{row['inflight']:>6} "
+                          f"{row['busy_rate'] * 100:>6.1f} "
+                          f"{row['cache_hit_rate'] * 100:>7.1f}")
+                if not rows:
+                    print("(no tenant activity yet)")
+                sys.stdout.flush()
+                polls += 1
+                if args.iterations and polls >= args.iterations:
+                    return 0
+                previous = {"executes": {
+                    row["tenant"]: row["queries"] for row in rows}}
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, XMarkError) as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 1
 
 
 def _client_command(args) -> int:
@@ -935,6 +1090,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "client":
         return _client_command(args)
+
+    if args.command == "top":
+        return _top_command(args)
 
     if args.command == "query":
         return _query_command(args)

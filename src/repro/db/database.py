@@ -62,6 +62,7 @@ def connect(
     per_shard_limit: int = 2,
     tracing: bool = False,
     trace_log: str | None = None,
+    query_log: str | None = None,
     durable: str | None = None,
     sync: str = "commit",
     group_size: int = 8,
@@ -79,7 +80,11 @@ def connect(
     inspect it with ``cursor.profile()`` or ``db.tracer.roots``;
     ``trace_log`` additionally appends each finished tree to a
     JSON-lines workload log.  Off by default: the disabled path costs
-    one attribute read per instrumentation point.
+    one attribute read per instrumentation point.  ``query_log`` makes
+    a service connection (``service=True``) append one flat JSON record
+    per completed query — the structured workload log the tuning
+    advisor ingests (docs/OBSERVABILITY.md); it is ignored on a plain
+    direct connection, like the other service-layer keywords.
 
     ``durable=directory`` makes the connection crash-consistent: every
     commit is logged to a write-ahead log in ``directory`` *before* it
@@ -100,7 +105,7 @@ def connect(
     """
     if isinstance(document, str) and document.startswith("xmark://"):
         from repro.server.client import connect_url
-        return connect_url(document)
+        return connect_url(document, tracing=tracing, trace_log=trace_log)
     return Database(
         document,
         systems=tuple(systems),
@@ -115,6 +120,7 @@ def connect(
         per_shard_limit=per_shard_limit,
         tracing=tracing,
         trace_log=trace_log,
+        query_log=query_log,
         durable=durable,
         sync=sync,
         group_size=group_size,
@@ -140,6 +146,7 @@ class Database:
         per_shard_limit: int = 2,
         tracing: bool = False,
         trace_log: str | None = None,
+        query_log: str | None = None,
         durable: str | None = None,
         sync: str = "commit",
         group_size: int = 8,
@@ -188,6 +195,7 @@ class Database:
                 result_cache_size=result_cache_size,
                 shard_spec=spec,
                 tracer=self.tracer,
+                query_log=query_log,
             )
             self.stores = self.service.stores
             self.load_reports = self.service.load_reports

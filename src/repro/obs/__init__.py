@@ -8,8 +8,9 @@ the trace JSON-lines schema.
 from repro.obs.explain import Explain, describe_compiled, explain_query
 from repro.obs.metrics import (Counter, Gauge, Histogram, LatencySummary,
                                MetricsRegistry, percentile)
+from repro.obs.querylog import QueryLogWriter, span_breakdown
 from repro.obs.trace import (NULL_SPAN, NULL_TRACER, NullTracer, Span,
-                             TraceLogWriter, Tracer)
+                             TraceLogWriter, TraceSampler, Tracer)
 
 __all__ = [
     "Counter",
@@ -21,10 +22,13 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "QueryLogWriter",
     "Span",
     "TraceLogWriter",
+    "TraceSampler",
     "Tracer",
     "describe_compiled",
     "explain_query",
     "percentile",
+    "span_breakdown",
 ]

@@ -1,0 +1,116 @@
+"""Structured per-query workload log: JSON lines, one record per query.
+
+This is the machine-readable counterpart of the trace log: where
+``TraceLogWriter`` keeps the full span tree for sampled queries, the
+query log keeps one flat, schema-versioned record for *every* query —
+cheap enough to stay on permanently, and the designated input format for
+the future ``repro.tuning`` workload advisor (ROADMAP: "self-tuning:
+workload-driven index and shard advisor").
+
+Record shape (schema v1; fields with no value for a given query are
+omitted rather than nulled)::
+
+    {"v": 1, "ts": 1754637.123, "source": "server",
+     "tenant": "acme", "system": "D", "query": 8, "query_text": "...",
+     "rows": 17, "duration_ms": 1.84,
+     "plan_ms": 0.21, "scan_ms": 1.40, "merge_ms": 0.0, "wire_ms": 0.23,
+     "index_probes": 12, "access_paths": ["sorted_numeric"],
+     "plan_cache_hit": true, "result_cache_hit": false,
+     "busy": 0, "error": null_or_code}
+
+The latency breakdown and access-path fields come from
+:func:`span_breakdown` when a trace was sampled for the query; unsampled
+queries still log identity, outcome, caches, and total latency.
+
+See docs/OBSERVABILITY.md ("Query log schema") for the field table.
+"""
+
+from __future__ import annotations
+
+from time import time
+
+from repro.obs.trace import _JsonLinesSink
+
+__all__ = ["QUERY_LOG_SCHEMA_VERSION", "QueryLogWriter", "span_breakdown"]
+
+QUERY_LOG_SCHEMA_VERSION = 1
+
+#: Span names whose self-duration is the "scan" share of a query: actual
+#: data-touching execution, eager or streaming, embedded or per-shard.
+_SCAN_SPANS = frozenset(("evaluator.eval", "evaluator.stream",
+                         "scatter.shard"))
+
+
+def span_breakdown(span) -> dict:
+    """Fold a finished span tree into the query-log latency breakdown.
+
+    Returns ``plan_ms`` / ``scan_ms`` / ``merge_ms`` (summed over the
+    tree, so a sharded query's per-shard scans accumulate), the total
+    ``index_probes`` count, and the ordered list of ``access_paths``
+    kinds the planner chose.  The caller owns ``wire_ms`` — it is the
+    covering request's duration minus this tree's root duration, a fact
+    only the transport layer knows.
+    """
+    plan_ms = scan_ms = merge_ms = 0.0
+    index_probes = 0
+    access_paths: list[str] = []
+    for node in span.walk():
+        duration = node.duration
+        ms = duration * 1000.0 if duration is not None else 0.0
+        name = node.name
+        if name == "plan":
+            plan_ms += ms
+        elif name in _SCAN_SPANS:
+            scan_ms += ms
+            index_probes += int(node.attrs.get("index_probes", 0) or 0)
+        elif name == "scatter.merge":
+            merge_ms += ms
+        elif name == "plan.access_path":
+            access_paths.append(str(node.attrs.get("kind", "?")))
+    breakdown = {"plan_ms": round(plan_ms, 4), "scan_ms": round(scan_ms, 4),
+                 "merge_ms": round(merge_ms, 4)}
+    if index_probes:
+        breakdown["index_probes"] = index_probes
+    if access_paths:
+        breakdown["access_paths"] = access_paths
+    return breakdown
+
+
+class QueryLogWriter:
+    """Append one JSON line per completed query (see module docstring).
+
+    Thread-safe, schema-versioned (every record carries
+    ``"v": QUERY_LOG_SCHEMA_VERSION``), and size-bounded the same way
+    the trace log is: ``max_bytes``/``keep`` rotate ``path`` →
+    ``path.1`` → … with whole-line granularity.
+    """
+
+    def __init__(self, path, *, max_bytes: int | None = None,
+                 keep: int = 3) -> None:
+        self._sink = _JsonLinesSink(path, max_bytes=max_bytes, keep=keep)
+
+    @property
+    def path(self):
+        return self._sink.path
+
+    def record(self, *, source: str, span=None, **fields) -> None:
+        """Write one query record.
+
+        ``source`` says which layer logged it (``"server"``,
+        ``"service"``).  When ``span`` is a finished trace root its
+        :func:`span_breakdown` fields merge into the record.  ``None``
+        values in ``fields`` are dropped — absent means "not measured",
+        and the schema stays greppable.
+        """
+        record = {"v": QUERY_LOG_SCHEMA_VERSION, "ts": round(time(), 3),
+                  "source": source}
+        if span is not None and getattr(span, "finished", False):
+            record.update(span_breakdown(span))
+        record.update((key, value) for key, value in fields.items()
+                      if value is not None)
+        self._sink.write(record)
+
+    __call__ = record
+
+    def close(self) -> None:
+        self._sink.close()

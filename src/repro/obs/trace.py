@@ -27,10 +27,14 @@ ingest; see docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import deque
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from time import perf_counter
+from zlib import crc32
+
+from repro.rng.lcg import Lcg48
 
 __all__ = [
     "NULL_SPAN",
@@ -38,6 +42,7 @@ __all__ = [
     "NullTracer",
     "Span",
     "TraceLogWriter",
+    "TraceSampler",
     "Tracer",
 ]
 
@@ -82,6 +87,16 @@ class Span:
                 tracer._record_root(self)
         return self
 
+    def discard(self) -> "Span":
+        """Finish without retention: the duration is set (children and
+        attributes stay inspectable through a held reference) but a root
+        is *not* recorded in ``tracer.roots`` and never reaches the
+        ``on_root`` sink.  This is how head sampling drops a trace after
+        measuring it — see :class:`TraceSampler`."""
+        if self.duration is None:
+            self.duration = perf_counter() - self.start
+        return self
+
     def __enter__(self) -> "Span":
         return self
 
@@ -124,6 +139,26 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span tree from its :meth:`to_dict` form.
+
+        The result is *detached*: it belongs to no tracer, is already
+        finished (when the dict carried a duration), and exists only to
+        be navigated, rendered, or grafted into another tree — this is
+        how a serialized server-side subtree from an execute/fetch reply
+        joins the client's trace (docs/OBSERVABILITY.md).
+        """
+        span = cls(str(data.get("name", "?")), dict(data.get("attrs") or {}),
+                   float(data.get("start") or 0.0), None,
+                   is_root=False, on_stack=False)
+        duration_ms = data.get("duration_ms")
+        if duration_ms is not None:
+            span.duration = float(duration_ms) / 1000.0
+        span.children = [cls.from_dict(child)
+                         for child in data.get("children") or ()]
+        return span
+
     def render(self, *, indent: int = 0) -> str:
         """Human-readable tree, one span per line."""
         lines: list[str] = []
@@ -162,6 +197,9 @@ class _NullSpan:
         return self
 
     def finish(self) -> "_NullSpan":
+        return self
+
+    def discard(self) -> "_NullSpan":
         return self
 
     def walk(self):
@@ -213,6 +251,12 @@ class NullTracer:
     def activate(self, span):
         return _NULL_CONTEXT
 
+    def suppressed(self):
+        return _NULL_CONTEXT
+
+    def new_trace_id(self) -> str:
+        return "0" * 12
+
     def current(self) -> None:
         return None
 
@@ -263,6 +307,7 @@ class Tracer:
         self._local = threading.local()
         self._roots: deque[Span] = deque(maxlen=keep)
         self.on_root = on_root
+        self._ids = Lcg48(crc32(repr(id(self)).encode()) ^ os.getpid())
 
     # -- span creation -----------------------------------------------------
 
@@ -270,8 +315,11 @@ class Tracer:
         """Start a span parented under the thread's current span.
 
         Use as a context manager: exiting pops it from the thread-local
-        stack and finishes it.
+        stack and finishes it.  Under :meth:`suppressed` the shared
+        :data:`NULL_SPAN` comes back instead and nothing is recorded.
         """
+        if getattr(self._local, "suppress", 0):
+            return NULL_SPAN
         span = Span(name, attrs, perf_counter(), self,
                     is_root=self.current() is None, on_stack=True)
         self._attach(span)
@@ -285,8 +333,11 @@ class Tracer:
         call :meth:`Span.finish`.  ``parent`` may name a span owned by
         another thread (scatter workers attach to the caller's root);
         when omitted, the creating thread's current span is used, and a
-        span with no parent at all becomes a root.
+        span with no parent at all becomes a root.  Under
+        :meth:`suppressed` the shared :data:`NULL_SPAN` comes back.
         """
+        if getattr(self._local, "suppress", 0):
+            return NULL_SPAN
         if parent is None:
             parent = self.current()
         span = Span(name, attrs, perf_counter(), self,
@@ -304,9 +355,33 @@ class Tracer:
         manually-managed root (e.g. one that outlives the call because a
         streaming cursor finishes it later) can adopt children.
         """
-        if span is None:
+        if span is None or isinstance(span, _NullSpan):
             return _NULL_CONTEXT
         return _Activation(self, span)
+
+    @contextmanager
+    def suppressed(self):
+        """Scope in which this thread records nothing.
+
+        ``tracer.enabled`` stays True (hot-path guards are untouched) but
+        :meth:`span` and :meth:`begin` return :data:`NULL_SPAN`, so no
+        span objects are allocated, attached, or retained.  This is the
+        per-request off-switch head sampling uses: the wire server wraps
+        an unsampled request's handler in it, and the served database's
+        instrumentation — which is shared by all requests and cannot be
+        toggled globally — goes quiet for exactly that execution.
+        Re-entrant (a counter, not a flag) and per-thread.
+        """
+        self._local.suppress = getattr(self._local, "suppress", 0) + 1
+        try:
+            yield
+        finally:
+            self._local.suppress -= 1
+
+    def new_trace_id(self) -> str:
+        """A fresh 12-hex-digit trace id for wire context propagation."""
+        with self._lock:
+            return f"{self._ids.next_raw():012x}"
 
     # -- context stack -----------------------------------------------------
 
@@ -353,6 +428,106 @@ class Tracer:
             self._roots.clear()
 
 
+class TraceSampler:
+    """Deterministic head sampling with an always-keep slow/error tail.
+
+    Head decision: each tenant gets its own :class:`~repro.rng.lcg.Lcg48`
+    stream seeded from ``seed`` and a CRC of the tenant name, so the
+    kept-set is reproducible across runs and independent of request
+    interleaving between tenants.  ``per_tenant`` overrides the default
+    ``rate`` for named tenants.
+
+    Tail decision: :meth:`keep` upgrades an unsampled trace to kept when
+    it errored or ran at least ``slow_ms`` — the slow-query rule that
+    lets a server trace at ``rate=0.01`` and still capture every outlier.
+    """
+
+    __slots__ = ("rate", "per_tenant", "slow_ms", "_seed", "_streams",
+                 "_lock")
+
+    def __init__(self, rate: float = 1.0, *, per_tenant=None,
+                 slow_ms: float | None = None, seed: int = 20020820) -> None:
+        self.rate = float(rate)
+        self.per_tenant = dict(per_tenant or {})
+        self.slow_ms = slow_ms
+        self._seed = int(seed)
+        self._streams: dict[str, Lcg48] = {}
+        self._lock = threading.Lock()
+
+    def rate_for(self, tenant: str) -> float:
+        return float(self.per_tenant.get(tenant, self.rate))
+
+    def sample(self, tenant: str) -> bool:
+        """The head decision: trace this request from the start?"""
+        rate = self.rate_for(tenant)
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            stream = self._streams.get(tenant)
+            if stream is None:
+                stream = Lcg48((self._seed + crc32(tenant.encode("utf-8")))
+                               & 0xFFFFFFFFFFFF)
+                self._streams[tenant] = stream
+            return stream.next_double() < rate
+
+    def keep(self, sampled: bool, duration_ms: float,
+             error: bool = False) -> bool:
+        """The tail decision, once the duration and outcome are known."""
+        if sampled or error:
+            return True
+        return self.slow_ms is not None and duration_ms >= self.slow_ms
+
+
+class _JsonLinesSink:
+    """Locked JSON-lines appender with size-bounded rotation.
+
+    When ``max_bytes`` is set and a write would leave the file past it,
+    the file rotates first: ``path`` → ``path.1`` → … → ``path.<keep>``
+    (oldest dropped), then a fresh ``path`` is opened.  Rotation is by
+    whole lines — a record never straddles two files.
+    """
+
+    __slots__ = ("path", "max_bytes", "keep", "_lock", "_handle", "_size")
+
+    def __init__(self, path, *, max_bytes: int | None = None,
+                 keep: int = 3) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self.keep = max(1, int(keep))
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle.closed:
+                return
+            if (self.max_bytes is not None and self._size > 0
+                    and self._size + len(line) > self.max_bytes):
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += len(line)
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        for index in range(self.keep - 1, 0, -1):
+            older = f"{self.path}.{index}"
+            if os.path.exists(older):
+                os.replace(older, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
 class TraceLogWriter:
     """Append finished root spans to a JSON-lines workload log.
 
@@ -360,23 +535,20 @@ class TraceLogWriter:
     input format the future ``repro.tuning`` module ingests.  Plug an
     instance into ``Tracer(on_root=...)``; writes are serialized by an
     internal lock so multi-threaded services can share one writer.
+    ``max_bytes``/``keep`` bound the sink on disk (see
+    :class:`_JsonLinesSink`); by default it grows without rotation.
     """
 
-    def __init__(self, path) -> None:
-        self.path = path
-        self._lock = threading.Lock()
-        self._handle = open(path, "a", encoding="utf-8")
+    def __init__(self, path, *, max_bytes: int | None = None,
+                 keep: int = 3) -> None:
+        self._sink = _JsonLinesSink(path, max_bytes=max_bytes, keep=keep)
+
+    @property
+    def path(self):
+        return self._sink.path
 
     def __call__(self, span: Span) -> None:
-        line = json.dumps({"v": TRACE_SCHEMA_VERSION, "span": span.to_dict()},
-                          sort_keys=True)
-        with self._lock:
-            if self._handle.closed:
-                return
-            self._handle.write(line + "\n")
-            self._handle.flush()
+        self._sink.write({"v": TRACE_SCHEMA_VERSION, "span": span.to_dict()})
 
     def close(self) -> None:
-        with self._lock:
-            if not self._handle.closed:
-                self._handle.close()
+        self._sink.close()

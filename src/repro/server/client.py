@@ -31,6 +31,7 @@ from repro.errors import (
 )
 from repro.obs.explain import Explain
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Span, TraceLogWriter, Tracer
 from repro.server import protocol
 from repro.update.ops import UpdateOp
 
@@ -118,7 +119,8 @@ class RemoteDatabase:
     service = None
 
     def __init__(self, client: WireClient, *, page_size: int | None = None,
-                 url: str | None = None) -> None:
+                 url: str | None = None, tracing: bool = False,
+                 trace_log=None) -> None:
         self._client = client
         welcome = client.welcome
         self.document = url or welcome.get("document", "")
@@ -128,6 +130,10 @@ class RemoteDatabase:
         self._serving = tuple(welcome.get("systems", ()))
         self._default = welcome.get("default_system")
         self._registry = MetricsRegistry()
+        self._trace_writer = (TraceLogWriter(trace_log)
+                              if tracing and trace_log else None)
+        self.tracer = (Tracer(on_root=self._trace_writer) if tracing
+                       else NULL_TRACER)
         self._closed = False
 
     # -- introspection --------------------------------------------------------------
@@ -177,6 +183,8 @@ class RemoteDatabase:
             return
         self._closed = True
         self._client.close()
+        if self._trace_writer is not None:
+            self._trace_writer.close()
 
     def __enter__(self) -> "RemoteDatabase":
         return self
@@ -230,11 +238,33 @@ class RemoteDatabase:
         if tenant is not None:
             labels["tenant"] = tenant
         self._registry.counter("db.queries_total", **labels).inc()
-        reply = self._client.request(request)
+        root = on_span = None
+        if self.tracer.enabled:
+            # Start the distributed trace and ship its context with the
+            # request; replies completing the cursor bring the server's
+            # span subtree back, and grafting it under this root is what
+            # makes cursor.profile() one joined client+server tree.
+            trace_id = self.tracer.new_trace_id()
+            root = self.tracer.begin("query", system=name, source="wire",
+                                     query=query, trace_id=trace_id)
+            request["trace"] = {"trace_id": trace_id,
+                                "parent": f"{trace_id}/0", "sampled": True}
+
+            def on_span(data, parent=root):
+                parent.children.append(Span.from_dict(data))
+        try:
+            reply = self._client.request(request)
+        except BaseException as exc:
+            if root is not None:
+                root.set(error=type(exc).__name__).finish()
+            raise
+        if on_span is not None and reply.get("span"):
+            on_span(reply["span"])
         stats = reply.get("stats", {})
         rows = _PageIterator(self, reply["cursor_id"],
                              reply.get("rows", ()),
-                             reply.get("done", False))
+                             reply.get("done", False),
+                             on_span=on_span)
         return Cursor(
             rows, None,
             system=name, query_text=text,
@@ -242,6 +272,7 @@ class RemoteDatabase:
             compile_seconds=stats.get("compile_seconds", 0.0),
             plan_cache_hit=bool(stats.get("plan_cache_hit")),
             result_cache_hit=bool(stats.get("result_cache_hit")),
+            span=root,
         )
 
     # -- the write path -------------------------------------------------------------
@@ -292,16 +323,17 @@ class _PageIterator:
     """
 
     __slots__ = ("_database", "_cursor_id", "_buffer", "_index", "_done",
-                 "_closed")
+                 "_closed", "_on_span")
 
     def __init__(self, database: RemoteDatabase, cursor_id: str,
-                 first_rows, first_done: bool) -> None:
+                 first_rows, first_done: bool, *, on_span=None) -> None:
         self._database = database
         self._cursor_id = cursor_id
         self._buffer = list(first_rows)
         self._index = 0
         self._done = first_done
         self._closed = False
+        self._on_span = on_span         # grafts a server span subtree
 
     def __iter__(self) -> "_PageIterator":
         return self
@@ -318,6 +350,8 @@ class _PageIterator:
                 {"kind": "fetch", "cursor_id": self._cursor_id,
                  "n": self._database.page_size})
             self._done = reply["done"]
+            if self._on_span is not None and reply.get("span"):
+                self._on_span(reply["span"])
             self._buffer = list(reply["rows"])
             self._index = 0
 
@@ -328,8 +362,10 @@ class _PageIterator:
         self._closed = True
         if not self._done and not self._database._closed:
             try:
-                self._database._client.request(
+                reply = self._database._client.request(
                     {"kind": "close_cursor", "cursor_id": self._cursor_id})
+                if self._on_span is not None and reply.get("span"):
+                    self._on_span(reply["span"])
             except (XMarkError, OSError):
                 pass
 
@@ -357,15 +393,20 @@ def parse_url(url: str) -> tuple[str, int, str]:
 
 def connect_url(url: str, *, tenant: str | None = None,
                 page_size: int | None = None,
-                timeout: float | None = 30.0) -> RemoteDatabase:
+                timeout: float | None = 30.0, tracing: bool = False,
+                trace_log=None) -> RemoteDatabase:
     """Open a remote database from an ``xmark://host:port/doc`` URL.
 
     This is what ``repro.connect`` delegates to when handed such a URL;
     the returned :class:`RemoteDatabase` serves sessions, prepared
     queries, streaming cursors, and transactions with the embedded
-    API's own classes.
+    API's own classes.  ``tracing=True`` starts a distributed trace per
+    query — the server's span subtree comes back in the reply and
+    ``cursor.profile()`` shows one joined tree; ``trace_log`` appends
+    each finished root to a JSON-lines file, as in the embedded facade.
     """
     host, port, document = parse_url(url)
     client = WireClient(host, port, document=document, tenant=tenant,
                         timeout=timeout)
-    return RemoteDatabase(client, page_size=page_size, url=url)
+    return RemoteDatabase(client, page_size=page_size, url=url,
+                          tracing=tracing, trace_log=trace_log)

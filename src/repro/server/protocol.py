@@ -10,9 +10,28 @@ client can pipeline but never needs to demultiplex.
 
 The module owns everything both ends must agree on: the frame codec
 (async reader side and blocking socket side), the parameter-binding
-substitution, the update-operation encoding, and the two-way mapping
-between :mod:`repro.errors` exception types and wire error codes —
-kept in one place so client and server cannot drift apart.
+substitution, the update-operation encoding, the trace-context field,
+and the two-way mapping between :mod:`repro.errors` exception types and
+wire error codes — kept in one place so client and server cannot drift
+apart.
+
+**Trace context.**  Any request may carry an optional ``trace`` object::
+
+    {"kind": "execute", ..., "trace": {"trace_id": "a1b2c3d4e5f6",
+                                       "parent": "a1b2c3d4e5f6/0",
+                                       "sampled": true}}
+
+``trace_id`` names the distributed trace the client started, ``parent``
+is the client-side span the server's ``server.request`` span should
+logically hang under, and ``sampled`` is the client's head-sampling
+decision — the server honors it instead of rolling its own, so one
+trace is never half-kept.  In the other direction, the reply that
+completes a cursor (an ``execute`` reply with ``done: true``, the final
+``fetch``, or the ``close_cursor`` ack) may carry a ``span`` field: the
+server-side span tree for that query in ``Span.to_dict()`` form, which
+the client grafts into its own root so ``cursor.profile()`` shows one
+joined tree.  Both fields are optional in both directions; an end that
+does not understand them ignores them.
 """
 
 from __future__ import annotations
@@ -133,6 +152,27 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+# -- trace context -------------------------------------------------------------------
+
+
+def decode_trace(payload: dict) -> dict | None:
+    """The validated ``trace`` context of one request, or ``None``.
+
+    A malformed context is dropped rather than refused: tracing is
+    advisory metadata, and a client bug here must not fail the query.
+    """
+    context = payload.get("trace")
+    if not isinstance(context, dict):
+        return None
+    trace_id = context.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    parent = context.get("parent")
+    return {"trace_id": trace_id,
+            "parent": parent if isinstance(parent, str) else None,
+            "sampled": bool(context.get("sampled", True))}
 
 
 # -- parameter bindings --------------------------------------------------------------

@@ -40,7 +40,8 @@ from repro.errors import (
     ClosedCursorError, ProtocolError, ServerBusyError, XMarkError,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER
+from repro.obs.querylog import QueryLogWriter
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, TraceSampler
 from repro.server import protocol
 from repro.server.tenants import (
     DEFAULT_TENANT, TenantQuota, TenantRegistry, TenantState,
@@ -107,17 +108,27 @@ class ServedDocument:
 class _ServerCursor:
     """One open cursor on one connection: a db cursor plus paging state."""
 
-    __slots__ = ("cursor", "system", "query")
+    __slots__ = ("cursor", "system", "query", "query_ref", "tenant",
+                 "sampled", "started", "rows_sent")
 
-    def __init__(self, cursor: Cursor, system: str, query: str) -> None:
+    def __init__(self, cursor: Cursor, system: str, query: str, *,
+                 query_ref=None, tenant: str | None = None,
+                 sampled: bool = True,
+                 started: float | None = None) -> None:
         self.cursor = cursor
         self.system = system
         self.query = query
+        self.query_ref = query_ref      # the number/id the client sent
+        self.tenant = tenant
+        self.sampled = sampled          # attach the span tree to replies?
+        self.started = started if started is not None else time.perf_counter()
+        self.rows_sent = 0
 
     def page(self, n: int) -> tuple[list[str], bool]:
         """Up to ``n`` rows as rowtext strings, plus the exhausted flag."""
         cursor = self.cursor
         rows = [cursor.rowtext(item) for item in cursor.fetchmany(n)]
+        self.rows_sent += len(rows)
         return rows, cursor._exhausted
 
 
@@ -133,6 +144,8 @@ class _Connection:
         self.cursors: dict[str, _ServerCursor] = {}
         self.txn_ops: list | None = None
         self.next_id = 0
+        self.sampled = True             # head decision for the current request
+        self.busy = 0                   # server_busy refusals since last log record
 
     def fresh_id(self, prefix: str) -> str:
         self.next_id += 1
@@ -168,6 +181,10 @@ class XMarkServer:
         page_size: int = DEFAULT_PAGE_SIZE,
         registry: MetricsRegistry | None = None,
         tracer=NULL_TRACER,
+        trace_sample_rate: float = 1.0,
+        tenant_sample_rates: dict[str, float] | None = None,
+        slow_trace_ms: float | None = None,
+        query_log=None,
         default_quota: TenantQuota | None = None,
         tenant_quotas: dict[str, TenantQuota] | None = None,
         max_frame: int = protocol.MAX_FRAME,
@@ -180,6 +197,16 @@ class XMarkServer:
         self.max_frame = max_frame
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
+        # Head sampling: requests carrying no client trace context roll a
+        # deterministic per-tenant die; the slow/error tail rule can still
+        # upgrade an unsampled request's span to kept (docs/OBSERVABILITY.md).
+        self.sampler = TraceSampler(trace_sample_rate,
+                                    per_tenant=tenant_sample_rates,
+                                    slow_ms=slow_trace_ms)
+        self._owns_query_log = isinstance(query_log, (str, bytes)) or (
+            query_log is not None and not hasattr(query_log, "record"))
+        self.query_log = (QueryLogWriter(query_log) if self._owns_query_log
+                          else query_log)
         self.tenants = TenantRegistry(
             default_quota=default_quota or TenantQuota(),
             quotas=dict(tenant_quotas or {}))
@@ -243,6 +270,8 @@ class XMarkServer:
         for served in self.documents.values():
             if served.owned:
                 served.database.close()
+        if self.query_log is not None and self._owns_query_log:
+            self.query_log.close()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -260,6 +289,10 @@ class XMarkServer:
         """
         if self._active >= self.max_workers + self.queue_depth:
             self.registry.counter("server.busy_total").inc()
+            self.registry.counter(
+                "server.busy_total",
+                tenant=conn.tenant.name if conn.tenant else "-").inc()
+            conn.busy += 1
             raise ServerBusyError(
                 f"server saturated: {self._active} requests admitted "
                 f"(pool {self.max_workers}, queue {self.queue_depth}); "
@@ -369,10 +402,22 @@ class XMarkServer:
         tenant_label = conn.tenant.name if conn.tenant else "-"
         self.registry.counter("server.requests_total", kind=kind,
                               tenant=tenant_label).inc()
-        span = (self.tracer.begin("server.request", kind=kind,
-                                  tenant=tenant_label)
-                if self.tracer.enabled else None)
+        # Head sampling: the client's trace context wins (one trace is
+        # never half-kept across the wire); context-free requests roll
+        # the deterministic per-tenant die.
+        context = protocol.decode_trace(payload)
+        conn.sampled = (context["sampled"] if context is not None
+                        else self.sampler.sample(tenant_label))
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin("server.request", kind=kind,
+                                     tenant=tenant_label)
+            if context is not None:
+                span.set(trace_id=context["trace_id"])
+                if context["parent"]:
+                    span.set(parent=context["parent"])
         keep_open = True
+        error_code: str | None = None
         try:
             if kind == "bye":
                 await self._send(conn, writer,
@@ -385,15 +430,17 @@ class XMarkServer:
             reply["id"] = request_id
             await self._send(conn, writer, reply)
         except XMarkError as exc:
-            code = protocol.error_code(exc)
-            self.registry.counter("server.errors_total", code=code).inc()
+            error_code = protocol.error_code(exc)
+            self.registry.counter("server.errors_total",
+                                  code=error_code).inc()
             if span is not None:
-                span.set(error=code)
+                span.set(error=error_code)
             await self._send(conn, writer,
                              protocol.error_payload(request_id, exc))
             if conn.document is None:
                 keep_open = False       # failed handshake: hang up
         except Exception as exc:        # never let one request kill the loop
+            error_code = "internal"
             self.registry.counter("server.errors_total",
                                   code="internal").inc()
             if span is not None:
@@ -401,10 +448,28 @@ class XMarkServer:
             await self._send(conn, writer,
                              protocol.error_payload(request_id, exc))
         finally:
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
-            self.registry.histogram("server.request_ms").observe(elapsed_ms)
+            elapsed = time.perf_counter() - started
+            elapsed_ms = elapsed * 1000.0
+            # Histograms take seconds; the exporter renders *_ms fields.
+            self.registry.histogram("server.request_ms").observe(elapsed)
+            self.registry.histogram("server.request_ms",
+                                    tenant=tenant_label).observe(elapsed)
             if span is not None:
-                span.finish()
+                # Tail rule: errors and slow requests are always kept,
+                # whatever the head decision said.
+                if self.sampler.keep(conn.sampled, elapsed_ms,
+                                     error=error_code is not None):
+                    span.finish()
+                else:
+                    span.discard()
+            if (error_code is not None and kind == "execute"
+                    and self.query_log is not None):
+                busy, conn.busy = conn.busy, 0
+                self.query_log.record(
+                    source="server", tenant=tenant_label,
+                    query=payload.get("query", payload.get("query_id")),
+                    error=error_code, duration_ms=round(elapsed_ms, 3),
+                    busy=busy or None)
         return keep_open
 
     # -- request handlers -----------------------------------------------------------
@@ -439,17 +504,27 @@ class XMarkServer:
             "explain": self._do_explain,
             "digest": self._do_digest,
         }[kind]
+        db_tracer = served.database.tracer
+        if conn.sampled or not db_tracer.enabled:
+            def run():
+                return handler(conn, served, payload)
+        else:
+            # Unsampled request: the served database's instrumentation is
+            # shared by every connection, so switch it off for exactly
+            # this execution via thread-local suppression — the handler
+            # runs wholly on one worker-pool thread.
+            def run():
+                with db_tracer.suppressed():
+                    return handler(conn, served, payload)
         if kind in _WRITE_KINDS:
             await gate.acquire_write()
             try:
-                return await self._offload(
-                    conn, lambda: handler(conn, served, payload))
+                return await self._offload(conn, run)
             finally:
                 await gate.release_write()
         await gate.acquire_read()
         try:
-            return await self._offload(
-                conn, lambda: handler(conn, served, payload))
+            return await self._offload(conn, run)
         finally:
             await gate.release_read()
 
@@ -502,12 +577,11 @@ class XMarkServer:
 
     def _on_close_cursor(self, conn: _Connection, payload: dict) -> dict:
         cursor_id = payload.get("cursor_id")
-        held = conn.cursors.pop(cursor_id, None)
-        if held is not None:
-            self.tenants.close_cursor(conn.tenant)
-            held.cursor.close()
-        return {"kind": "closed", "cursor_id": cursor_id,
-                "known": held is not None}
+        known = cursor_id in conn.cursors
+        reply = {"kind": "closed", "cursor_id": cursor_id, "known": known}
+        if known:
+            self._finish_cursor(conn, cursor_id, reply)
+        return reply
 
     def _on_begin(self, conn: _Connection) -> dict:
         if conn.txn_ops is not None:
@@ -569,12 +643,26 @@ class XMarkServer:
 
     def _do_execute(self, conn: _Connection, served: ServedDocument,
                     payload: dict) -> dict:
+        started = time.perf_counter()   # before compile: duration_ms covers it
         system, text, compiled = self._resolve_query(conn, served, payload)
+        tenant_name = conn.tenant.name
         cursor = served.database.execute(
             system, text, stream=True, compiled=compiled,
-            tenant=conn.tenant.name)
+            tenant=tenant_name)
         self.tenants.open_cursor(conn.tenant)
-        held = _ServerCursor(cursor, system, text)
+        self.registry.counter("server.executes_total",
+                              tenant=tenant_name).inc()
+        if cursor.plan_cache_hit:
+            self.registry.counter("server.plan_cache_hits_total",
+                                  tenant=tenant_name).inc()
+        if cursor.result_cache_hit:
+            self.registry.counter("server.result_cache_hits_total",
+                                  tenant=tenant_name).inc()
+        held = _ServerCursor(cursor, system, text,
+                             query_ref=payload.get("query",
+                                                   payload.get("query_id")),
+                             tenant=tenant_name, sampled=conn.sampled,
+                             started=started)
         cursor_id = conn.fresh_id("c")
         conn.cursors[cursor_id] = held
         reply = {
@@ -594,7 +682,7 @@ class XMarkServer:
             reply["rows"] = rows
             reply["done"] = done
             if done:
-                self._drop_cursor(conn, cursor_id)
+                self._finish_cursor(conn, cursor_id, reply)
         return reply
 
     def _page_arg(self, value) -> int:
@@ -611,6 +699,45 @@ class XMarkServer:
             self.tenants.close_cursor(conn.tenant)
             held.cursor.close()
 
+    def _finish_cursor(self, conn: _Connection, cursor_id: str,
+                       reply: dict | None = None) -> None:
+        """Close a completed cursor: finish + attach its span, log it.
+
+        The reply completing a cursor (inline-done execute, final fetch,
+        or close ack) carries the server-side span tree when the query
+        was sampled, so the client can graft it into its own trace.
+        """
+        held = conn.cursors.pop(cursor_id, None)
+        if held is None:
+            return
+        self.tenants.close_cursor(conn.tenant)
+        held.cursor.close()             # finishes the query span with rows
+        span = held.cursor.profile()
+        traced = (held.sampled and span is not None and span is not NULL_SPAN
+                  and span.finished)
+        if traced and reply is not None:
+            reply["span"] = span.to_dict()
+        self._log_query(conn, held, span if traced else None)
+
+    def _log_query(self, conn: _Connection, held: _ServerCursor,
+                   span) -> None:
+        if self.query_log is None:
+            return
+        duration_ms = (time.perf_counter() - held.started) * 1000.0
+        wire_ms = None
+        if span is not None and span.duration is not None:
+            wire_ms = round(max(0.0, duration_ms - span.duration * 1000.0), 4)
+        busy, conn.busy = conn.busy, 0
+        cursor = held.cursor
+        self.query_log.record(
+            source="server", span=span, tenant=held.tenant,
+            system=held.system, query=held.query_ref,
+            query_text=held.query, rows=held.rows_sent,
+            duration_ms=round(duration_ms, 3), wire_ms=wire_ms,
+            plan_cache_hit=cursor.plan_cache_hit,
+            result_cache_hit=cursor.result_cache_hit,
+            busy=busy or None)
+
     def _do_fetch(self, conn: _Connection, served: ServedDocument,
                   payload: dict) -> dict:
         cursor_id = payload.get("cursor_id")
@@ -625,10 +752,11 @@ class XMarkServer:
             # entry, then surface the typed error to the client.
             self._drop_cursor(conn, cursor_id)
             raise
+        reply = {"kind": "rows", "cursor_id": cursor_id, "rows": rows,
+                 "done": done}
         if done:
-            self._drop_cursor(conn, cursor_id)
-        return {"kind": "rows", "cursor_id": cursor_id, "rows": rows,
-                "done": done}
+            self._finish_cursor(conn, cursor_id, reply)
+        return reply
 
     def _do_commit(self, conn: _Connection, served: ServedDocument,
                    payload: dict) -> dict:

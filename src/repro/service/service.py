@@ -118,6 +118,7 @@ class QueryService:
         shard_spec: ShardSpec | None = None,
         tracer=NULL_TRACER,
         durability=None,
+        query_log=None,
     ) -> None:
         if max_workers <= 0:
             raise BenchmarkError(f"max_workers must be positive, got {max_workers}")
@@ -141,6 +142,14 @@ class QueryService:
         self.plan_cache = PlanCache(plan_cache_size)
         self.result_cache = ResultCache(result_cache_size)
         self.metrics = ServiceMetrics()
+        # Structured per-query JSON-lines log (docs/OBSERVABILITY.md);
+        # a path constructs a writer the service owns and closes.
+        self._owns_query_log = query_log is not None and not hasattr(
+            query_log, "record")
+        if self._owns_query_log:
+            from repro.obs.querylog import QueryLogWriter
+            query_log = QueryLogWriter(query_log)
+        self.query_log = query_log
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="xmark-query")
         self._closed = False
@@ -467,6 +476,8 @@ class QueryService:
             self._pool.shutdown(wait=True)
             if self._shard_executor is not None:
                 self._shard_executor.close()
+            if self.query_log is not None and self._owns_query_log:
+                self.query_log.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -527,6 +538,12 @@ class QueryService:
                 self.metrics.record_error(system=system)
                 if root is not None:
                     root.set(error=type(exc).__name__).finish()
+                if self.query_log is not None:
+                    self.query_log.record(
+                        source="service", span=root, system=system,
+                        query_text=text, error=type(exc).__name__,
+                        duration_ms=round(
+                            (time.perf_counter() - submitted) * 1000.0, 3))
                 raise
             finally:
                 gate.release()
@@ -544,6 +561,15 @@ class QueryService:
                      plan_cache_hit=outcome.plan_cache_hit,
                      result_cache_hit=outcome.result_cache_hit).finish()
             outcome = dataclass_replace(outcome, span=root)
+        if self.query_log is not None:
+            self.query_log.record(
+                source="service", span=root, system=system,
+                query_text=text, rows=outcome.result_size,
+                duration_ms=round(
+                    (outcome.finished - outcome.submitted) * 1000.0, 3),
+                queue_ms=round(outcome.queue_seconds * 1000.0, 3),
+                plan_cache_hit=outcome.plan_cache_hit,
+                result_cache_hit=outcome.result_cache_hit)
         return outcome
 
     def _run_query(self, system: str, text: str, submitted: float,
