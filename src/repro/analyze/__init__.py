@@ -1,0 +1,40 @@
+"""Static concurrency & correctness analysis for the xmark tree.
+
+``xmark lint`` (or ``python -m repro.analyze``) runs five zero-
+dependency AST passes over a shared project model — module graph,
+class/attr table, lock registry — and gates CI on *new* findings
+relative to the committed ``docs/LINT_BASELINE.json``.  The runtime
+half, :mod:`repro.analyze.lockwitness`, is a pytest plugin recording
+real per-thread lock acquisition orders so the static graph and the
+dynamic witness cross-check each other.  See ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from .engine import LintResult, default_baseline_path, default_src_root, \
+    main, run_lint
+from .findings import Finding, build_lint_report, load_baseline, \
+    save_baseline
+from .lockwitness import LockWitness, cross_check
+from .model import LockInfo, Project, build_lock_graph, find_lock_cycles
+from .rules import ALL_RULES, Rule
+
+__all__ = [
+    "Project",
+    "LockInfo",
+    "Finding",
+    "Rule",
+    "ALL_RULES",
+    "LintResult",
+    "run_lint",
+    "main",
+    "build_lock_graph",
+    "find_lock_cycles",
+    "build_lint_report",
+    "load_baseline",
+    "save_baseline",
+    "default_src_root",
+    "default_baseline_path",
+    "LockWitness",
+    "cross_check",
+]

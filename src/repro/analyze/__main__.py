@@ -1,0 +1,10 @@
+"""``python -m repro.analyze`` — the standalone lint entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The ``xmark lint`` engine: load, run rules, gate, report."""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import (Finding, apply_suppressions, build_lint_report,
+                       load_baseline, partition_new, save_baseline)
+from .model import Project
+from .rules import ALL_RULES
+
+__all__ = ["LintResult", "run_lint", "default_src_root",
+           "default_baseline_path", "main"]
+
+#: src/ directory this package was loaded from (…/src/repro/analyze).
+_SRC_ROOT = Path(__file__).resolve().parents[2]
+
+
+def default_src_root() -> Path:
+    return _SRC_ROOT
+
+
+def default_baseline_path() -> Path:
+    return _SRC_ROOT.parent / "docs" / "LINT_BASELINE.json"
+
+
+@dataclass
+class LintResult:
+    project: Project
+    findings: list[Finding]
+    new: list[Finding]
+    baselined: list[Finding]
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def report(self, root: str) -> dict:
+        return build_lint_report(self.findings, self.new, self.timings,
+                                 root=root)
+
+
+def run_lint(root: Path | str, package: str | None = "repro",
+             rule_ids: set[str] | None = None,
+             baseline: Path | str | None = None) -> LintResult:
+    """Run the selected rules over *root* and gate against *baseline*."""
+    project = Project.load(root, package=package)
+    findings: list[Finding] = []
+    timings: dict[str, float] = {}
+    for rule_cls in ALL_RULES:
+        rule = rule_cls()
+        if rule_ids is not None and rule.id not in rule_ids:
+            continue
+        start = time.perf_counter()
+        findings.extend(rule.run(project))
+        timings[rule.id] = time.perf_counter() - start
+    findings = apply_suppressions(project, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    known = load_baseline(baseline) if baseline is not None else set()
+    new, baselined = partition_new(findings, known)
+    return LintResult(project=project, findings=findings, new=new,
+                      baselined=baselined, timings=timings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point shared by ``xmark lint`` and ``-m repro.analyze``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="xmark lint",
+        description="AST-based concurrency & correctness analyzer")
+    parser.add_argument("--root", default=None,
+                        help="source root to analyse (default: the src/ "
+                             "directory this package runs from)")
+    parser.add_argument("--package", default="repro",
+                        help="top-level package filter under --root; "
+                             "pass '' to lint every module (default: "
+                             "repro)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="write the findings report here")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: docs/"
+                             "LINT_BASELINE.json when linting the repo; "
+                             "none with an explicit --root)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "active findings and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress per-finding lines")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.id:18} {rule_cls.title}")
+        return 0
+
+    explicit_root = args.root is not None
+    root = Path(args.root) if explicit_root else default_src_root()
+    package = args.package or None
+    baseline: Path | None
+    if args.baseline is not None:
+        baseline = Path(args.baseline)
+    elif explicit_root:
+        baseline = None
+    else:
+        baseline = default_baseline_path()
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = {r.strip() for r in args.rules.split(",") if r.strip()}
+
+    result = run_lint(root, package=package, rule_ids=rule_ids,
+                      baseline=baseline)
+
+    if args.update_baseline:
+        target = baseline or default_baseline_path()
+        save_baseline(target, result.findings)
+        print(f"baseline updated: {target} "
+              f"({len([f for f in result.findings if not f.suppressed])} "
+              "findings)")
+        return 0
+
+    if not args.quiet:
+        for finding in result.findings:
+            print(finding.format())
+        for finding in result.baselined:
+            print(f"(baselined) {finding.format()}")
+
+    if args.json_path:
+        report = result.report(root=str(root))
+        Path(args.json_path).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+
+    active = [f for f in result.findings if not f.suppressed]
+    suppressed = len(result.findings) - len(active)
+    print(f"lint: {len(result.new)} new, {len(result.baselined)} "
+          f"baselined, {suppressed} suppressed "
+          f"({len(result.project.modules)} modules, "
+          f"{len(result.project.locks)} registered locks)")
+    return 0 if result.ok else 1

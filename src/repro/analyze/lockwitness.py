@@ -1,0 +1,282 @@
+"""Runtime lock-order witness: the dynamic half of ``xmark lint``.
+
+Sanitizer-style wiring: :func:`LockWitness.install` replaces the
+``threading`` lock factories (``Lock`` / ``RLock`` / ``Semaphore`` /
+``BoundedSemaphore``) with wrappers that, **only for locks allocated
+from repro source files**, return recording proxies.  Every proxy
+acquisition consults the calling thread's held-lock stack and records an
+ordering edge ``held-site -> acquired-site``; locks are keyed by their
+allocation site (``repro/service/cache.py:83``), which is exactly how
+the static registry keys them — so the dynamic graph and the static
+graph join losslessly in :func:`cross_check`.
+
+Stdlib-internal locks (thread pools, queues, logging) are allocated
+from stdlib frames and stay unwrapped: the witness never perturbs
+machinery it does not measure.
+
+The module doubles as a pytest plugin::
+
+    python -m pytest -p repro.analyze.lockwitness --lockwitness ...
+
+which installs the witness for the whole session and fails the run
+(exit 1) if the recorded acquisition orders contain any cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from pathlib import Path
+
+from .model import build_lock_graph, find_lock_cycles
+
+__all__ = ["LockWitness", "active_witness", "cross_check"]
+
+#: src/ root (…/src/repro/analyze/lockwitness.py -> parents[2]).
+_SRC_ROOT = Path(__file__).resolve().parents[2]
+#: Default allocation-site filter: the repro package itself.
+_DEFAULT_PREFIXES = (str(_SRC_ROOT / "repro"),)
+
+# ``Lock`` and ``RLock`` are stdlib factory *functions* — replacing them
+# is safe, internal callers just call through.  ``BoundedSemaphore`` is a
+# class nothing in the stdlib references by name, so it can be shadowed
+# too.  ``Semaphore`` must stay untouched: ``BoundedSemaphore.__init__``
+# calls ``Semaphore.__init__(self, value)`` unbound through the module
+# global, and a shadowing function would silently skip initialisation.
+_FACTORIES = ("Lock", "RLock", "BoundedSemaphore")
+
+
+class _WitnessedLock:
+    """Records acquisition order around a real threading lock."""
+
+    __slots__ = ("_lock", "_site", "_witness")
+
+    def __init__(self, lock, site: str, witness: "LockWitness") -> None:
+        self._lock = lock
+        self._site = site
+        self._witness = witness
+
+    def acquire(self, *args, **kwargs):
+        got = self._lock.acquire(*args, **kwargs)
+        if got:
+            self._witness._note_acquire(self._site)
+        return got
+
+    def release(self, *args, **kwargs):
+        self._witness._note_release(self._site)
+        return self._lock.release(*args, **kwargs)
+
+    def locked(self):
+        return self._lock.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<witnessed {self._lock!r} @ {self._site}>"
+
+
+class LockWitness:
+    """Per-thread acquisition-order recorder over the lock factories."""
+
+    def __init__(self, prefixes: tuple[str, ...] = _DEFAULT_PREFIXES,
+                 src_root: Path | str = _SRC_ROOT) -> None:
+        self.prefixes = tuple(str(Path(p).resolve()) for p in prefixes)
+        self.src_root = Path(src_root).resolve()
+        self._orig: dict[str, object] = {}
+        self._meta = threading.Lock()   # created before install(): real lock
+        self._tls = threading.local()
+        self._edges: dict[tuple[str, str], int] = {}
+        self._sites: set[str] = set()
+        self.installed = False
+
+    # -- factory interception -------------------------------------------
+
+    def install(self) -> None:
+        if self.installed:
+            return
+        for name in _FACTORIES:
+            orig = getattr(threading, name)
+            self._orig[name] = orig
+            setattr(threading, name, self._make_factory(orig))
+        self.installed = True
+
+    def uninstall(self) -> None:
+        if not self.installed:
+            return
+        for name, orig in self._orig.items():
+            setattr(threading, name, orig)
+        self._orig.clear()
+        self.installed = False
+
+    def __enter__(self) -> "LockWitness":
+        self.install()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.uninstall()
+        return False
+
+    def _make_factory(self, orig):
+        def factory(*args, **kwargs):
+            real = orig(*args, **kwargs)
+            # Attribute the allocation to the first frame outside this
+            # module: with stacked witnesses (the pytest plugin active
+            # while a test installs its own), the inner factory would
+            # otherwise see the outer factory's frame — which lives in
+            # repro source — and wrap locks it must leave alone.
+            frame = sys._getframe(1)
+            while frame is not None \
+                    and frame.f_code.co_filename == __file__:
+                frame = frame.f_back
+            site = self._site_for(frame) if frame is not None else None
+            if site is None:
+                return real
+            with self._meta:
+                self._sites.add(site)
+            return _WitnessedLock(real, site, self)
+        return factory
+
+    def _site_for(self, frame) -> str | None:
+        filename = frame.f_code.co_filename
+        for prefix in self.prefixes:
+            if filename.startswith(prefix):
+                try:
+                    rel = Path(filename).resolve().relative_to(
+                        self.src_root).as_posix()
+                except ValueError:
+                    rel = Path(filename).name
+                return f"{rel}:{frame.f_lineno}"
+        return None
+
+    # -- recording -------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _note_acquire(self, site: str) -> None:
+        stack = self._stack()
+        if stack:
+            with self._meta:
+                for held in stack:
+                    if held != site:
+                        key = (held, site)
+                        self._edges[key] = self._edges.get(key, 0) + 1
+        stack.append(site)
+
+    def _note_release(self, site: str) -> None:
+        stack = self._stack()
+        for idx in range(len(stack) - 1, -1, -1):
+            if stack[idx] == site:
+                del stack[idx]
+                break
+
+    # -- results ----------------------------------------------------------
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        with self._meta:
+            return dict(self._edges)
+
+    def cycles(self) -> list[list[str]]:
+        return find_lock_cycles(set(self.edges()))
+
+    def report(self) -> dict:
+        edges = self.edges()
+        return {
+            "sites": sorted(self._sites),
+            "edges": [[a, b, count]
+                      for (a, b), count in sorted(edges.items())],
+            "cycles": find_lock_cycles(set(edges)),
+        }
+
+
+def cross_check(witness: LockWitness, project=None) -> dict:
+    """Join the dynamic witness graph with the static lock graph.
+
+    Dynamic sites that correspond to registered allocation sites are
+    renamed to their static lock ids; the check then reports cycles in
+    the dynamic graph alone, cycles in the union graph (a dynamic edge
+    inverting a statically-proven order), and the dynamic edges the
+    static pass could not prove (dispatch the AST cannot resolve).
+    """
+    if project is None:
+        from .model import Project
+        project = Project.load(_SRC_ROOT, package="repro")
+    site_to_lock = {f"{lock.path}:{lock.line}": lock.lock_id
+                    for lock in project.locks.values()}
+    static_edges = set(build_lock_graph(project))
+    dynamic_edges: set[tuple[str, str]] = set()
+    dynamic_only: list[tuple[str, str]] = []
+    for a, b in witness.edges():
+        edge = (site_to_lock.get(a, a), site_to_lock.get(b, b))
+        dynamic_edges.add(edge)
+        if edge not in static_edges:
+            dynamic_only.append(edge)
+    return {
+        "dynamic_cycles": find_lock_cycles(dynamic_edges),
+        "union_cycles": find_lock_cycles(static_edges | dynamic_edges),
+        "dynamic_only_edges": sorted(dynamic_only),
+        "dynamic_edges": sorted(dynamic_edges),
+        "static_edges": sorted(static_edges),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest plugin surface (``-p repro.analyze.lockwitness --lockwitness``)
+# ---------------------------------------------------------------------------
+
+_active: LockWitness | None = None
+
+
+def active_witness() -> LockWitness | None:
+    """The session witness while the pytest plugin is installed."""
+    return _active
+
+
+def pytest_addoption(parser) -> None:
+    group = parser.getgroup("lockwitness")
+    group.addoption(
+        "--lockwitness", action="store_true", default=False,
+        help="record per-thread lock acquisition orders for repro locks "
+             "and fail the session on any ordering cycle")
+    group.addoption(
+        "--lockwitness-json", default=None, metavar="PATH",
+        help="write the recorded lock-order graph to PATH")
+
+
+def pytest_configure(config) -> None:
+    global _active
+    if config.getoption("--lockwitness"):
+        _active = LockWitness()
+        _active.install()
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    global _active
+    if _active is None:
+        return
+    witness = _active
+    _active = None
+    witness.uninstall()
+    report = witness.report()
+    json_path = session.config.getoption("--lockwitness-json")
+    if json_path:
+        Path(json_path).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    summary = (f"lockwitness: {len(report['sites'])} lock sites, "
+               f"{len(report['edges'])} ordering edges, "
+               f"{len(report['cycles'])} cycles")
+    print(f"\n{summary}")
+    if report["cycles"]:
+        for cycle in report["cycles"]:
+            print("lockwitness CYCLE: " + " <-> ".join(cycle))
+        session.exitstatus = 1

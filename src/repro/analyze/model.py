@@ -1,0 +1,814 @@
+"""Shared project model for the ``xmark lint`` static-analysis passes.
+
+Every rule in :mod:`repro.analyze.rules` runs over one :class:`Project`:
+a parsed view of the source tree holding
+
+* the **module graph** — every module under the analysis root, its AST,
+  its import aliases, and its ``# lint: ok(...)`` suppression comments;
+* the **class/attr table** — classes with their methods, resolved base
+  classes, and the ``self.attr = ClassName(...)`` attribute types
+  harvested from ``__init__`` (used to resolve ``self.cache.put(...)``
+  style calls across classes);
+* the **lock registry** — every ``threading.Lock`` / ``RLock`` /
+  ``Semaphore`` / ``BoundedSemaphore`` allocation site, keyed by its
+  owning class attribute (or module global), including collection sites
+  such as ``self._gates = [threading.BoundedSemaphore(n) for ...]``;
+* per-function **summaries** — a lexical timeline walk of each function
+  recording lock acquisitions, call sites, ``self.*`` writes, awaits and
+  yields, each tagged with the set of registry locks held at that point.
+
+The model is zero-dependency (stdlib ``ast`` only) and deliberately
+over-approximates: rules own the judgement calls, the model only
+answers "what does the code do, and under which locks".
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "LOCK_FACTORIES",
+    "MUTATOR_METHODS",
+    "Suppression",
+    "LockInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "CallSite",
+    "FunctionSummary",
+    "Project",
+    "build_lock_graph",
+    "find_lock_cycles",
+    "dotted_name",
+]
+
+#: ``threading`` factory callables whose results the lock registry tracks.
+LOCK_FACTORIES = ("Lock", "RLock", "Semaphore", "BoundedSemaphore")
+
+#: Method names that mutate their receiver in place — a call to
+#: ``self.attr.append(...)`` counts as a write to ``attr``.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "setdefault", "update",
+    "move_to_end", "sort", "reverse",
+})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ok\(\s*([A-Za-z0-9_-]+)\s*\)\s*(?:[-—–:]+\s*(\S.*?))?\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# lint: ok(rule-id) — reason`` marker."""
+
+    rule: str
+    reason: str
+    comment_line: int
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One lock allocation site from the registry."""
+
+    lock_id: str          #: stable id, ``module:Class.attr`` or ``module:NAME``
+    kind: str             #: Lock | RLock | Semaphore | BoundedSemaphore
+    module: str           #: dotted module holding the allocation
+    path: str             #: repo-relative posix path
+    line: int             #: allocation line (the factory call)
+    owner: str | None     #: owning class name, None for module globals
+    attr: str             #: attribute / global name the lock is bound to
+    collection: bool      #: allocated inside a list/dict/set display or comp
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    base_names: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict)
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    attr_types: dict[str, tuple[str, str]] = field(default_factory=dict)
+    init_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module.name}:{self.name}"
+
+    def mro(self, project: "Project") -> Iterator["ClassInfo"]:
+        """This class followed by its resolvable bases, depth-first."""
+        seen: set[str] = set()
+        stack: list[ClassInfo] = [self]
+        while stack:
+            cls = stack.pop(0)
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            yield cls
+            for base in cls.base_names:
+                resolved = project.resolve_class(cls.module, base)
+                if resolved is not None:
+                    stack.append(resolved)
+
+    def find_lock(self, project: "Project", attr: str) -> LockInfo | None:
+        for cls in self.mro(project):
+            if attr in cls.locks:
+                return cls.locks[attr]
+        return None
+
+    def all_locks(self, project: "Project") -> dict[str, LockInfo]:
+        merged: dict[str, LockInfo] = {}
+        for cls in self.mro(project):
+            for attr, lock in cls.locks.items():
+                merged.setdefault(attr, lock)
+        return merged
+
+    def find_method(self, project: "Project", name: str):
+        """Resolve a method to ``(defining ClassInfo, node)`` or None."""
+        for cls in self.mro(project):
+            if name in cls.methods:
+                return cls, cls.methods[name]
+        return None
+
+    def find_attr_type(self, project: "Project", attr: str):
+        for cls in self.mro(project):
+            if attr in cls.attr_types:
+                return cls.attr_types[attr]
+        return None
+
+
+@dataclass
+class ModuleInfo:
+    name: str                    #: dotted module name
+    path: Path                   #: absolute source path
+    rel: str                     #: path relative to the analysis root
+    tree: ast.Module
+    source_lines: list[str]
+    imports: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(
+        default_factory=dict)
+    module_locks: dict[str, LockInfo] = field(default_factory=dict)
+    #: code line -> suppressions that apply to findings on that line
+    suppressions: dict[int, list[Suppression]] = field(default_factory=dict)
+
+    def suppression_for(self, line: int, rule: str) -> Suppression | None:
+        for sup in self.suppressions.get(line, ()):  # pragma: no branch
+            if sup.rule == rule:
+                return sup
+        return None
+
+
+@dataclass
+class CallSite:
+    line: int
+    held: frozenset[str]
+    name: str                 #: dotted textual form, e.g. ``time.sleep``
+    node: ast.Call
+    callee: str | None = None  #: resolved summary qualname, if any
+
+
+@dataclass
+class FunctionSummary:
+    qualname: str             #: ``module:Class.method`` or ``module:func``
+    module: ModuleInfo
+    cls: ClassInfo | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    decorators: set[str] = field(default_factory=set)
+    #: (lock_id, line, locks already held when acquiring)
+    acquisitions: list[tuple[str, int, frozenset[str]]] = field(
+        default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: (attr, line, held, node) — assignments / in-place mutations of self.attr
+    self_writes: list[tuple[str, int, frozenset[str], ast.AST]] = field(
+        default_factory=list)
+    awaits: list[tuple[int, frozenset[str]]] = field(default_factory=list)
+    yields: list[tuple[int, frozenset[str]]] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` textual form of an attribute/name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if isinstance(node, ast.Call):
+        inner = dotted_name(node.func)
+        return f"{inner}()" if inner else None
+    return None
+
+
+def _harvest_suppressions(lines: list[str]) -> dict[int, list[Suppression]]:
+    """Map code lines to the ``# lint: ok(...)`` markers covering them.
+
+    A marker on a code line covers that line; a marker on a comment-only
+    line covers the next line that carries code.
+    """
+    out: dict[int, list[Suppression]] = {}
+    pending: list[Suppression] = []
+    for idx, raw in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(raw)
+        stripped = raw.strip()
+        is_comment_only = stripped.startswith("#")
+        if match:
+            sup = Suppression(rule=match.group(1),
+                              reason=(match.group(2) or "").strip(),
+                              comment_line=idx)
+            if is_comment_only:
+                pending.append(sup)
+            else:
+                out.setdefault(idx, []).append(sup)
+                for p in pending:
+                    out.setdefault(idx, []).append(p)
+                pending = []
+        elif stripped and not is_comment_only:
+            if pending:
+                for p in pending:
+                    out.setdefault(idx, []).append(p)
+                pending = []
+    return out
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Lexical timeline walk of one function body.
+
+    Tracks the set of registry locks held at each point (``with lock:``
+    blocks scope-exactly; bare ``.acquire()`` / ``.release()`` calls are
+    tracked in statement order, which matches the ``acquire(); try: ...
+    finally: release()`` idiom used throughout the tree).
+    """
+
+    def __init__(self, project: "Project", summary: FunctionSummary) -> None:
+        self.project = project
+        self.summary = summary
+        self.held: set[str] = set()
+        self.aliases: dict[str, str] = {}   # local name -> lock_id
+
+    # -- lock expression resolution ------------------------------------
+
+    def resolve_lock(self, node: ast.expr) -> LockInfo | None:
+        cls = self.summary.cls
+        module = self.summary.module
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and cls is not None):
+            return cls.find_lock(self.project, node.attr)
+        if isinstance(node, ast.Name):
+            if node.id in self.aliases:
+                return self.project.locks.get(self.aliases[node.id])
+            lock = module.module_locks.get(node.id)
+            if lock is not None:
+                return lock
+            target = module.imports.get(node.id)
+            if target is not None:
+                return self.project.lock_by_target(target)
+        return None
+
+    # -- traversal ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is self.summary.node:
+            for stmt in node.body:
+                self.visit(stmt)
+        # nested defs run on other timelines (worker pool, callbacks):
+        # they are summarised separately and not folded into this one.
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_With(self, node: ast.With | ast.AsyncWith) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            lock = self.resolve_lock(item.context_expr)
+            if lock is not None:
+                self.summary.acquisitions.append(
+                    (lock.lock_id, item.context_expr.lineno,
+                     frozenset(self.held)))
+                if lock.lock_id not in self.held:
+                    self.held.add(lock.lock_id)
+                    entered.append(lock.lock_id)
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for lock_id in entered:
+            self.held.discard(lock_id)
+
+    visit_AsyncWith = visit_With
+
+    def _lock_method_call(self, call: ast.Call) -> bool:
+        """Record ``lock.acquire()`` / ``lock.release()`` timelines."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in ("acquire", "release"):
+            return False
+        lock = self.resolve_lock(func.value)
+        if lock is None:
+            return False
+        if func.attr == "acquire":
+            self.summary.acquisitions.append(
+                (lock.lock_id, call.lineno, frozenset(self.held)))
+            self.held.add(lock.lock_id)
+        else:
+            self.held.discard(lock.lock_id)
+        return True
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            lock = self.resolve_lock(node.value)
+            if lock is not None:
+                self.aliases[node.targets[0].id] = lock.lock_id
+        for target in node.targets:
+            self._record_write_target(target, node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self._record_write_target(node.target, node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self._record_write_target(node.target, node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_write_target(target, node)
+
+    def _record_write_target(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_write_target(elt, node)
+            return
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self.summary.self_writes.append(
+                (target.attr, node.lineno, frozenset(self.held), node))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._lock_method_call(node):
+            for arg in node.args:
+                self.visit(arg)
+            return
+        func = node.func
+        # self.attr.append(...)-style in-place mutation counts as a write
+        if (isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS):
+            base = func.value
+            if isinstance(base, ast.Subscript):
+                base = base.value
+            if (isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"):
+                self.summary.self_writes.append(
+                    (base.attr, node.lineno, frozenset(self.held), node))
+        name = dotted_name(func)
+        self.summary.calls.append(CallSite(
+            line=node.lineno, held=frozenset(self.held),
+            name=name or "<dynamic>", node=node))
+        self.generic_visit(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self.summary.awaits.append((node.lineno, frozenset(self.held)))
+        self.visit(node.value)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self.summary.yields.append((node.lineno, frozenset(self.held)))
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        self.summary.yields.append((node.lineno, frozenset(self.held)))
+        self.visit(node.value)
+
+
+class Project:
+    """The parsed source tree all rules share."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.locks: dict[str, LockInfo] = {}
+        self.summaries: dict[str, FunctionSummary] = {}
+        self._may_acquire: dict[str, frozenset[str]] | None = None
+
+    # -- loading --------------------------------------------------------
+
+    @classmethod
+    def load(cls, root: Path | str, package: str | None = None) -> "Project":
+        """Parse every ``*.py`` under *root*.
+
+        *root* is a source root: module names derive from the path
+        relative to it (``src`` layout callers pass ``src``).  When
+        *package* is given only files under that top-level package are
+        loaded.
+        """
+        root = Path(root).resolve()
+        project = cls(root)
+        paths = sorted(root.rglob("*.py"))
+        for path in paths:
+            rel = path.relative_to(root)
+            parts = list(rel.with_suffix("").parts)
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            if package is not None and (not parts or parts[0] != package):
+                continue
+            name = ".".join(parts) if parts else package or rel.stem
+            project._load_module(name, path, rel.as_posix())
+        project._link()
+        return project
+
+    def _load_module(self, name: str, path: Path, rel: str) -> None:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        module = ModuleInfo(
+            name=name, path=path, rel=rel, tree=tree,
+            source_lines=source.splitlines(),
+            suppressions=_harvest_suppressions(source.splitlines()))
+        self._harvest_imports(module)
+        self._harvest_defs(module)
+        self.modules[name] = module
+
+    @staticmethod
+    def _harvest_imports(module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name.split(".")[0]] \
+                        = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:
+                    # resolve "from .x import y" against the module package
+                    pkg_parts = module.name.split(".")
+                    pkg_parts = pkg_parts[:len(pkg_parts) - node.level]
+                    base = ".".join(pkg_parts + [node.module])
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}"
+
+    def _harvest_defs(self, module: ModuleInfo) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(name=node.name, module=module, node=node)
+                info.base_names = [
+                    b for b in (dotted_name(base) for base in node.bases)
+                    if b is not None]
+                for item in node.body:
+                    if isinstance(item,
+                                  (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info.methods[item.name] = item
+                module.classes[node.name] = info
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._harvest_module_lock(module, node)
+
+    # -- lock registry ---------------------------------------------------
+
+    def _lock_kind(self, module: ModuleInfo, call: ast.Call) -> str | None:
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and module.imports.get(func.value.id) == "threading"
+                and func.attr in LOCK_FACTORIES):
+            return func.attr
+        if isinstance(func, ast.Name):
+            target = module.imports.get(func.id)
+            if target is not None and target.startswith("threading."):
+                kind = target.split(".", 1)[1]
+                if kind in LOCK_FACTORIES:
+                    return kind
+        return None
+
+    def _find_lock_call(self, module: ModuleInfo,
+                        value: ast.expr) -> tuple[str, int, bool] | None:
+        """Locate a lock factory call inside an assignment RHS.
+
+        Returns ``(kind, line, collection)`` — *collection* is True when
+        the factory runs inside a comprehension or display, i.e. the
+        attribute holds several locks from one allocation site.
+        """
+        direct = value
+        if isinstance(direct, ast.Call):
+            kind = self._lock_kind(module, direct)
+            if kind is not None:
+                return kind, direct.lineno, False
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call):
+                kind = self._lock_kind(module, node)
+                if kind is not None:
+                    return kind, node.lineno, True
+        return None
+
+    def _harvest_module_lock(self, module: ModuleInfo,
+                             node: ast.Assign | ast.AnnAssign) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else \
+            [node.target]
+        if node.value is None or len(targets) != 1 or \
+                not isinstance(targets[0], ast.Name):
+            return
+        found = self._find_lock_call(module, node.value)
+        if found is None:
+            return
+        kind, line, collection = found
+        name = targets[0].id
+        lock = LockInfo(lock_id=f"{module.name}:{name}", kind=kind,
+                        module=module.name, path=module.rel, line=line,
+                        owner=None, attr=name, collection=collection)
+        module.module_locks[name] = lock
+        self.locks[lock.lock_id] = lock
+
+    def _harvest_class_locks(self, module: ModuleInfo,
+                             info: ClassInfo) -> None:
+        for method in info.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                if node.value is None or len(targets) != 1:
+                    continue
+                target = targets[0]
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                if method.name == "__init__":
+                    info.init_attrs.add(target.attr)
+                    self._harvest_attr_type(module, info, target.attr,
+                                            node.value)
+                found = self._find_lock_call(module, node.value)
+                if found is None:
+                    continue
+                kind, line, collection = found
+                lock = LockInfo(
+                    lock_id=f"{module.name}:{info.name}.{target.attr}",
+                    kind=kind, module=module.name, path=module.rel,
+                    line=line, owner=info.name, attr=target.attr,
+                    collection=collection)
+                info.locks[target.attr] = lock
+                self.locks[lock.lock_id] = lock
+
+    def _harvest_attr_type(self, module: ModuleInfo, info: ClassInfo,
+                           attr: str, value: ast.expr) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        name = dotted_name(value.func)
+        if name is None:
+            return
+        resolved = self._resolve_class_name(module, name)
+        if resolved is not None:
+            info.attr_types[attr] = resolved
+
+    def _resolve_class_name(self, module: ModuleInfo,
+                            name: str) -> tuple[str, str] | None:
+        head, _, rest = name.partition(".")
+        if not rest and head in module.classes:
+            return module.name, head
+        target = module.imports.get(head)
+        if target is None:
+            return None
+        dotted = f"{target}.{rest}" if rest else target
+        mod_name, _, cls_name = dotted.rpartition(".")
+        other = self.modules.get(mod_name)
+        if other is not None and cls_name in other.classes:
+            return mod_name, cls_name
+        return None
+
+    def resolve_class(self, module: ModuleInfo,
+                      name: str) -> ClassInfo | None:
+        resolved = self._resolve_class_name(module, name)
+        if resolved is None:
+            return None
+        return self.modules[resolved[0]].classes[resolved[1]]
+
+    def lock_by_target(self, dotted: str) -> LockInfo | None:
+        """Resolve an imported global (``pkg.mod.NAME``) to a lock."""
+        mod_name, _, attr = dotted.rpartition(".")
+        module = self.modules.get(mod_name)
+        if module is not None:
+            return module.module_locks.get(attr)
+        return None
+
+    # -- linking / summaries ---------------------------------------------
+
+    def _link(self) -> None:
+        for module in self.modules.values():
+            for info in module.classes.values():
+                self._harvest_class_locks(module, info)
+        for module in self.modules.values():
+            for name, node in module.functions.items():
+                self._summarise(module, None, name, node)
+            for info in module.classes.values():
+                for name, node in info.methods.items():
+                    self._summarise(module, info, f"{info.name}.{name}",
+                                    node)
+        for summary in self.summaries.values():
+            for call in summary.calls:
+                call.callee = self._resolve_callee(summary, call)
+
+    def _summarise(self, module: ModuleInfo, cls: ClassInfo | None,
+                   label: str, node) -> None:
+        summary = FunctionSummary(
+            qualname=f"{module.name}:{label}", module=module, cls=cls,
+            node=node, is_async=isinstance(node, ast.AsyncFunctionDef),
+            decorators={d for d in (dotted_name(dec)
+                                    for dec in node.decorator_list)
+                        if d is not None})
+        _FunctionWalker(self, summary).visit(node)
+        self.summaries[summary.qualname] = summary
+
+    def _resolve_callee(self, summary: FunctionSummary,
+                        call: CallSite) -> str | None:
+        func = call.node.func
+        module = summary.module
+        if isinstance(func, ast.Name):
+            if func.id in module.functions:
+                return f"{module.name}:{func.id}"
+            if func.id in module.classes:
+                return self._method_qualname(module.classes[func.id],
+                                             "__init__")
+            target = module.imports.get(func.id)
+            if target is not None:
+                return self._qualname_for_target(target)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "self" \
+                and summary.cls is not None:
+            return self._method_qualname(summary.cls, func.attr)
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self" and summary.cls is not None):
+            typed = summary.cls.find_attr_type(self, base.attr)
+            if typed is not None:
+                cls = self.modules[typed[0]].classes[typed[1]]
+                return self._method_qualname(cls, func.attr)
+            return None
+        if isinstance(base, ast.Name):
+            target = module.imports.get(base.id)
+            if target is not None:
+                return self._qualname_for_target(f"{target}.{func.attr}")
+        return None
+
+    def _method_qualname(self, cls: ClassInfo, name: str) -> str | None:
+        found = cls.find_method(self, name)
+        if found is None:
+            return None
+        owner, _node = found
+        return f"{owner.module.name}:{owner.name}.{name}"
+
+    def _qualname_for_target(self, dotted: str) -> str | None:
+        mod_name, _, attr = dotted.rpartition(".")
+        module = self.modules.get(mod_name)
+        if module is None:
+            return None
+        if attr in module.functions:
+            return f"{mod_name}:{attr}"
+        if attr in module.classes:
+            return self._method_qualname(module.classes[attr], "__init__")
+        return None
+
+    # -- derived views ---------------------------------------------------
+
+    def may_acquire(self) -> dict[str, frozenset[str]]:
+        """Locks each function may take, directly or through callees."""
+        if self._may_acquire is not None:
+            return self._may_acquire
+        acquired: dict[str, set[str]] = {
+            q: {lock for lock, _, _ in s.acquisitions}
+            for q, s in self.summaries.items()}
+        for _ in range(len(self.summaries)):
+            changed = False
+            for qualname, summary in self.summaries.items():
+                bucket = acquired[qualname]
+                before = len(bucket)
+                for call in summary.calls:
+                    if call.callee in acquired:
+                        bucket |= acquired[call.callee]
+                if len(bucket) != before:
+                    changed = True
+            if not changed:
+                break
+        self._may_acquire = {q: frozenset(v) for q, v in acquired.items()}
+        return self._may_acquire
+
+    def module_for_rel(self, rel: str) -> ModuleInfo | None:
+        for module in self.modules.values():
+            if module.rel == rel:
+                return module
+        return None
+
+
+def build_lock_graph(project: Project) -> dict[tuple[str, str], list[str]]:
+    """The static lock-acquisition order graph.
+
+    Edge ``(A, B)`` means some code path acquires B while holding A.
+    Values are human-readable witness strings (``qualname:line``).
+    Self-edges on non-reentrant kinds are kept (they are findings in
+    their own right); RLock/semaphore self-edges are dropped.
+    """
+    edges: dict[tuple[str, str], list[str]] = {}
+    may = project.may_acquire()
+
+    def add(a: str, b: str, where: str) -> None:
+        if a == b:
+            kind = project.locks[a].kind if a in project.locks else "Lock"
+            if kind != "Lock":
+                return
+        edges.setdefault((a, b), []).append(where)
+
+    for qualname, summary in project.summaries.items():
+        for lock_id, line, held in summary.acquisitions:
+            for h in held:
+                add(h, lock_id, f"{qualname}:{line}")
+        for call in summary.calls:
+            if not call.held or call.callee is None:
+                continue
+            for target in may.get(call.callee, ()):  # pragma: no branch
+                for h in call.held:
+                    add(h, target, f"{qualname}:{call.line} -> {call.callee}")
+    return edges
+
+
+def find_lock_cycles(
+        edges: dict[tuple[str, str], list[str]] | set[tuple[str, str]],
+) -> list[list[str]]:
+    """Cycles in the lock graph: SCCs of size > 1, plus self-loops."""
+    adjacency: dict[str, set[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set())
+
+    index_counter = [0]
+    stack: list[str] = []
+    lowlink: dict[str, int] = {}
+    index: dict[str, int] = {}
+    on_stack: set[str] = set()
+    cycles: list[list[str]] = []
+
+    def strongconnect(vertex: str) -> None:
+        work = [(vertex, iter(sorted(adjacency[vertex])))]
+        index[vertex] = lowlink[vertex] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(vertex)
+        on_stack.add(vertex)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if len(component) > 1:
+                    cycles.append(sorted(component))
+                elif (component[0], component[0]) in set(edges):
+                    cycles.append(component)
+
+    for vertex in sorted(adjacency):
+        if vertex not in index:
+            strongconnect(vertex)
+    return cycles

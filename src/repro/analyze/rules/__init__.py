@@ -1,0 +1,29 @@
+"""The pluggable rule registry for ``xmark lint``."""
+
+from __future__ import annotations
+
+from .async_blocking import AsyncBlockingRule
+from .base import Rule
+from .error_taxonomy import ErrorTaxonomyRule
+from .lock_discipline import LockDisciplineRule
+from .resource_hygiene import ResourceHygieneRule
+from .shared_state import SharedStateRule
+
+__all__ = [
+    "Rule",
+    "ALL_RULES",
+    "AsyncBlockingRule",
+    "LockDisciplineRule",
+    "SharedStateRule",
+    "ErrorTaxonomyRule",
+    "ResourceHygieneRule",
+]
+
+#: Every shipped rule, in report order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    AsyncBlockingRule,
+    LockDisciplineRule,
+    SharedStateRule,
+    ErrorTaxonomyRule,
+    ResourceHygieneRule,
+)

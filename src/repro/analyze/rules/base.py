@@ -1,0 +1,68 @@
+"""Rule plumbing shared by the five ``xmark lint`` passes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from ..model import ModuleInfo, Project
+
+__all__ = ["Rule", "normalized_call", "iter_nodes_with_symbol",
+           "parent_map"]
+
+
+class Rule:
+    """One pluggable static-analysis pass.
+
+    Subclasses set :attr:`id` / :attr:`title` and implement :meth:`run`
+    yielding :class:`~repro.analyze.findings.Finding` objects.  Rules
+    never consult suppressions or the baseline — the engine owns gate
+    semantics so every rule stays a pure function of the project model.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, line: int, symbol: str,
+                message: str, **extra) -> Finding:
+        return Finding(rule=self.id, path=module.rel, line=line,
+                       symbol=symbol, message=message,
+                       extra=dict(extra) if extra else {})
+
+
+def normalized_call(module: ModuleInfo, name: str | None) -> str | None:
+    """Resolve a call's textual name through the module's imports.
+
+    ``sleep`` under ``from time import sleep`` and ``time.sleep`` under
+    ``import time`` both normalise to ``time.sleep``.
+    """
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    target = module.imports.get(head, head)
+    return f"{target}.{rest}" if rest else target
+
+
+def iter_nodes_with_symbol(tree: ast.Module) -> Iterator[tuple[ast.AST, str]]:
+    """Every node paired with its enclosing def/class qualname."""
+    stack: list[tuple[ast.AST, str]] = [(tree, "")]
+    while stack:
+        node, symbol = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_symbol = f"{symbol}.{child.name}" if symbol \
+                    else child.name
+            yield child, child_symbol
+            stack.append((child, child_symbol))
+
+
+def parent_map(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    return {child: parent
+            for parent in ast.walk(tree)
+            for child in ast.iter_child_nodes(parent)}

@@ -1,0 +1,105 @@
+"""error-taxonomy: broad handlers must account; raises must be typed.
+
+Two checks:
+
+* **broad handlers** — a bare ``except``, or one catching ``Exception``
+  / ``BaseException``, may only exist when the handler demonstrably
+  accounts for the error: it re-raises, it uses the bound exception
+  object (logging it, recording it in a failure map), or it increments
+  a metrics counter.  Silent swallows are findings.
+* **builtin raises** — inside the subsystem packages where the
+  ``repro.errors`` taxonomy is mandated, ``raise ValueError(...)``-style
+  builtin raises are findings: callers dispatch on the typed hierarchy
+  (and the wire protocol serialises it), so an untyped raise silently
+  falls out of every ``except XMarkError`` net.  ``TypeError`` /
+  ``NotImplementedError`` / ``AssertionError`` stay legal — they signal
+  programmer error, not system state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..model import Project
+from .base import Rule, iter_nodes_with_symbol
+
+__all__ = ["ErrorTaxonomyRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Builtin exception types that must not be raised in mandated packages.
+_BANNED_RAISES = frozenset({
+    "Exception", "RuntimeError", "ValueError", "KeyError", "IndexError",
+    "LookupError", "OSError", "IOError", "EOFError",
+})
+
+#: Packages where the repro.errors taxonomy is mandatory.
+MANDATED_PREFIXES = ("repro.service", "repro.server", "repro.shard",
+                     "repro.storage", "repro.db", "repro.update",
+                     "repro.index", "repro.obs")
+
+
+def _mandated(module_name: str) -> bool:
+    return any(module_name == p or module_name.startswith(p + ".")
+               for p in MANDATED_PREFIXES)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(isinstance(elt, ast.Name) and elt.id in _BROAD
+                   for elt in node.elts)
+    return False
+
+
+def _accounts_for_error(handler: ast.ExceptHandler) -> bool:
+    """Re-raises, uses the bound exception, or bumps a counter."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and handler.name is not None \
+                and node.id == handler.name \
+                and isinstance(node.ctx, ast.Load):
+            return True
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "inc":
+            return True
+    return False
+
+
+class ErrorTaxonomyRule(Rule):
+    id = "error-taxonomy"
+    title = "broad except accounts for the error; raises use repro.errors"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules.values():
+            mandated = _mandated(module.name)
+            for node, symbol in iter_nodes_with_symbol(module.tree):
+                if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+                    if not _accounts_for_error(node):
+                        what = "bare except" if node.type is None \
+                            else "except Exception"
+                        yield self.finding(
+                            module, node.lineno, symbol,
+                            f"{what} swallows the error — re-raise, use "
+                            "the bound exception, or count it in a "
+                            "metric")
+                elif mandated and isinstance(node, ast.Raise) \
+                        and node.exc is not None:
+                    name = node.exc
+                    if isinstance(name, ast.Call):
+                        name = name.func
+                    if isinstance(name, ast.Name) \
+                            and name.id in _BANNED_RAISES:
+                        yield self.finding(
+                            module, node.lineno, symbol,
+                            f"raise {name.id} in a subsystem package — "
+                            "use the repro.errors taxonomy so callers "
+                            "and the wire protocol can dispatch on it")

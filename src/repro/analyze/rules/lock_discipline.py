@@ -1,0 +1,76 @@
+"""lock-discipline: the static lock-acquisition graph must be sane.
+
+Three checks over the project's lock registry:
+
+* **order-inversion cycles** — edge A→B whenever some path acquires B
+  while holding A (``with``-sites, bare ``acquire()`` timelines, and
+  calls into functions whose transitive may-acquire set is non-empty);
+  any strongly-connected component is a potential deadlock.
+* **re-acquisition** — taking a non-reentrant ``threading.Lock`` the
+  current timeline already holds (self-deadlock).
+* **await/yield under lock** — suspending while holding a registry lock
+  parks the lock across an arbitrary scheduling gap.  Functions
+  decorated with ``contextlib.contextmanager`` (or the async variant)
+  are exempt: yielding while holding the lock is their entire job.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding
+from ..model import Project, build_lock_graph, find_lock_cycles
+from .base import Rule
+
+__all__ = ["LockDisciplineRule"]
+
+_CM_DECORATORS = frozenset({
+    "contextmanager", "asynccontextmanager",
+    "contextlib.contextmanager", "contextlib.asynccontextmanager",
+})
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    title = "lock ordering, re-acquisition, and suspension under lock"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        edges = build_lock_graph(project)
+        for cycle in find_lock_cycles(edges):
+            witnesses = [
+                f"{a} -> {b} @ {sites[0]}"
+                for (a, b), sites in sorted(edges.items())
+                if a in cycle and b in cycle]
+            anchor = project.locks.get(cycle[0])
+            module = project.module_for_rel(anchor.path) if anchor else None
+            if module is None:
+                continue
+            yield self.finding(
+                module, anchor.line, "",
+                "lock-order cycle: " + " <-> ".join(cycle),
+                witnesses=witnesses)
+
+        for summary in project.summaries.values():
+            module = summary.module
+            for lock_id, line, held in summary.acquisitions:
+                lock = project.locks.get(lock_id)
+                if lock is not None and lock.kind == "Lock" \
+                        and lock_id in held:
+                    yield self.finding(
+                        module, line, summary.qualname,
+                        f"re-acquisition of non-reentrant {lock_id} "
+                        "already held on this timeline (self-deadlock)")
+            for line, held in summary.awaits:
+                if held:
+                    yield self.finding(
+                        module, line, summary.qualname,
+                        "await while holding " + ", ".join(sorted(held)))
+            if summary.decorators & _CM_DECORATORS:
+                continue
+            for line, held in summary.yields:
+                if held:
+                    yield self.finding(
+                        module, line, summary.qualname,
+                        "yield while holding " + ", ".join(sorted(held))
+                        + " — the lock stays held across the consumer's "
+                        "entire iteration step")

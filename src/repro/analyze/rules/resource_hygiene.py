@@ -1,0 +1,158 @@
+"""resource-hygiene: every handle has a deterministic owner.
+
+``open()`` / socket construction must land in one of the accepted
+ownership shapes:
+
+* a ``with`` statement (context manager scope);
+* assignment to ``self.attr`` on a class that defines ``close`` or
+  ``__exit__`` (the instance owns the handle for its lifetime);
+* assignment to a local that is closed in a ``finally`` block or
+  returned / stored for the caller (ownership transfer);
+* directly returned (factory function).
+
+Anything else — a handle passed inline to another call, or a local that
+can leak on an exception path — is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..model import ModuleInfo, Project, dotted_name
+from .base import Rule, iter_nodes_with_symbol, normalized_call, parent_map
+
+__all__ = ["ResourceHygieneRule"]
+
+_OPENERS = frozenset({
+    "open", "io.open", "os.fdopen",
+    "socket.socket", "socket.create_connection",
+})
+
+
+class ResourceHygieneRule(Rule):
+    id = "resource-hygiene"
+    title = "open()/socket creation is context-managed or finally-closed"
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules.values():
+            parents = parent_map(module.tree)
+            for node, symbol in iter_nodes_with_symbol(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = normalized_call(module, dotted_name(node.func))
+                if resolved not in _OPENERS:
+                    continue
+                if self._owned(module, parents, node):
+                    continue
+                yield self.finding(
+                    module, node.lineno, symbol,
+                    f"{resolved}() without a context manager, finally-"
+                    "close, or owning object — the handle leaks on any "
+                    "exception path")
+
+    def _owned(self, module: ModuleInfo,
+               parents: dict[ast.AST, ast.AST], call: ast.Call) -> bool:
+        # climb to the statement, noting how the call is embedded
+        node: ast.AST = call
+        parent = parents.get(node)
+        while parent is not None:
+            if isinstance(parent, ast.withitem) \
+                    and parent.context_expr is node:
+                return True
+            if isinstance(parent, ast.Return) and parent.value is node:
+                return True          # factory: caller owns the handle
+            if isinstance(parent, ast.Call) and node is not parent.func:
+                # handle passed straight into another call: e.g.
+                # closing(open(...)) is fine, json.load(open(...)) is not
+                wrapper = normalized_call(module, dotted_name(parent.func))
+                return wrapper in ("contextlib.closing", "closing")
+            if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+                return self._assignment_owned(module, parents, parent)
+            if isinstance(parent, ast.stmt):
+                return False
+            node, parent = parent, parents.get(parent)
+        return False
+
+    def _assignment_owned(self, module: ModuleInfo,
+                          parents: dict[ast.AST, ast.AST],
+                          stmt: ast.Assign | ast.AnnAssign) -> bool:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) \
+            else [stmt.target]
+        if len(targets) != 1:
+            return False
+        target = targets[0]
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            cls = self._enclosing_class(parents, stmt)
+            if cls is not None:
+                defined = {item.name for item in cls.body
+                           if isinstance(item, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef))}
+                return bool(defined & {"close", "__exit__", "__del__"})
+            return False
+        if isinstance(target, ast.Name):
+            scope = self._enclosing_function(parents, stmt)
+            if scope is None:
+                return False
+            return self._local_released(scope, target.id)
+        return False
+
+    @staticmethod
+    def _enclosing_class(parents: dict[ast.AST, ast.AST],
+                         node: ast.AST) -> ast.ClassDef | None:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                current = parents.get(current)
+                continue
+            current = parents.get(current)
+        return None
+
+    @staticmethod
+    def _enclosing_function(parents: dict[ast.AST, ast.AST],
+                            node: ast.AST):
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = parents.get(current)
+        return None
+
+    @staticmethod
+    def _local_released(scope: ast.AST, name: str) -> bool:
+        """The local is finally-closed, returned, or handed off."""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Try):
+                for fin in node.finalbody:
+                    for sub in ast.walk(fin):
+                        if isinstance(sub, ast.Call) \
+                                and isinstance(sub.func, ast.Attribute) \
+                                and sub.func.attr == "close" \
+                                and isinstance(sub.func.value, ast.Name) \
+                                and sub.func.value.id == name:
+                            return True
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+            if isinstance(node, ast.withitem):
+                expr = node.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return True
+                if isinstance(expr, ast.Call):
+                    for sub in ast.walk(expr):
+                        if isinstance(sub, ast.Name) and sub.id == name:
+                            return True
+            # handing the handle to another object transfers ownership:
+            # self.x = handle / container.append(handle)
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Attribute) \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == name:
+                return True
+        return False

@@ -45,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("dtd", help="print the auction DTD")
     commands.add_parser("queries", help="list the twenty queries")
 
+    lint = commands.add_parser(
+        "lint",
+        help="run the concurrency & correctness analyzer over src/repro",
+        description="AST-based static analysis (repro.analyze): async-"
+                    "blocking, lock-discipline, shared-state, error-"
+                    "taxonomy and resource-hygiene passes, gated on new "
+                    "findings relative to docs/LINT_BASELINE.json.")
+    lint.add_argument("rest", nargs=argparse.REMAINDER)
+
     query = commands.add_parser(
         "query",
         help="run queries on the embedded database (one-shot or interactive)",
@@ -1041,6 +1050,10 @@ def main(argv: list[str] | None = None) -> int:
         # Pass everything through to the xmlgen CLI (argparse REMAINDER
         # cannot capture leading dashes reliably).
         return xmlgen_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Same passthrough idiom: the analyzer owns its option surface.
+        from repro.analyze.engine import main as lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "dtd":
         sys.stdout.write(auction_dtd().serialize())

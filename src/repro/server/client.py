@@ -68,8 +68,9 @@ class WireClient:
                 raise ClosedSessionError("wire client is closed")
             self._sock.sendall(protocol.encode_frame(payload))
             reply = protocol.recv_frame(self._sock, self._max_frame)
+            if reply is None:
+                self._closed = True
         if reply is None:
-            self._closed = True
             raise ProtocolError("server closed the connection",
                                 code="truncated")
         if reply.get("kind") == "error":

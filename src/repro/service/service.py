@@ -471,13 +471,18 @@ class QueryService:
             return self.apply_update(op)
 
     def close(self) -> None:
-        if not self._closed:
+        # The flag flips under the update lock so concurrent closers agree
+        # on exactly one winner; the pool drain stays outside it because
+        # in-flight work may touch the admission gates and caches.
+        with self._update_lock:
+            if self._closed:
+                return
             self._closed = True
-            self._pool.shutdown(wait=True)
-            if self._shard_executor is not None:
-                self._shard_executor.close()
-            if self.query_log is not None and self._owns_query_log:
-                self.query_log.close()
+        self._pool.shutdown(wait=True)
+        if self._shard_executor is not None:
+            self._shard_executor.close()
+        if self.query_log is not None and self._owns_query_log:
+            self.query_log.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -679,7 +684,10 @@ class QueryService:
         for system in generator.spec.systems:
             self.store(system)  # every targeted system must be serving
         if reset_metrics:
-            self.metrics = ServiceMetrics()
+            # Swap under the update lock: driver threads from a previous
+            # workload may still be publishing into the old snapshot.
+            with self._update_lock:
+                self.metrics = ServiceMetrics()
         plan_baseline = self.plan_cache.stats.copy()
         result_baseline = self.result_cache.stats.copy()
         streams = generator.streams()

@@ -209,6 +209,9 @@ class ScatterGatherExecutor:
 
     def close(self) -> None:
         if not self._closed:
+            # lint: ok(shared-state) — monotonic close latch: a lost race
+            # only means two callers both reach pool.shutdown, which
+            # concurrent.futures makes idempotent and thread-safe.
             self._closed = True
             self._pool.shutdown(wait=True)
 

@@ -1,0 +1,14 @@
+"""Seeded error-taxonomy violations: swallowed except, builtin raise."""
+
+
+def lookup(payload):
+    try:
+        return payload["key"]
+    except Exception:                 # error-taxonomy: silent swallow
+        return None
+
+
+def reject(flag):
+    if flag:
+        raise ValueError("bad flag")  # error-taxonomy: builtin raise
+    return flag

@@ -1,0 +1,19 @@
+"""Seeded lock-discipline violation: an A/B order inversion."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._debit = threading.Lock()
+        self._credit = threading.Lock()
+
+    def forward(self):
+        with self._debit:
+            with self._credit:        # order: debit -> credit
+                return True
+
+    def backward(self):
+        with self._credit:
+            with self._debit:         # inversion: credit -> debit
+                return True

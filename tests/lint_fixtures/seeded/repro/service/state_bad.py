@@ -1,0 +1,16 @@
+"""Seeded shared-state violation: a locked class writing lock-free."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        self._items[key] = value      # shared-state: write without the lock
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)

@@ -1,0 +1,7 @@
+"""Seeded resource-hygiene violation: an inline handle with no owner."""
+
+import json
+
+
+def read_config(path):
+    return json.load(open(path))      # resource-hygiene: leaks on error

@@ -1,0 +1,14 @@
+"""Suppressed async-blocking variant: justified inline markers."""
+
+import threading
+import time
+
+_flush_lock = threading.Lock()
+
+
+async def handle(request):
+    # lint: ok(async-blocking) — startup-only path, loop not serving yet
+    time.sleep(0.01)
+    # lint: ok(async-blocking) — uncontended init lock, bounded hold
+    with _flush_lock:
+        return request

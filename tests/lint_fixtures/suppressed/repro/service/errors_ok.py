@@ -1,0 +1,16 @@
+"""Suppressed error-taxonomy variants with justified markers."""
+
+
+def lookup(payload):
+    try:
+        return payload["key"]
+    # lint: ok(error-taxonomy) — best-effort probe, absence is the answer
+    except Exception:
+        return None
+
+
+def reject(flag):
+    if flag:
+        # lint: ok(error-taxonomy) — argument validation at the API edge
+        raise ValueError("bad flag")
+    return flag

@@ -1,0 +1,17 @@
+"""Suppressed shared-state variant: a justified monotonic latch."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sealed = False
+
+    def seal(self):
+        # lint: ok(shared-state) — monotonic latch, losers are harmless
+        self._sealed = True
+
+    def sealed(self):
+        with self._lock:
+            return self._sealed

@@ -1,0 +1,8 @@
+"""Suppressed resource-hygiene variant with a justified marker."""
+
+import json
+
+
+def read_config(path):
+    # lint: ok(resource-hygiene) — process-lifetime config read at boot
+    return json.load(open(path))
